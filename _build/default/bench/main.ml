@@ -1,0 +1,146 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Table 1, Figures 5-8), runs the ablation suite, and closes
+   with Bechamel microbenchmarks of the implementation's hot paths.
+
+   Usage: main.exe [table1|fig5|fig6|fig7|fig8|ablation|micro|all]... *)
+
+let run_table1 () = print_string (Lla_experiments.Table1.report (Lla_experiments.Table1.run ()))
+
+let run_fig5 () = print_string (Lla_experiments.Fig5.report (Lla_experiments.Fig5.run ()))
+
+let run_fig6 () = print_string (Lla_experiments.Fig6.report (Lla_experiments.Fig6.run ()))
+
+let run_fig7 () = print_string (Lla_experiments.Fig7.report (Lla_experiments.Fig7.run ()))
+
+let run_fig8 () = print_string (Lla_experiments.Fig8.report (Lla_experiments.Fig8.run ()))
+
+let run_ablation () =
+  print_string (Lla_experiments.Ablation.report (Lla_experiments.Ablation.run ()))
+
+let run_adaptation () =
+  print_string (Lla_experiments.Adaptation.report (Lla_experiments.Adaptation.run ()))
+
+let run_variation () =
+  print_string
+    (Lla_experiments.Workload_variation.report (Lla_experiments.Workload_variation.run ()))
+
+let run_delay_sweep () =
+  print_string (Lla_experiments.Delay_sweep.report (Lla_experiments.Delay_sweep.run ()))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+let solver_iteration_test ~copies =
+  let factor = if copies = 1 then 1.0 else 1.25 *. float_of_int copies in
+  let workload = Lla_workloads.Paper_sim.scaled ~critical_time_factor:factor ~copies () in
+  let solver = Lla.Solver.create workload in
+  Test.make
+    ~name:(Printf.sprintf "lla-iteration/%02d-tasks" (3 * copies))
+    (Staged.stage (fun () -> Lla.Solver.step solver))
+
+let compile_test =
+  let workload = Lla_workloads.Paper_sim.scaled ~copies:4 () in
+  Test.make ~name:"problem-compile/12-tasks"
+    (Staged.stage (fun () -> ignore (Lla.Problem.compile workload)))
+
+let engine_test =
+  Test.make ~name:"des-engine/1k-events"
+    (Staged.stage (fun () ->
+         let engine = Lla_sim.Engine.create () in
+         for i = 1 to 1000 do
+           ignore (Lla_sim.Engine.schedule engine ~at:(float_of_int i) (fun _ -> ()))
+         done;
+         Lla_sim.Engine.run engine ()))
+
+let scheduler_test kind name =
+  Test.make
+    ~name:(Printf.sprintf "scheduler-%s/100-jobs" name)
+    (Staged.stage (fun () ->
+         let engine = Lla_sim.Engine.create () in
+         let sched = Lla_sched.Scheduler.create kind engine ~capacity:1.0 in
+         for c = 0 to 3 do
+           Lla_sched.Scheduler.set_share sched ~class_id:c ~share:0.25
+         done;
+         for i = 0 to 99 do
+           Lla_sched.Scheduler.submit sched ~class_id:(i mod 4) ~work:1.0 ~on_complete:(fun _ ->
+               ())
+         done;
+         Lla_sim.Engine.run engine ()))
+
+let graph_test =
+  let workload = Lla_workloads.Paper_sim.base () in
+  let task = List.hd workload.Lla_model.Workload.tasks in
+  Test.make ~name:"graph-critical-path"
+    (Staged.stage (fun () -> ignore (Lla_model.Task.critical_path task ~latency:(fun _ -> 1.0))))
+
+let micro_tests () =
+  Test.make_grouped ~name:"lla" ~fmt:"%s %s"
+    [
+      solver_iteration_test ~copies:1;
+      solver_iteration_test ~copies:2;
+      solver_iteration_test ~copies:4;
+      solver_iteration_test ~copies:8;
+      solver_iteration_test ~copies:16;
+      compile_test;
+      engine_test;
+      scheduler_test (Lla_sched.Scheduler.Fluid { work_conserving = true }) "fluid";
+      scheduler_test (Lla_sched.Scheduler.Sfs { quantum = 1.0 }) "sfs";
+      graph_test;
+    ]
+
+let run_micro () =
+  print_string (Lla_experiments.Report.header "Microbenchmarks (Bechamel, monotonic clock)");
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let raw_results = Benchmark.all cfg instances (micro_tests ()) in
+  let results = List.map (fun instance -> Analyze.all ols instance raw_results) instances in
+  let results = Analyze.merge ols instances results in
+  let clock = Hashtbl.find results (Measure.label Instance.monotonic_clock) in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) clock [] in
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ ns_per_run ] -> Printf.printf "  %-34s %12.1f ns/run\n" name ns_per_run
+      | Some _ | None -> Printf.printf "  %-34s (no estimate)\n" name)
+    rows;
+  print_string
+    "The per-iteration cost grows linearly with the task count (the scalability claim at\n\
+     the implementation level).\n"
+
+let experiments =
+  [
+    ("table1", run_table1);
+    ("fig5", run_fig5);
+    ("fig6", run_fig6);
+    ("fig7", run_fig7);
+    ("fig8", run_fig8);
+    ("ablation", run_ablation);
+    ("adaptation", run_adaptation);
+    ("variation", run_variation);
+    ("delays", run_delay_sweep);
+    ("micro", run_micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) when not (List.mem "all" args) -> args
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f ->
+        f ();
+        print_newline ()
+      | None ->
+        Printf.eprintf "unknown experiment %S; available: %s all\n" name
+          (String.concat " " (List.map fst experiments));
+        exit 2)
+    requested

@@ -1,0 +1,343 @@
+(* Command-line interface to the LLA reproduction: run paper experiments,
+   probe workload schedulability, solve a workload and print the
+   allocation, or emulate the prototype system. *)
+
+open Cmdliner
+
+(* --verbose enables Logs debug output on stderr for every subcommand. *)
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let verbose_arg =
+  let doc = "Print solver/optimizer debug logs on stderr." in
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+
+let iterations_arg =
+  let doc = "Maximum number of LLA iterations." in
+  Arg.(value & opt int 2000 & info [ "iterations"; "n" ] ~docv:"N" ~doc)
+
+let csv_arg =
+  let doc = "Also write the experiment's main series to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let workload_arg =
+  let doc =
+    "Workload to operate on: 'base' (the paper's 3-task simulation workload), 'six' \
+     (over-provisioned 6 tasks), 'twelve', 'unschedulable' (6 tasks, original critical times), \
+     'prototype' (the paper's 4-task system workload), 'random:SEED', or 'file:PATH' (the \
+     text format documented in Lla_model.Workload_codec)."
+  in
+  Arg.(value & opt string "base" & info [ "workload"; "w" ] ~docv:"NAME" ~doc)
+
+let parse_workload name =
+  match String.split_on_char ':' name with
+  | [ "base" ] -> Ok (Lla_workloads.Paper_sim.base ())
+  | [ "six" ] -> Ok (Lla_workloads.Paper_sim.scaled ~copies:2 ())
+  | [ "twelve" ] -> Ok (Lla_workloads.Paper_sim.scaled ~copies:4 ())
+  | [ "unschedulable" ] -> Ok (Lla_workloads.Paper_sim.unschedulable_six ())
+  | [ "prototype" ] -> Ok (Lla_workloads.Prototype.workload ())
+  | "file" :: rest ->
+    let path = String.concat ":" rest in
+    Result.map_error (fun msg -> `Msg msg) (Lla_model.Workload_codec.load ~path)
+  | [ "random"; seed ] -> (
+    match int_of_string_opt seed with
+    | Some seed -> Ok (Lla_workloads.Random_gen.generate ~seed ())
+    | None -> Error (`Msg "random workload needs an integer seed, e.g. random:42"))
+  | _ -> Error (`Msg (Printf.sprintf "unknown workload %S" name))
+
+let or_exit = function
+  | Ok v -> v
+  | Error (`Msg m) ->
+    prerr_endline ("error: " ^ m);
+    exit 2
+
+let write_series_csv path series =
+  let rows =
+    List.concat_map
+      (fun (name, s) ->
+        List.map (fun (x, y) ->
+            [ name; Printf.sprintf "%.17g" x; Printf.sprintf "%.17g" y ])
+          (Lla_stdx.Series.downsample s ~max_points:(Lla_stdx.Series.length s)))
+      series
+  in
+  Lla_stdx.Csv.write ~path ~header:[ "series"; "x"; "y" ] ~rows;
+  Printf.printf "wrote %s\n" path
+
+(* --- experiment subcommands ----------------------------------------- *)
+
+let table1_cmd =
+  let run iterations =
+    print_string (Lla_experiments.Table1.report (Lla_experiments.Table1.run ~iterations ()))
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Reproduce Table 1 (optimal latency assignment).")
+    Term.(const run $ iterations_arg)
+
+let fig5_cmd =
+  let run iterations csv =
+    let result = Lla_experiments.Fig5.run ~iterations () in
+    print_string (Lla_experiments.Fig5.report result);
+    Option.iter
+      (fun path ->
+        write_series_csv path
+          (List.map
+             (fun (c : Lla_experiments.Fig5.curve) -> (c.label, c.series))
+             result.Lla_experiments.Fig5.curves))
+      csv
+  in
+  Cmd.v
+    (Cmd.info "fig5" ~doc:"Reproduce Figure 5 (step-size study).")
+    Term.(const run $ iterations_arg $ csv_arg)
+
+let fig6_cmd =
+  let run iterations csv =
+    let result = Lla_experiments.Fig6.run ~iterations () in
+    print_string (Lla_experiments.Fig6.report result);
+    Option.iter
+      (fun path ->
+        write_series_csv path
+          (List.map
+             (fun (p : Lla_experiments.Fig6.point) ->
+               (Printf.sprintf "%d-tasks" p.Lla_experiments.Fig6.n_tasks,
+                p.Lla_experiments.Fig6.series))
+             result.Lla_experiments.Fig6.points))
+      csv
+  in
+  Cmd.v
+    (Cmd.info "fig6" ~doc:"Reproduce Figure 6 (task-count scaling).")
+    Term.(const run $ iterations_arg $ csv_arg)
+
+let fig7_cmd =
+  let run iterations csv =
+    let result = Lla_experiments.Fig7.run ~iterations () in
+    print_string (Lla_experiments.Fig7.report result);
+    Option.iter
+      (fun path ->
+        write_series_csv path
+          (("utility", result.Lla_experiments.Fig7.utility_series)
+          :: result.Lla_experiments.Fig7.share_series))
+      csv
+  in
+  Cmd.v
+    (Cmd.info "fig7" ~doc:"Reproduce Figure 7 (schedulability probe).")
+    Term.(const run $ iterations_arg $ csv_arg)
+
+let fig8_cmd =
+  let duration =
+    Arg.(value & opt float 120. & info [ "duration" ] ~docv:"SECONDS" ~doc:"Simulated seconds.")
+  in
+  let enable_at =
+    Arg.(
+      value
+      & opt float 60.
+      & info [ "enable-correction-at" ] ~docv:"SECONDS"
+          ~doc:"When to switch on model error correction.")
+  in
+  let run duration enable_at csv =
+    let result =
+      Lla_experiments.Fig8.run ~duration:(duration *. 1000.)
+        ~enable_correction_at:(enable_at *. 1000.) ()
+    in
+    print_string (Lla_experiments.Fig8.report result);
+    Option.iter
+      (fun path ->
+        write_series_csv path
+          [
+            ("fast-share", result.Lla_experiments.Fig8.fast_share_series);
+            ("slow-share", result.Lla_experiments.Fig8.slow_share_series);
+            ("fast-error", result.Lla_experiments.Fig8.fast_error_series);
+          ])
+      csv
+  in
+  Cmd.v
+    (Cmd.info "fig8" ~doc:"Reproduce Figure 8 (prototype with error correction).")
+    Term.(const run $ duration $ enable_at $ csv_arg)
+
+let adaptation_cmd =
+  let run iterations =
+    print_string
+      (Lla_experiments.Adaptation.report
+         (Lla_experiments.Adaptation.run ~iterations_per_phase:iterations ()))
+  in
+  Cmd.v
+    (Cmd.info "adaptation"
+       ~doc:"Run the online-adaptation experiment (capacity drop and recovery).")
+    Term.(const run $ iterations_arg)
+
+let variation_cmd =
+  let run () =
+    print_string
+      (Lla_experiments.Workload_variation.report (Lla_experiments.Workload_variation.run ()))
+  in
+  Cmd.v
+    (Cmd.info "variation"
+       ~doc:"Run the workload-variation experiment (silent mid-run rate change).")
+    Term.(const run $ const ())
+
+let delays_cmd =
+  let run () =
+    print_string (Lla_experiments.Delay_sweep.report (Lla_experiments.Delay_sweep.run ()))
+  in
+  Cmd.v
+    (Cmd.info "delays" ~doc:"Sweep control-message delay for the distributed deployment.")
+    Term.(const run $ const ())
+
+let ablation_cmd =
+  let run iterations =
+    print_string (Lla_experiments.Ablation.report (Lla_experiments.Ablation.run ~iterations ()))
+  in
+  Cmd.v
+    (Cmd.info "ablation" ~doc:"Run the ablation suite (baselines, variants, caps, schedulers).")
+    Term.(const run $ iterations_arg)
+
+(* --- generic tools --------------------------------------------------- *)
+
+let solve_cmd =
+  let run verbose workload_name iterations =
+    setup_logs verbose;
+    let workload = or_exit (parse_workload workload_name) in
+    print_endline (Lla_model.Workload.stats workload);
+    let solver = Lla.Solver.create workload in
+    (match Lla.Solver.run_until_converged solver ~max_iterations:iterations with
+    | Some i -> Printf.printf "converged at iteration %d\n" i
+    | None -> Printf.printf "not converged after %d iterations\n" (Lla.Solver.iteration solver));
+    Printf.printf "total utility: %.3f  feasible: %b\n" (Lla.Solver.utility solver)
+      (Lla.Solver.feasible solver);
+    let table =
+      Lla_stdx.Table.create
+        ~columns:
+          [
+            ("subtask", Lla_stdx.Table.Left);
+            ("latency (ms)", Lla_stdx.Table.Right);
+            ("share", Lla_stdx.Table.Right);
+          ]
+    in
+    List.iter
+      (fun (sid, lat) ->
+        let s = Lla_model.Workload.subtask workload sid in
+        Lla_stdx.Table.add_row table
+          [
+            s.Lla_model.Subtask.name;
+            Lla_stdx.Table.cell_f lat;
+            Lla_stdx.Table.cell_f ~decimals:4 (Lla.Solver.share solver sid);
+          ])
+      (Lla.Solver.latencies solver);
+    Lla_stdx.Table.print table;
+    List.iter
+      (fun ((task : Lla_model.Task.t), _, cost) ->
+        Printf.printf "%s: critical path %.2f ms / critical time %.0f ms\n" task.Lla_model.Task.name
+          cost task.Lla_model.Task.critical_time)
+      (Lla.Solver.critical_paths solver)
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Run LLA on a workload and print the optimal allocation.")
+    Term.(const run $ verbose_arg $ workload_arg $ iterations_arg)
+
+let export_cmd =
+  let output =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Destination workload file.")
+  in
+  let run workload_name output =
+    let workload = or_exit (parse_workload workload_name) in
+    Lla_model.Workload_codec.save ~path:output workload;
+    Printf.printf "wrote %s\n" output
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Write a named workload to the text format (see 'solve -w file:...').")
+    Term.(const run $ workload_arg $ output)
+
+let probe_cmd =
+  let run workload_name iterations =
+    let workload = or_exit (parse_workload workload_name) in
+    let verdict = Lla.Schedulability.probe ~iterations workload in
+    Format.printf "%a@." Lla.Schedulability.pp verdict;
+    exit (if Lla.Schedulability.is_schedulable verdict then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "probe"
+       ~doc:"Test workload schedulability with LLA (exit 0 = schedulable, 1 = not).")
+    Term.(const run $ workload_arg $ iterations_arg)
+
+let emulate_cmd =
+  let duration =
+    Arg.(value & opt float 30. & info [ "duration" ] ~docv:"SECONDS" ~doc:"Simulated seconds.")
+  in
+  let scheduler =
+    let doc = "Scheduler discipline: fluid, fluid-capped, sfq or sfs." in
+    Arg.(value & opt string "sfs" & info [ "scheduler" ] ~docv:"KIND" ~doc)
+  in
+  let run workload_name duration scheduler_name csv =
+    let workload = or_exit (parse_workload workload_name) in
+    let kind =
+      match scheduler_name with
+      | "fluid" -> Lla_sched.Scheduler.Fluid { work_conserving = true }
+      | "fluid-capped" -> Lla_sched.Scheduler.Fluid { work_conserving = false }
+      | "sfq" -> Lla_sched.Scheduler.Sfq { quantum = 1.0 }
+      | "sfs" -> Lla_sched.Scheduler.Sfs { quantum = 1.0 }
+      | other -> or_exit (Error (`Msg (Printf.sprintf "unknown scheduler %S" other)))
+    in
+    let config = { Lla_runtime.System.default_config with scheduler = kind } in
+    let system = Lla_runtime.System.create ~config workload in
+    Lla_runtime.System.run system ~until:(duration *. 1000.);
+    Printf.printf "scheduler: %s, %.0f simulated seconds\n"
+      (Lla_sched.Scheduler.kind_name kind) duration;
+    List.iter
+      (fun (task : Lla_model.Task.t) ->
+        let stats = Lla_runtime.System.task_latency_stats system task.Lla_model.Task.id in
+        let p95 = Lla_runtime.System.measured_task_latency system task.Lla_model.Task.id ~p:95. in
+        Printf.printf
+          "%-10s completions %6d  mean %7.2f ms  p95 %7.2f ms  max %7.2f ms  misses %d\n"
+          task.Lla_model.Task.name stats.Lla_stdx.Stats.n stats.Lla_stdx.Stats.mean
+          (Option.value p95 ~default:nan)
+          stats.Lla_stdx.Stats.max
+          (Lla_runtime.System.deadline_misses system task.Lla_model.Task.id))
+      workload.Lla_model.Workload.tasks;
+    Option.iter
+      (fun path ->
+        let opt = Lla_runtime.System.optimizer system in
+        let traces =
+          List.map
+            (fun (s : Lla_model.Subtask.t) ->
+              (s.Lla_model.Subtask.name, Lla_runtime.Optimizer_loop.share_trace opt s.id))
+            (Lla_model.Workload.subtasks workload)
+        in
+        write_series_csv path
+          (("measured-utility", Lla_runtime.System.measured_utility_series system) :: traces))
+      csv
+  in
+  Cmd.v
+    (Cmd.info "emulate" ~doc:"Emulate a workload on the simulated cluster with the optimizer.")
+    Term.(const run $ workload_arg $ duration $ scheduler $ csv_arg)
+
+let default =
+  Term.(
+    ret
+      (const (fun () -> `Help (`Pager, None)) $ const ()))
+
+let () =
+  let info =
+    Cmd.info "lla" ~version:"1.0.0"
+      ~doc:"Lagrangian Latency Assignment — reproduction of Lumezanu, Bhola & Astley (ICDCS 2008)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            table1_cmd;
+            fig5_cmd;
+            fig6_cmd;
+            fig7_cmd;
+            fig8_cmd;
+            ablation_cmd;
+            adaptation_cmd;
+            variation_cmd;
+            delays_cmd;
+            solve_cmd;
+            export_cmd;
+            probe_cmd;
+            emulate_cmd;
+          ]))

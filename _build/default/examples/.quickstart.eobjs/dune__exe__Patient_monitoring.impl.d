@@ -1,0 +1,1 @@
+examples/patient_monitoring.ml: Format Graph Ids List Lla Lla_model Printf Resource Subtask Task Trigger Utility

@@ -1,0 +1,1 @@
+examples/patient_monitoring.mli:

@@ -1,0 +1,1 @@
+examples/program_trading.ml: Graph Ids List Lla Lla_model Lla_runtime Lla_stdx Option Printf Resource Subtask Task Trigger Utility Workload

@@ -1,0 +1,1 @@
+examples/program_trading.mli:

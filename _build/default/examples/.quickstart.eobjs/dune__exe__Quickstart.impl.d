@@ -1,0 +1,1 @@
+examples/quickstart.ml: Graph Ids List Lla Lla_model Printf Resource Subtask Task Trigger Utility Workload

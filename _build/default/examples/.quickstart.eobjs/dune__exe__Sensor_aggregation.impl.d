@@ -1,0 +1,1 @@
+examples/sensor_aggregation.ml: Float Graph Ids List Lla Lla_model Lla_runtime Lla_sim Printf Resource Subtask Task Trigger Utility Workload

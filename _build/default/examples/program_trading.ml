@@ -1,0 +1,136 @@
+(* Program trading (the paper's motivating application, Section 1).
+
+   Three applications share a trading node, an analytics node and two
+   network links:
+
+   - market-data fan-out: a feed handler pushes ticks to three consumers
+     (elastic utility — fresher data is better, linearly);
+   - strategy analysis: pulls data, runs a heavy model, emits signals
+     (strongly elastic — it can always use surplus capacity, modeled with
+     a logarithmic utility);
+   - order execution: a short chain with a steep soft deadline (close to
+     inelastic — little benefit in finishing early, severe loss in
+     finishing late).
+
+   The example first computes the optimal allocation, then emulates the
+   system under bursty market data and shows measured end-to-end latency
+   percentiles and deadline misses.
+
+   Run with: dune exec examples/program_trading.exe *)
+
+open Lla_model
+
+let feed_cpu = 0 (* feed handler CPU *)
+
+let trade_cpu = 1 (* trading engine CPU *)
+
+let analytics_cpu = 2
+
+let lan = 3 (* data-center link *)
+
+let wan = 4 (* exchange-facing link *)
+
+let resources =
+  [
+    Resource.make ~name:"feed-cpu" ~kind:Resource.Cpu ~availability:0.95 feed_cpu;
+    Resource.make ~name:"trade-cpu" ~kind:Resource.Cpu ~availability:0.95 trade_cpu;
+    Resource.make ~name:"analytics-cpu" ~kind:Resource.Cpu ~availability:0.95 analytics_cpu;
+    Resource.make ~name:"lan" ~kind:Resource.Link ~availability:0.9 lan;
+    Resource.make ~name:"wan" ~kind:Resource.Link ~availability:0.9 wan;
+  ]
+
+let subtask ~task ~id ~name ~resource ~exec =
+  Subtask.make ~name ~id ~task ~resource ~exec_time:exec ()
+
+(* Market data: parse on the feed CPU, multicast over the LAN, deliver to
+   the trading engine, the analytics engine and a risk monitor. *)
+let market_data =
+  let tid = Ids.Task_id.make 1 in
+  let parse = subtask ~task:tid ~id:10 ~name:"md.parse" ~resource:feed_cpu ~exec:1.5 in
+  let multicast = subtask ~task:tid ~id:11 ~name:"md.multicast" ~resource:lan ~exec:1.0 in
+  let to_trade = subtask ~task:tid ~id:12 ~name:"md.to-trade" ~resource:trade_cpu ~exec:1.0 in
+  let to_analytics =
+    subtask ~task:tid ~id:13 ~name:"md.to-analytics" ~resource:analytics_cpu ~exec:1.5
+  in
+  let to_risk = subtask ~task:tid ~id:14 ~name:"md.to-risk" ~resource:wan ~exec:1.0 in
+  Task.make_exn ~name:"market-data" ~id:1
+    ~subtasks:[ parse; multicast; to_trade; to_analytics; to_risk ]
+    ~graph:
+      (Graph.fan_out ~root:parse.id ~hub:multicast.id
+         ~leaves:[ to_trade.id; to_analytics.id; to_risk.id ])
+    ~critical_time:25.
+    ~utility:(Utility.linear ~k:2. ~critical_time:25.)
+    ~trigger:(Trigger.bursty ~on_duration:40. ~off_duration:60. ~period_in_burst:10.)
+    ()
+
+(* Strategy analysis: fetch features over the LAN, crunch on the
+   analytics CPU, ship a signal to the trading engine. Elastic: the
+   logarithmic utility rewards surplus capacity with better latency. *)
+let strategy =
+  let tid = Ids.Task_id.make 2 in
+  let fetch = subtask ~task:tid ~id:20 ~name:"strat.fetch" ~resource:lan ~exec:2.0 in
+  let model = subtask ~task:tid ~id:21 ~name:"strat.model" ~resource:analytics_cpu ~exec:12.0 in
+  let signal = subtask ~task:tid ~id:22 ~name:"strat.signal" ~resource:trade_cpu ~exec:2.0 in
+  Task.make_exn ~name:"strategy" ~id:2 ~subtasks:[ fetch; model; signal ]
+    ~graph:(Graph.chain [ fetch.id; model.id; signal.id ])
+    ~critical_time:150.
+    ~utility:(Utility.logarithmic ~k:2. ~critical_time:150. ())
+    ~trigger:(Trigger.periodic ~period:50. ())
+    ()
+
+(* Order execution: decide on the trading CPU, send over the WAN. A steep
+   soft deadline stands in for a hard one. *)
+let orders =
+  let tid = Ids.Task_id.make 3 in
+  let decide = subtask ~task:tid ~id:30 ~name:"order.decide" ~resource:trade_cpu ~exec:2.0 in
+  let send = subtask ~task:tid ~id:31 ~name:"order.send" ~resource:wan ~exec:1.5 in
+  Task.make_exn ~name:"orders" ~id:3 ~subtasks:[ decide; send ]
+    ~graph:(Graph.chain [ decide.id; send.id ])
+    ~critical_time:20.
+    ~utility:(Utility.soft_deadline ~scale:100. ~sharpness:3. ~critical_time:20. ())
+    ~trigger:(Trigger.poisson ~rate_per_second:25.)
+    ~latency_percentile:99.
+    ()
+
+let () =
+  let workload = Workload.make_exn ~tasks:[ market_data; strategy; orders ] ~resources in
+  print_endline "== Program trading: optimal allocation ==";
+  print_endline (Workload.stats workload);
+  let solver = Lla.Solver.create workload in
+  (match Lla.Solver.run_until_converged solver ~max_iterations:3000 with
+  | Some i -> Printf.printf "converged after %d iterations\n\n" i
+  | None -> print_endline "not converged\n");
+  List.iter
+    (fun ((task : Task.t), _, cost) ->
+      Printf.printf "%-12s budgeted end-to-end %6.2f ms / %3.0f ms (utility %s)\n" task.Task.name
+        cost task.Task.critical_time task.Task.utility.Utility.name)
+    (Lla.Solver.critical_paths solver);
+
+  (* Emulate under the real (bursty, Poisson) arrival processes with a
+     quantum-based scheduler, error correction on from the start. *)
+  print_endline "\n== Emulation (30 simulated seconds, SFS scheduler) ==";
+  let optimizer =
+    {
+      Lla_runtime.Optimizer_loop.default_config with
+      error_correction = `Enabled_at 5_000.;
+      iterations_per_round = 100;
+    }
+  in
+  let config =
+    {
+      Lla_runtime.System.default_config with
+      optimizer;
+      work_model = Lla_runtime.Dispatcher.Uniform_fraction { lo = 0.6 };
+    }
+  in
+  let system = Lla_runtime.System.create ~config workload in
+  Lla_runtime.System.run system ~until:30_000.;
+  List.iter
+    (fun (task : Task.t) ->
+      let stats = Lla_runtime.System.task_latency_stats system task.Task.id in
+      let p99 = Lla_runtime.System.measured_task_latency system task.Task.id ~p:99. in
+      Printf.printf "%-12s jobs %5d  mean %6.2f ms  p99 %6.2f ms  deadline misses %d\n"
+        task.Task.name stats.Lla_stdx.Stats.n stats.Lla_stdx.Stats.mean
+        (Option.value p99 ~default:nan)
+        (Lla_runtime.System.deadline_misses system task.Task.id))
+    workload.Workload.tasks

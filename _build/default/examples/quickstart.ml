@@ -1,0 +1,58 @@
+(* Quickstart: declare a tiny distributed real-time workload, run LLA, and
+   read the optimal latency budgets and shares.
+
+   Two tasks share two resources:
+   - an image pipeline (camera CPU -> uplink) that must finish in 50 ms;
+   - a telemetry pipeline (camera CPU -> uplink) with a lazy 200 ms budget.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Lla_model
+
+let () =
+  (* 1. Resources: a CPU and a network link, both fully available. *)
+  let cpu = Resource.make ~name:"camera-cpu" ~kind:Resource.Cpu 0 in
+  let link = Resource.make ~name:"uplink" ~kind:Resource.Link 1 in
+
+  (* 2. Tasks: each is a chain of two subtasks (compute, then transmit). *)
+  let chain_task ~id ~name ~exec ~critical_time ~period =
+    let tid = Ids.Task_id.make id in
+    let compute =
+      Subtask.make ~name:(name ^ ".compute") ~id:(10 * id) ~task:tid ~resource:0 ~exec_time:exec ()
+    in
+    let transmit =
+      Subtask.make ~name:(name ^ ".transmit") ~id:((10 * id) + 1) ~task:tid ~resource:1
+        ~exec_time:(exec /. 2.) ()
+    in
+    Task.make_exn ~name ~id ~subtasks:[ compute; transmit ]
+      ~graph:(Graph.chain [ compute.id; transmit.id ])
+      ~critical_time
+      ~utility:(Utility.linear ~k:2. ~critical_time)
+      ~trigger:(Trigger.periodic ~period ())
+      ()
+  in
+  let image = chain_task ~id:1 ~name:"image" ~exec:8. ~critical_time:50. ~period:100. in
+  let telemetry = chain_task ~id:2 ~name:"telemetry" ~exec:5. ~critical_time:200. ~period:100. in
+  let workload = Workload.make_exn ~tasks:[ image; telemetry ] ~resources:[ cpu; link ] in
+  print_endline (Workload.stats workload);
+
+  (* 3. Optimize. *)
+  let solver = Lla.Solver.create workload in
+  (match Lla.Solver.run_until_converged solver ~max_iterations:2000 with
+  | Some i -> Printf.printf "converged after %d iterations\n" i
+  | None -> print_endline "did not converge (workload may be unschedulable)");
+
+  (* 4. Read the allocation. *)
+  Printf.printf "total utility: %.2f\n\n" (Lla.Solver.utility solver);
+  List.iter
+    (fun (sid, latency) ->
+      let s = Workload.subtask workload sid in
+      Printf.printf "%-20s latency budget %6.2f ms  share %.3f\n" s.Subtask.name latency
+        (Lla.Solver.share solver sid))
+    (Lla.Solver.latencies solver);
+  print_newline ();
+  List.iter
+    (fun ((task : Task.t), _, cost) ->
+      Printf.printf "%-10s end-to-end %6.2f ms (critical time %.0f ms)\n" task.Task.name cost
+        task.Task.critical_time)
+    (Lla.Solver.critical_paths solver)

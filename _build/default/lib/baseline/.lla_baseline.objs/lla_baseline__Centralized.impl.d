@@ -1,0 +1,1 @@
+lib/baseline/centralized.ml: Array Ids List Lla Lla_model

@@ -1,0 +1,1 @@
+lib/baseline/centralized.mli: Ids Lla_model Workload

@@ -1,0 +1,1 @@
+lib/baseline/slicing.ml: Array Float Graph Ids List Lla_model Resource Stdlib Subtask Task Workload

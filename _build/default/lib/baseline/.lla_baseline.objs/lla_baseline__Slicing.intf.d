@@ -1,0 +1,1 @@
+lib/baseline/slicing.mli: Ids Lla_model Workload

@@ -1,0 +1,1 @@
+lib/core/admission.ml: Format Ids List Lla_model Printf Resource Schedulability Solver String Task Workload

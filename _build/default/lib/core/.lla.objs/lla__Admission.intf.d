@@ -1,0 +1,1 @@
+lib/core/admission.mli: Format Ids Lla_model Resource Task Workload

@@ -1,0 +1,1 @@
+lib/core/allocation.ml: Array Float Lla_model Lla_numeric Problem Share Stdlib String Utility

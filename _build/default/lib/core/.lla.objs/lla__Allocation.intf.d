@@ -1,0 +1,1 @@
+lib/core/allocation.mli: Problem

@@ -1,0 +1,1 @@
+lib/core/error_correction.mli:

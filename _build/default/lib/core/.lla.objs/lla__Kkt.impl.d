@@ -1,0 +1,1 @@
+lib/core/kkt.ml: Allocation Array Float Format List Lla_model Problem Share Solver Utility

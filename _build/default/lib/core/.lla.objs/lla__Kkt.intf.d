@@ -1,0 +1,1 @@
+lib/core/kkt.mli: Format Problem Solver

@@ -1,0 +1,1 @@
+lib/core/price_update.ml: Array Float Problem Step_size

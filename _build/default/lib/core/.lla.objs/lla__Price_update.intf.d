@@ -1,0 +1,1 @@
+lib/core/price_update.mli: Problem Step_size

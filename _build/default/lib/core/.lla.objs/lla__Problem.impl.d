@@ -1,0 +1,1 @@
+lib/core/problem.ml: Array Float Ids List Lla_model Resource Share Subtask Task Utility Workload

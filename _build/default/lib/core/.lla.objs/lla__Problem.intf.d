@@ -1,0 +1,1 @@
+lib/core/problem.mli: Ids Lla_model Share Utility Workload

@@ -1,0 +1,1 @@
+lib/core/schedulability.ml: Float Format List Lla_model Lla_stdx Solver Stdlib Step_size Task

@@ -1,0 +1,1 @@
+lib/core/schedulability.mli: Format Lla_model Lla_stdx Solver Workload

@@ -1,0 +1,1 @@
+lib/core/solver.ml: Allocation Array Float Ids List Lla_model Lla_stdx Logs Price_update Printf Problem Stdlib Step_size Task Workload

@@ -1,0 +1,1 @@
+lib/core/solver.mli: Ids Lla_model Lla_stdx Problem Step_size Task Workload

@@ -1,0 +1,1 @@
+lib/core/step_size.ml: Array Float Printf Problem

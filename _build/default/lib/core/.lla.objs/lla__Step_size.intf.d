@@ -1,0 +1,1 @@
+lib/core/step_size.mli: Problem

@@ -1,0 +1,78 @@
+open Lla_model
+
+type t = {
+  probe_iterations : int;
+  resources : Resource.t list;
+  mutable accepted : Task.t list;  (* reverse admission order *)
+}
+
+type decision =
+  | Admitted of { utility : float; converged_at : int }
+  | Rejected of { reason : string }
+
+let create ?(probe_iterations = 2000) ~resources () =
+  if resources = [] then invalid_arg "Admission.create: no resources";
+  { probe_iterations; resources; accepted = [] }
+
+let admitted t = List.rev t.accepted
+
+let workload t =
+  match t.accepted with
+  | [] -> None
+  | tasks -> (
+    match Workload.make ~tasks:(List.rev tasks) ~resources:t.resources with
+    | Ok w -> Some w
+    | Error _ -> None)
+
+let subtask_ids tasks =
+  List.concat_map (fun (task : Task.t) -> Task.subtask_ids task) tasks
+
+let try_admit t candidate =
+  let collision =
+    List.exists
+      (fun (task : Task.t) -> Ids.Task_id.equal task.Task.id candidate.Task.id)
+      t.accepted
+    ||
+    let existing = Ids.Subtask_id.Set.of_list (subtask_ids t.accepted) in
+    List.exists (fun sid -> Ids.Subtask_id.Set.mem sid existing) (Task.subtask_ids candidate)
+  in
+  if collision then Rejected { reason = "task or subtask id already admitted" }
+  else begin
+    match Workload.make ~tasks:(List.rev (candidate :: t.accepted)) ~resources:t.resources with
+    | Error reason -> Rejected { reason }
+    | Ok extended -> (
+      match Schedulability.probe ~iterations:t.probe_iterations extended with
+      | Schedulability.Schedulable { utility; converged_at; _ } ->
+        t.accepted <- candidate :: t.accepted;
+        Admitted { utility; converged_at }
+      | Schedulability.Unschedulable { overruns; violations; _ } ->
+        let parts =
+          List.map (fun (name, ratio) -> Printf.sprintf "%s at %.2fx" name ratio) overruns
+        in
+        let reason =
+          match (parts, violations) with
+          | [], [] -> "no feasible converged allocation"
+          | [], v :: _ -> v
+          | parts, _ -> "deadline overruns: " ^ String.concat ", " parts
+        in
+        Rejected { reason })
+  end
+
+let retire t tid =
+  let before = List.length t.accepted in
+  t.accepted <-
+    List.filter (fun (task : Task.t) -> not (Ids.Task_id.equal task.Task.id tid)) t.accepted;
+  List.length t.accepted < before
+
+let utility t =
+  match workload t with
+  | None -> None
+  | Some w ->
+    let solver = Solver.create w in
+    ignore (Solver.run_until_converged solver ~max_iterations:t.probe_iterations);
+    Some (Solver.utility solver)
+
+let pp_decision ppf = function
+  | Admitted { utility; converged_at } ->
+    Format.fprintf ppf "admitted (utility %.2f, converged at %d)" utility converged_at
+  | Rejected { reason } -> Format.fprintf ppf "rejected (%s)" reason

@@ -1,0 +1,39 @@
+(** Task admission control layered on LLA (paper §3.2: "We assume any
+    admission control is layered on top of our approach").
+
+    An admission controller holds the currently accepted task set. A
+    candidate task is admitted iff LLA finds a feasible converged
+    allocation for the extended set ({!Lla.Schedulability.probe}); on
+    rejection the accepted set is unchanged. Tasks can also retire,
+    releasing their resources for future candidates. *)
+
+open Lla_model
+
+type t
+
+type decision =
+  | Admitted of { utility : float; converged_at : int }
+  | Rejected of { reason : string }
+
+val create : ?probe_iterations:int -> resources:Resource.t list -> unit -> t
+(** An empty controller over the given resources (default 2000 probe
+    iterations per ladder rung). *)
+
+val admitted : t -> Task.t list
+(** Currently accepted tasks, in admission order. *)
+
+val workload : t -> Workload.t option
+(** The accepted set as a workload; [None] while empty. *)
+
+val try_admit : t -> Task.t -> decision
+(** Probe the accepted set plus the candidate; admit on a schedulable
+    verdict. Candidate ids must not collide with accepted tasks
+    (rejected with a reason, not an exception). *)
+
+val retire : t -> Ids.Task_id.t -> bool
+(** Remove an accepted task; [false] if it was not present. *)
+
+val utility : t -> float option
+(** Optimal utility of the accepted set (re-solved on demand). *)
+
+val pp_decision : Format.formatter -> decision -> unit

@@ -1,0 +1,45 @@
+(** Latency allocation (paper §4.2): each task controller maximizes the
+    Lagrangian w.r.t. its own subtask latencies, given fixed resource
+    prices [mu] and path prices [lambda].
+
+    Stationarity (Eq. 7) for subtask [s] of task [i] on resource [r]:
+    {[ f_i'(agg) * w_s - sum_{p ∋ s} lambda_p - mu_r * share_r'(lat_s) = 0 ]}
+
+    For the paper's linear utilities and reciprocal share functions this
+    has the closed form
+    [lat_s = offset_s + sqrt(mu_r * (c_s + l_r) / (|f'| * w_s + sum lambda_p))];
+    for general concave utilities the left-hand side is strictly
+    decreasing in [lat_s], so a bracketed bisection finds the unique root.
+    Because a non-linear [f'] couples the subtasks of a task through the
+    aggregate latency, the general path performs [sweeps] Gauss–Seidel
+    passes (the closed form needs exactly one).
+
+    Latencies are clamped to the effective bounds
+    [[lat_lo + offset, min(stability + offset, critical_time)]] — the
+    error-correction offset shifts the share model's domain and the
+    rate-stability bound but never the critical time. *)
+
+val effective_bounds : Problem.t -> int -> offset:float -> float * float
+(** [(lo, hi)] for subtask [i] with its current error-correction offset.
+    Always [0 < lo <= hi]. *)
+
+val allocate_task :
+  Problem.t ->
+  int ->
+  mu:float array ->
+  lambda:float array ->
+  offsets:float array ->
+  sweeps:int ->
+  lat:float array ->
+  unit
+(** Recompute the latencies of task [i]'s subtasks in place. *)
+
+val allocate :
+  Problem.t ->
+  mu:float array ->
+  lambda:float array ->
+  offsets:float array ->
+  sweeps:int ->
+  lat:float array ->
+  unit
+(** {!allocate_task} for every task. *)

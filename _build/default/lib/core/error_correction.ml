@@ -1,0 +1,38 @@
+type t = {
+  percentile : float;
+  window : Lla_stdx.Percentile.Window.t;
+  error : Lla_stdx.Ewma.t;
+  mutable rounds : int;
+}
+
+let create ?(alpha = 0.3) ?(percentile = 95.) ?(window = 256) () =
+  if percentile <= 0. || percentile > 100. then
+    invalid_arg "Error_correction.create: percentile outside (0, 100]";
+  {
+    percentile;
+    window = Lla_stdx.Percentile.Window.create ~capacity:window;
+    error = Lla_stdx.Ewma.create ~alpha;
+    rounds = 0;
+  }
+
+let observe t ~measured_latency = Lla_stdx.Percentile.Window.add t.window measured_latency
+
+let sample_count t = Lla_stdx.Percentile.Window.count t.window
+
+let offset t = Lla_stdx.Ewma.value t.error
+
+let corrections t = t.rounds
+
+let correct t ~predicted =
+  match Lla_stdx.Percentile.Window.percentile t.window ~p:t.percentile with
+  | None -> None
+  | Some measured ->
+    Lla_stdx.Ewma.add t.error (measured -. predicted);
+    Lla_stdx.Percentile.Window.clear t.window;
+    t.rounds <- t.rounds + 1;
+    Some (Lla_stdx.Ewma.value t.error)
+
+let reset t =
+  Lla_stdx.Percentile.Window.clear t.window;
+  Lla_stdx.Ewma.reset t.error;
+  t.rounds <- 0

@@ -1,0 +1,37 @@
+(** Online model error correction (paper §6.3).
+
+    The share model's latency prediction can be wrong — notably, job
+    releases of subtasks sharing a resource are not synchronized, so the
+    worst-case model over-predicts. The corrector maintains, per subtask,
+    an additive error: it collects measured job latencies, periodically
+    takes a high percentile of the window, compares it with the model's
+    prediction at the current share, and exponentially smooths the
+    difference. The smoothed error becomes the {!Solver.set_offset}
+    offset: [corrected_prediction = model_prediction + error]. *)
+
+type t
+
+val create : ?alpha:float -> ?percentile:float -> ?window:int -> unit -> t
+(** Defaults: [alpha = 0.3] (smoothing weight of a new error sample),
+    [percentile = 95] (the paper uses "greater than 90th percentile"
+    samples), [window = 256] measured latencies per correction round. *)
+
+val observe : t -> measured_latency:float -> unit
+(** Record one measured job latency (ms). *)
+
+val sample_count : t -> int
+(** Measurements accumulated since the last {!correct}. *)
+
+val correct : t -> predicted:float -> float option
+(** Fold the window into the smoothed error given the model's current
+    uncorrected prediction: error sample = percentile(window) - predicted.
+    Returns the new offset and clears the window; [None] (and keeps state)
+    when no measurement arrived since the last round. *)
+
+val offset : t -> float
+(** Current smoothed additive error (0 until the first correction). *)
+
+val corrections : t -> int
+(** Number of completed correction rounds. *)
+
+val reset : t -> unit

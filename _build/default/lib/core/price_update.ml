@@ -1,0 +1,35 @@
+type congestion = {
+  resources : bool array;
+  paths : bool array;
+  share_sums : float array;
+  path_latencies : float array;
+}
+
+let update_resource (problem : Problem.t) r ~lat ~offsets ~gamma ~mu =
+  let used = Problem.share_sum problem r ~lat ~offsets in
+  let slack = problem.capacities.(r) -. used in
+  mu.(r) <- Float.max 0. (mu.(r) -. (gamma *. slack));
+  used
+
+let update_path (problem : Problem.t) p ~lat ~gamma ~lambda =
+  let info = problem.paths.(p) in
+  let latency = Problem.path_latency problem p ~lat in
+  let slack = 1. -. (latency /. info.critical_time) in
+  lambda.(p) <- Float.max 0. (lambda.(p) -. (gamma *. slack));
+  latency
+
+let update problem ~lat ~offsets ~steps ~mu ~lambda =
+  let n_r = Problem.n_resources problem and n_p = Problem.n_paths problem in
+  let share_sums = Array.make n_r 0. and path_latencies = Array.make n_p 0. in
+  let resources = Array.make n_r false and paths = Array.make n_p false in
+  for r = 0 to n_r - 1 do
+    let used = update_resource problem r ~lat ~offsets ~gamma:(Step_size.resource_gamma steps r) ~mu in
+    share_sums.(r) <- used;
+    resources.(r) <- used > problem.capacities.(r) +. 1e-12
+  done;
+  for p = 0 to n_p - 1 do
+    let latency = update_path problem p ~lat ~gamma:(Step_size.path_gamma steps p) ~lambda in
+    path_latencies.(p) <- latency;
+    paths.(p) <- latency > problem.paths.(p).critical_time +. 1e-12
+  done;
+  { resources; paths; share_sums; path_latencies }

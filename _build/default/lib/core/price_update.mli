@@ -1,0 +1,37 @@
+(** Price computation (paper §4.3): gradient projection on the dual.
+
+    Resource prices (Eq. 8):
+    [mu_r <- max(0, mu_r - gamma_r * (B_r - sum_{s in S_r} share_s(lat_s)))]
+
+    Path prices (Eq. 9):
+    [lambda_p <- max(0, lambda_p - gamma_p * (1 - sum_{s in p} lat_s / C_i))]
+
+    A resource is congested when its share sum exceeds [B_r]; a path is
+    congested when its latency exceeds its critical time. The congestion
+    flags drive the adaptive step-size heuristic and the schedulability
+    probe. *)
+
+type congestion = {
+  resources : bool array;  (** indexed by resource. *)
+  paths : bool array;  (** indexed by global path index. *)
+  share_sums : float array;  (** share sum per resource at this iteration. *)
+  path_latencies : float array;  (** latency per path at this iteration. *)
+}
+
+val update_resource :
+  Problem.t -> int -> lat:float array -> offsets:float array -> gamma:float -> mu:float array ->
+  float
+(** Update [mu.(r)] in place; returns the share sum observed. *)
+
+val update_path : Problem.t -> int -> lat:float array -> gamma:float -> lambda:float array -> float
+(** Update [lambda.(p)] in place; returns the path latency observed. *)
+
+val update :
+  Problem.t ->
+  lat:float array ->
+  offsets:float array ->
+  steps:Step_size.t ->
+  mu:float array ->
+  lambda:float array ->
+  congestion
+(** One full price-computation step across all resources and paths. *)

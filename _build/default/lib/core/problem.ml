@@ -1,0 +1,231 @@
+open Lla_model
+
+type subtask = {
+  sid : Ids.Subtask_id.t;
+  name : string;
+  task : int;
+  resource : int;
+  exec : float;
+  weight : float;
+  share : Share.t;
+  lat_lo : float;
+  lat_hi : float;
+  mutable stability : float;
+  paths : int array;
+}
+
+type path = {
+  task : int;
+  index_in_task : int;
+  subtask_indices : int array;
+  critical_time : float;
+  path_resources : int array;
+}
+
+type task = {
+  tid : Ids.Task_id.t;
+  task_name : string;
+  utility : Utility.t;
+  linear_slope : float option;
+  critical_time : float;
+  subtask_indices : int array;
+  path_indices : int array;
+}
+
+type t = {
+  workload : Workload.t;
+  subtasks : subtask array;
+  tasks : task array;
+  paths : path array;
+  capacities : float array;
+  resource_ids : Ids.Resource_id.t array;
+  by_resource : int array array;
+  subtask_of : int Ids.Subtask_id.Tbl.t;
+  resource_of : int Ids.Resource_id.Tbl.t;
+  task_of : int Ids.Task_id.Tbl.t;
+}
+
+(* A utility has a constant derivative iff df agrees at a few probe points
+   spanning the relevant latency range; the paper's linear utilities are
+   exact matches and get the closed-form allocation. *)
+let detect_linear_slope (u : Utility.t) ~critical_time =
+  let probes = [ 1e-3; 0.25 *. critical_time; 0.5 *. critical_time; critical_time ] in
+  match List.map u.Utility.df probes with
+  | [] -> None
+  | d0 :: rest ->
+    if List.for_all (fun d -> Float.abs (d -. d0) <= 1e-12 *. Float.max 1. (Float.abs d0)) rest
+    then Some d0
+    else None
+
+let compile (workload : Workload.t) =
+  let resources = Array.of_list workload.Workload.resources in
+  let resource_of = Ids.Resource_id.Tbl.create 16 in
+  Array.iteri (fun i (r : Resource.t) -> Ids.Resource_id.Tbl.replace resource_of r.id i) resources;
+  let task_list = workload.Workload.tasks in
+  let task_of = Ids.Task_id.Tbl.create 16 in
+  List.iteri (fun i (t : Task.t) -> Ids.Task_id.Tbl.replace task_of t.id i) task_list;
+  let subtask_of = Ids.Subtask_id.Tbl.create 64 in
+  let all_subtasks =
+    List.concat_map (fun (t : Task.t) -> List.map (fun s -> (t, s)) t.Task.subtasks) task_list
+  in
+  List.iteri (fun i (_, (s : Subtask.t)) -> Ids.Subtask_id.Tbl.replace subtask_of s.id i)
+    all_subtasks;
+  (* Global path numbering: task order, then Graph.paths order. *)
+  let paths_rev = ref [] and n_paths = ref 0 in
+  let task_path_start = Ids.Task_id.Tbl.create 16 in
+  List.iter
+    (fun (t : Task.t) ->
+      Ids.Task_id.Tbl.replace task_path_start t.id !n_paths;
+      Array.iteri
+        (fun index_in_task path_subtasks ->
+          let subtask_indices =
+            Array.of_list (List.map (Ids.Subtask_id.Tbl.find subtask_of) path_subtasks)
+          in
+          let resource_set =
+            List.fold_left
+              (fun acc sid ->
+                let s = Workload.subtask workload sid in
+                Ids.Resource_id.Set.add s.Subtask.resource acc)
+              Ids.Resource_id.Set.empty path_subtasks
+          in
+          let path_resources =
+            Array.of_list
+              (List.map (Ids.Resource_id.Tbl.find resource_of)
+                 (Ids.Resource_id.Set.elements resource_set))
+          in
+          paths_rev :=
+            {
+              task = Ids.Task_id.Tbl.find task_of t.id;
+              index_in_task;
+              subtask_indices;
+              critical_time = t.Task.critical_time;
+              path_resources;
+            }
+            :: !paths_rev;
+          incr n_paths)
+        t.Task.paths)
+    task_list;
+  let paths = Array.of_list (List.rev !paths_rev) in
+  let subtasks =
+    Array.of_list
+      (List.map
+         (fun ((t : Task.t), (s : Subtask.t)) ->
+           let resource_index = Ids.Resource_id.Tbl.find resource_of s.resource in
+           let r = resources.(resource_index) in
+           let share = Subtask.share_function s ~lag:r.Resource.lag in
+           let lat_lo, lat_hi_raw = Workload.latency_bounds workload s.id in
+           let lat_hi = Float.max lat_lo lat_hi_raw in
+           let floor_share = Workload.min_share workload s.id in
+           let stability =
+             if floor_share > 0. then share.Lla_model.Share.inverse floor_share else infinity
+           in
+           let start = Ids.Task_id.Tbl.find task_path_start t.id in
+           let own_paths =
+             Array.to_list t.Task.paths
+             |> List.mapi (fun i p -> (start + i, p))
+             |> List.filter_map (fun (global, p) ->
+                    if List.exists (Ids.Subtask_id.equal s.id) p then Some global else None)
+           in
+           {
+             sid = s.id;
+             name = s.name;
+             task = Ids.Task_id.Tbl.find task_of t.id;
+             resource = resource_index;
+             exec = s.exec_time;
+             weight = Task.weight t s.id;
+             share;
+             lat_lo;
+             lat_hi;
+             stability;
+             paths = Array.of_list own_paths;
+           })
+         all_subtasks)
+  in
+  let tasks =
+    Array.of_list
+      (List.map
+         (fun (t : Task.t) ->
+           let subtask_indices =
+             Array.of_list
+               (List.map
+                  (fun (s : Subtask.t) -> Ids.Subtask_id.Tbl.find subtask_of s.id)
+                  t.Task.subtasks)
+           in
+           let start = Ids.Task_id.Tbl.find task_path_start t.id in
+           let path_indices = Array.init (Array.length t.Task.paths) (fun i -> start + i) in
+           {
+             tid = t.id;
+             task_name = t.Task.name;
+             utility = t.Task.utility;
+             linear_slope = detect_linear_slope t.Task.utility ~critical_time:t.Task.critical_time;
+             critical_time = t.Task.critical_time;
+             subtask_indices;
+             path_indices;
+           })
+         task_list)
+  in
+  let by_resource =
+    Array.init (Array.length resources) (fun r ->
+        subtasks
+        |> Array.to_list
+        |> List.mapi (fun i s -> (i, s))
+        |> List.filter_map (fun (i, s) -> if s.resource = r then Some i else None)
+        |> Array.of_list)
+  in
+  {
+    workload;
+    subtasks;
+    tasks;
+    paths;
+    capacities = Array.map (fun (r : Resource.t) -> r.availability) resources;
+    resource_ids = Array.map (fun (r : Resource.t) -> r.id) resources;
+    by_resource;
+    subtask_of;
+    resource_of;
+    task_of;
+  }
+
+let n_subtasks t = Array.length t.subtasks
+
+let n_resources t = Array.length t.capacities
+
+let n_paths t = Array.length t.paths
+
+let n_tasks t = Array.length t.tasks
+
+let subtask_index t id = Ids.Subtask_id.Tbl.find t.subtask_of id
+
+let resource_index t id = Ids.Resource_id.Tbl.find t.resource_of id
+
+let task_index t id = Ids.Task_id.Tbl.find t.task_of id
+
+let aggregate_latency t i ~lat =
+  let info = t.tasks.(i) in
+  Array.fold_left
+    (fun acc si -> acc +. (t.subtasks.(si).weight *. lat.(si)))
+    0. info.subtask_indices
+
+let total_utility t ~lat =
+  let acc = ref 0. in
+  Array.iteri
+    (fun i info -> acc := !acc +. info.utility.Lla_model.Utility.f (aggregate_latency t i ~lat))
+    t.tasks;
+  !acc
+
+(* The error-correction offset shifts the model's latency prediction:
+   corrected_latency(share) = model_latency(share) + offset, hence
+   share(lat) = model_share(lat - offset). Keep the argument at or above
+   the share function's own minimum so a large offset cannot drive the
+   model into nonsense (negative or superunity shares). *)
+let effective_share t i ~lat ~offset =
+  let s = t.subtasks.(i) in
+  let arg = Float.max s.share.Lla_model.Share.lat_min (lat -. offset) in
+  s.share.Lla_model.Share.eval arg
+
+let share_sum t r ~lat ~offsets =
+  Array.fold_left
+    (fun acc i -> acc +. effective_share t i ~lat:lat.(i) ~offset:offsets.(i))
+    0. t.by_resource.(r)
+
+let path_latency t p ~lat =
+  Array.fold_left (fun acc i -> acc +. lat.(i)) 0. t.paths.(p).subtask_indices

@@ -1,0 +1,97 @@
+(** Compiled optimization problem.
+
+    {!compile} flattens a {!Lla_model.Workload.t} into dense arrays so the
+    iterative solver touches no maps on its hot path: subtasks, tasks,
+    paths and resources are each numbered [0..n-1], and cross-references
+    are index arrays. *)
+
+open Lla_model
+
+type subtask = {
+  sid : Ids.Subtask_id.t;
+  name : string;
+  task : int;  (** owning task index. *)
+  resource : int;  (** resource index. *)
+  exec : float;
+  weight : float;  (** aggregation weight [w_s] (§3.2). *)
+  share : Share.t;
+  lat_lo : float;
+      (** minimum meaningful latency ([share = 1], see {!Lla_model.Share.t}). *)
+  lat_hi : float;
+      (** maximum useful latency: min of the rate-stability bound and the
+          task's critical time; never below [lat_lo]. *)
+  mutable stability : float;
+      (** the rate-stability bound alone (latency at which the share drops
+          to the rate-stability floor); [infinity] when the arrival rate is
+          zero. Kept separately because the error-correction offset shifts
+          this bound but not the critical time. Mutable so measured
+          arrival rates (§2) can tighten or relax it online via
+          {!Lla.Solver.set_arrival_rate}. *)
+  paths : int array;  (** global indices of the paths through this subtask. *)
+}
+
+type path = {
+  task : int;
+  index_in_task : int;
+  subtask_indices : int array;
+  critical_time : float;
+  path_resources : int array;  (** distinct resources the path traverses. *)
+}
+
+type task = {
+  tid : Ids.Task_id.t;
+  task_name : string;
+  utility : Utility.t;
+  linear_slope : float option;
+      (** [Some s] when the utility derivative is the constant [s]
+          (detected at compile time); enables the closed-form allocation. *)
+  critical_time : float;
+  subtask_indices : int array;
+  path_indices : int array;
+}
+
+type t = {
+  workload : Workload.t;
+  subtasks : subtask array;
+  tasks : task array;
+  paths : path array;
+  capacities : float array;  (** [B_r] per resource index. *)
+  resource_ids : Ids.Resource_id.t array;
+  by_resource : int array array;  (** resource index -> subtask indices ([S_r]). *)
+  subtask_of : int Ids.Subtask_id.Tbl.t;  (** internal: id -> index. *)
+  resource_of : int Ids.Resource_id.Tbl.t;  (** internal: id -> index. *)
+  task_of : int Ids.Task_id.Tbl.t;  (** internal: id -> index. *)
+}
+
+val compile : Workload.t -> t
+
+val n_subtasks : t -> int
+
+val n_resources : t -> int
+
+val n_paths : t -> int
+
+val n_tasks : t -> int
+
+val subtask_index : t -> Ids.Subtask_id.t -> int
+(** @raise Not_found for foreign ids. *)
+
+val resource_index : t -> Ids.Resource_id.t -> int
+
+val task_index : t -> Ids.Task_id.t -> int
+
+val aggregate_latency : t -> int -> lat:float array -> float
+(** Weighted aggregate latency of task [i] under assignment [lat]. *)
+
+val total_utility : t -> lat:float array -> float
+
+val share_sum : t -> int -> lat:float array -> offsets:float array -> float
+(** Share consumed on resource [r]: [sum share_s(lat_s - offset_s)]; the
+    offset is the online model-error correction (§6.3), zero by default. *)
+
+val path_latency : t -> int -> lat:float array -> float
+
+val effective_share : t -> int -> lat:float -> offset:float -> float
+(** Share of subtask [i] at latency [lat] given its error-correction
+    offset: the model share evaluated at [lat - offset], clamped to the
+    physically meaningful domain. *)

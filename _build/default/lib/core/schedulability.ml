@@ -1,0 +1,81 @@
+open Lla_model
+
+type verdict =
+  | Schedulable of { converged_at : int; utility : float; max_path_usage : float }
+  | Unschedulable of {
+      utility_oscillation : Lla_stdx.Stats.summary;
+      overruns : (string * float) list;
+      violations : string list;
+    }
+
+let path_usage solver =
+  List.map
+    (fun ((task : Task.t), _, cost) -> (task.Task.name, cost /. task.Task.critical_time))
+    (Solver.critical_paths solver)
+
+let attempt config iterations workload =
+  let solver = Solver.create ~config workload in
+  let converged = Solver.run_until_converged solver ~max_iterations:iterations in
+  (solver, converged)
+
+let probe ?config ?(iterations = 2000) workload =
+  (* Step sizes are workload-dependent: the paper's doubling heuristic can
+     lock into mutual price escalation (both constraint families stay
+     marginally violated while prices race), mis-flagging a feasible
+     workload. The probe therefore tries a ladder of policies and declares
+     unschedulability only when every rung fails. *)
+  let base = match config with Some c -> c | None -> Solver.default_config in
+  (* Rung budgets grow because the primal iterate of dual ascent approaches
+     the constraint boundary asymptotically: a feasible workload may need
+     several times the utility-settling horizon to cross into tolerance. *)
+  let ladder =
+    [
+      (base, iterations);
+      (base, 4 * iterations);
+      ({ base with Solver.step_policy = Step_size.fixed 1.0 }, 4 * iterations);
+      ({ base with Solver.step_policy = Step_size.fixed 0.25 }, 8 * iterations);
+      (* Near-flat utilities have tiny equilibrium prices; gamma must drop
+         below the price scale or the update limit-cycles around the
+         projection at zero. *)
+      ({ base with Solver.step_policy = Step_size.fixed 0.05 }, 8 * iterations);
+      ({ base with Solver.step_policy = Step_size.fixed 0.01 }, 16 * iterations);
+    ]
+  in
+  let rec try_rungs last_solver = function
+    | [] ->
+      let solver =
+        match last_solver with Some s -> s | None -> fst (attempt base iterations workload)
+      in
+      let trace = Solver.utility_series solver in
+      let n = Lla_stdx.Series.length trace in
+      let tail = Stdlib.max 0 (n - 100) in
+      Unschedulable
+        {
+          utility_oscillation = Lla_stdx.Series.y_stats_from trace ~from:tail;
+          overruns = List.filter (fun (_, u) -> u > 1.) (path_usage solver);
+          violations = Solver.violations solver;
+        }
+    | (rung, budget) :: rest -> (
+      let solver, converged = attempt rung budget workload in
+      match converged with
+      | Some converged_at ->
+        let max_path_usage =
+          List.fold_left (fun acc (_, u) -> Float.max acc u) 0. (path_usage solver)
+        in
+        Schedulable { converged_at; utility = Solver.utility solver; max_path_usage }
+      | None -> try_rungs (Some solver) rest)
+  in
+  try_rungs None ladder
+
+let is_schedulable = function Schedulable _ -> true | Unschedulable _ -> false
+
+let pp ppf = function
+  | Schedulable { converged_at; utility; max_path_usage } ->
+    Format.fprintf ppf "schedulable (converged at iteration %d, utility %.2f, worst path %.1f%%)"
+      converged_at utility (100. *. max_path_usage)
+  | Unschedulable { utility_oscillation; overruns; violations } ->
+    Format.fprintf ppf "UNSCHEDULABLE (utility %a; %d overruns, %d violations"
+      Lla_stdx.Stats.pp_summary utility_oscillation (List.length overruns)
+      (List.length violations);
+    List.iter (fun (name, ratio) -> Format.fprintf ppf "; %s at %.2fx" name ratio) overruns;
+    Format.fprintf ppf ")"

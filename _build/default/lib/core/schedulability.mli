@@ -1,0 +1,38 @@
+(** Workload schedulability probe (paper §5.4): run LLA and classify.
+
+    A schedulable workload converges to a feasible allocation; an
+    unschedulable one keeps oscillating and/or violates the critical-time
+    constraints — the paper's 6-task experiment shows critical paths at
+    1.75–2.41x their critical times. *)
+
+open Lla_model
+
+type verdict =
+  | Schedulable of {
+      converged_at : int;
+      utility : float;
+      max_path_usage : float;
+          (** worst critical-path latency as a fraction of its critical
+              time (just under 1.0 for tight workloads). *)
+    }
+  | Unschedulable of {
+      utility_oscillation : Lla_stdx.Stats.summary;
+          (** spread of the utility over the trailing window. *)
+      overruns : (string * float) list;
+          (** per task: critical-path latency / critical time, for tasks
+              exceeding 1.0. *)
+      violations : string list;
+    }
+
+val probe : ?config:Solver.config -> ?iterations:int -> Workload.t -> verdict
+(** Runs up to [iterations] (default 2000) LLA iterations per attempt.
+    Because the best price step size is workload-dependent — the adaptive
+    doubling heuristic can lock a *feasible* workload into mutual price
+    escalation between the two constraint families — the probe retries
+    with larger budgets and progressively smaller fixed steps before
+    declaring the workload unschedulable. The reported oscillation and
+    overruns come from the final attempt. *)
+
+val is_schedulable : verdict -> bool
+
+val pp : Format.formatter -> verdict -> unit

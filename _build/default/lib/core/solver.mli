@@ -1,0 +1,116 @@
+(** The synchronous LLA engine (paper §4): iterate latency allocation and
+    price computation, record trajectories, detect convergence.
+
+    This is the engine used by the paper's simulation experiments (§5). An
+    "iteration" here is exactly the paper's: one latency allocation by each
+    task controller followed by one price computation at each resource and
+    path. The message-passing deployment of the same mathematics lives in
+    [Lla_runtime]. *)
+
+open Lla_model
+
+type config = {
+  step_policy : Step_size.policy;
+  mu0 : float;  (** initial resource prices. *)
+  lambda0 : float;  (** initial path prices. *)
+  sweeps : int;  (** Gauss–Seidel sweeps per allocation (non-linear utilities). *)
+  convergence_tolerance : float;
+      (** relative spread of the utility over [convergence_window]
+          iterations below which the solver is considered converged (the
+          paper's prototype stops at "utility improvement below 1%"). *)
+  convergence_window : int;
+  feasibility_tolerance : float;  (** relative slack allowed on Eq. 3 and 4. *)
+  record_shares : bool;  (** also record per-resource share-sum series (Fig. 7). *)
+}
+
+val default_config : config
+(** Adaptive steps from 1.0 (the paper's best, §5.2), [mu0 = 1],
+    [lambda0 = 0], 2 sweeps, 1% tolerance over a 50-iteration window,
+    0.5% feasibility tolerance. *)
+
+type t
+
+val create : ?config:config -> Workload.t -> t
+
+val problem : t -> Problem.t
+
+val config : t -> config
+
+val iteration : t -> int
+
+val step : t -> unit
+(** One LLA iteration. *)
+
+val run : t -> iterations:int -> unit
+
+val run_until_converged : t -> max_iterations:int -> int option
+(** Steps until {!converged_at} reports convergence or the budget runs
+    out; returns the convergence iteration. *)
+
+val latency : t -> Ids.Subtask_id.t -> float
+
+val latencies : t -> (Ids.Subtask_id.t * float) list
+
+val share : t -> Ids.Subtask_id.t -> float
+(** Share implied by the current latency (with error-correction offset). *)
+
+val shares : t -> (Ids.Subtask_id.t * float) list
+
+val mu : t -> Ids.Resource_id.t -> float
+
+val lambda : t -> Ids.Task_id.t -> int -> float
+(** Price of the [i]-th path of a task. *)
+
+val utility : t -> float
+(** Current total utility (Eq. 2). *)
+
+val utility_series : t -> Lla_stdx.Series.t
+
+val share_series : t -> (Ids.Resource_id.t * Lla_stdx.Series.t) list
+(** Per-resource share-sum trajectories; empty unless
+    [config.record_shares]. *)
+
+val critical_paths : t -> (Task.t * Ids.Subtask_id.t list * float) list
+(** Per task: the critical path under the current latencies and its
+    latency. *)
+
+val feasible : t -> bool
+(** Both constraint families satisfied within
+    [config.feasibility_tolerance] at the current latencies. *)
+
+val violations : t -> string list
+
+val converged_at : t -> int option
+(** Earliest iteration after which the utility trajectory stays within
+    [convergence_tolerance] over every [convergence_window] span, provided
+    the current point is also feasible; [None] otherwise. *)
+
+val set_offset : t -> Ids.Subtask_id.t -> float -> unit
+(** Install a model-error-correction offset (§6.3) for a subtask. *)
+
+val set_capacity : t -> Ids.Resource_id.t -> float -> unit
+(** Change a resource's availability [B_r] while the solver keeps running
+    — the "resource variations" the algorithm adapts to (§1): a partial
+    failure shrinks [B_r], recovered capacity raises it. Subsequent
+    iterations re-optimize against the new constraint; the workload model
+    itself is not modified. @raise Invalid_argument outside [\[0, 1\]]. *)
+
+val capacity : t -> Ids.Resource_id.t -> float
+
+val set_arrival_rate : t -> Ids.Task_id.t -> float -> unit
+(** Update a task's arrival rate (jobs per ms) from runtime measurement
+    (§2: "arrival patterns ... measured at runtime"). Recomputes the
+    rate-stability latency bound of each of the task's subtasks: a higher
+    rate raises the minimum share needed to keep queues bounded, a lower
+    rate releases it. [0] removes the bound. @raise Invalid_argument on a
+    negative rate. *)
+
+val offset : t -> Ids.Subtask_id.t -> float
+
+val lat_array : t -> float array
+(** The raw latency vector (indexed like [Problem.subtasks]); exposed for
+    tests and benchmarks. Callers must not mutate it. *)
+
+val mu_array : t -> float array
+
+val lambda_array : t -> float array

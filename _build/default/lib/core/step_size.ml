@@ -1,0 +1,59 @@
+type policy =
+  | Fixed of float
+  | Adaptive of { initial : float; multiplier : float; cap : float }
+
+let fixed gamma =
+  if gamma <= 0. then invalid_arg "Step_size.fixed: gamma <= 0";
+  Fixed gamma
+
+let adaptive ?(multiplier = 2.) ?cap ~initial () =
+  if initial <= 0. then invalid_arg "Step_size.adaptive: initial <= 0";
+  if multiplier <= 1. then invalid_arg "Step_size.adaptive: multiplier <= 1";
+  let cap = match cap with Some c -> c | None -> 4. *. initial in
+  if cap < initial then invalid_arg "Step_size.adaptive: cap below initial";
+  Adaptive { initial; multiplier; cap }
+
+type t = {
+  policy : policy;
+  problem : Problem.t;
+  gamma_r : float array;
+  gamma_p : float array;
+}
+
+let create problem policy =
+  let initial = match policy with Fixed g -> g | Adaptive { initial; _ } -> initial in
+  {
+    policy;
+    problem;
+    gamma_r = Array.make (Problem.n_resources problem) initial;
+    gamma_p = Array.make (Problem.n_paths problem) initial;
+  }
+
+let resource_gamma t r = t.gamma_r.(r)
+
+let path_gamma t p = t.gamma_p.(p)
+
+let observe t ~congested_resources =
+  match t.policy with
+  | Fixed _ -> ()
+  | Adaptive { initial; multiplier; cap } ->
+    Array.iteri
+      (fun r congested ->
+        if congested then t.gamma_r.(r) <- Float.min cap (t.gamma_r.(r) *. multiplier)
+        else t.gamma_r.(r) <- initial)
+      congested_resources;
+    (* A path is sped up while any resource it traverses is congested, and
+       reverts once all of them are uncongested ("as soon as r becomes
+       uncongested, revert"). *)
+    Array.iteri
+      (fun p (info : Problem.path) ->
+        let any_congested =
+          Array.exists (fun r -> congested_resources.(r)) info.path_resources
+        in
+        if any_congested then t.gamma_p.(p) <- Float.min cap (t.gamma_p.(p) *. multiplier)
+        else t.gamma_p.(p) <- initial)
+      t.problem.paths
+
+let policy_name = function
+  | Fixed g -> Printf.sprintf "fixed(%g)" g
+  | Adaptive { initial; multiplier; _ } -> Printf.sprintf "adaptive(%g, x%g)" initial multiplier

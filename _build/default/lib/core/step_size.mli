@@ -1,0 +1,40 @@
+(** Step-size policies for the price updates (paper §4.3 and §5.2).
+
+    Fixed policies use a constant [gamma] for every resource and path.
+    The adaptive policy implements the paper's heuristic: start from an
+    initial value; while a resource is congested, multiply its step size
+    (and those of all paths traversing it) each iteration; as soon as the
+    resource becomes uncongested, revert to the initial value. *)
+
+type policy =
+  | Fixed of float
+  | Adaptive of { initial : float; multiplier : float; cap : float }
+
+val fixed : float -> policy
+(** @raise Invalid_argument on a non-positive value. *)
+
+val adaptive : ?multiplier:float -> ?cap:float -> initial:float -> unit -> policy
+(** Defaults: [multiplier = 2.] (the paper doubles) and
+    [cap = 4 * initial]. The cap is our addition: unbounded doubling lets
+    prices overshoot so far during sustained congestion that the system
+    never settles; a small cap preserves the speed-up while keeping the
+    oscillation bounded (see the fig5 ablation in the benchmark
+    harness). *)
+
+type t
+
+val create : Problem.t -> policy -> t
+
+val resource_gamma : t -> int -> float
+(** Current step size of resource index [r]. *)
+
+val path_gamma : t -> int -> float
+(** Current step size of global path index [p]. *)
+
+val observe :
+  t -> congested_resources:bool array -> unit
+(** Feed the congestion outcome of the last iteration: adaptive step sizes
+    are multiplied for congested resources and their paths and reset for
+    the rest; fixed policies ignore the call. *)
+
+val policy_name : policy -> string

@@ -1,0 +1,1 @@
+lib/experiments/adaptation.ml: Buffer Ids List Lla Lla_model Lla_stdx Lla_workloads Printf Report

@@ -1,0 +1,1 @@
+lib/experiments/adaptation.mli: Lla_stdx

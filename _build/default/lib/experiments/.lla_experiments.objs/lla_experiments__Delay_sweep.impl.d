@@ -1,0 +1,1 @@
+lib/experiments/delay_sweep.ml: Buffer Float List Lla Lla_model Lla_runtime Lla_sim Lla_stdx Lla_workloads Printf Report Resource Task Workload

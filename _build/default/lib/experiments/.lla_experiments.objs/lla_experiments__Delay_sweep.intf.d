@@ -1,0 +1,1 @@
+lib/experiments/delay_sweep.mli:

@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Array Buffer Float List Lla Lla_stdx Lla_workloads Report Stdlib

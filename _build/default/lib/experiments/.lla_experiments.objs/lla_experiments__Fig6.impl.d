@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Buffer List Lla Lla_stdx Lla_workloads Printf Report

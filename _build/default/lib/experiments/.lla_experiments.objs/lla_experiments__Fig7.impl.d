@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Buffer Float Format Ids List Lla Lla_model Lla_stdx Lla_workloads Printf Report Resource Task Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig7.mli: Lla Lla_stdx

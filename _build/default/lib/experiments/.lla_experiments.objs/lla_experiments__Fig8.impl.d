@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Array Buffer Ids List Lla_model Lla_runtime Lla_sched Lla_stdx Lla_workloads Printf Report Task Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig8.mli: Lla_sched Lla_stdx

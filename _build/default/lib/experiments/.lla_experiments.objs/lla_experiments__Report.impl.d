@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Array Float List Lla_stdx Printf String

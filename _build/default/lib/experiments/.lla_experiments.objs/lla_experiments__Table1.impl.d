@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Buffer List Lla Lla_model Lla_workloads Printf Report String Subtask Task Workload

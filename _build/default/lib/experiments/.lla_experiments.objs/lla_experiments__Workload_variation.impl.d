@@ -1,0 +1,1 @@
+lib/experiments/workload_variation.ml: Array Buffer Ids List Lla_model Lla_runtime Lla_stdx Lla_workloads Printf Report Task Workload

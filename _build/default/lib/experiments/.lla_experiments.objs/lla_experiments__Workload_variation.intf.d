@@ -1,0 +1,1 @@
+lib/experiments/workload_variation.mli: Lla_stdx

@@ -1,0 +1,286 @@
+open Lla_model
+
+type baseline_row = {
+  name : string;
+  utility : float;
+  meets_deadlines : bool;
+  fits_resources : bool;
+}
+
+type variant_row = { variant : string; utility : float; converged_at : int option }
+
+type cap_row = { cap_label : string; settled_at : int option; tail_stddev : float }
+
+type scheduler_row = {
+  scheduler : string;
+  fast_p95 : float;
+  slow_p95 : float;
+  misses : int;
+}
+
+type distributed_row = {
+  mode : string;
+  utility : float;
+  messages : int;
+  rounds : int;
+}
+
+let run_baselines ~iterations =
+  let workload = Lla_workloads.Paper_sim.base () in
+  let solver = Lla.Solver.create workload in
+  ignore (Lla.Solver.run_until_converged solver ~max_iterations:iterations);
+  let lla_assignment sid = Lla.Solver.latency solver sid in
+  let lla_row =
+    {
+      name = "LLA";
+      utility = Lla.Solver.utility solver;
+      meets_deadlines = Lla_baseline.Slicing.respects_deadlines workload lla_assignment;
+      fits_resources = Lla_baseline.Slicing.respects_resources workload lla_assignment;
+    }
+  in
+  let slicing_rows =
+    List.map
+      (fun kind ->
+        let assignment = Lla_baseline.Slicing.get kind workload in
+        {
+          name = Lla_baseline.Slicing.name_of kind;
+          utility = Lla_baseline.Slicing.utility workload assignment;
+          meets_deadlines = Lla_baseline.Slicing.respects_deadlines workload assignment;
+          fits_resources = Lla_baseline.Slicing.respects_resources workload assignment;
+        })
+      [ `Equal; `Proportional; `Laxity ]
+  in
+  let central = Lla_baseline.Centralized.solve ~iterations:10000 workload in
+  let central_assignment = Lla_baseline.Centralized.assignment central in
+  let central_row =
+    {
+      name = "centralized reference";
+      utility = central.Lla_baseline.Centralized.utility;
+      meets_deadlines = Lla_baseline.Slicing.respects_deadlines workload central_assignment;
+      fits_resources = Lla_baseline.Slicing.respects_resources workload central_assignment;
+    }
+  in
+  lla_row :: central_row :: slicing_rows
+
+let run_variants ~iterations =
+  List.map
+    (fun (label, variant) ->
+      let workload = Lla_workloads.Paper_sim.base ~variant () in
+      let solver = Lla.Solver.create workload in
+      let converged_at = Lla.Solver.run_until_converged solver ~max_iterations:iterations in
+      { variant = label; utility = Lla.Solver.utility solver; converged_at })
+    [ ("path-weighted", Utility.Path_weighted); ("sum", Utility.Sum) ]
+
+let run_caps ~iterations =
+  List.map
+    (fun (cap_label, policy) ->
+      let config = { Lla.Solver.default_config with step_policy = policy } in
+      let solver = Lla.Solver.create ~config (Lla_workloads.Paper_sim.base ()) in
+      Lla.Solver.run solver ~iterations;
+      let series = Lla.Solver.utility_series solver in
+      let tail = Lla_stdx.Series.y_stats_from series ~from:(Stdlib.max 0 (iterations - 100)) in
+      {
+        cap_label;
+        settled_at = Lla_stdx.Series.converged_at series ~tolerance:0.01 ~window:50;
+        tail_stddev = tail.Lla_stdx.Stats.stddev;
+      })
+    [
+      ("cap 2x", Lla.Step_size.adaptive ~initial:1.0 ~cap:2. ());
+      ("cap 4x (default)", Lla.Step_size.adaptive ~initial:1.0 ());
+      ("cap 16x", Lla.Step_size.adaptive ~initial:1.0 ~cap:16. ());
+      ("uncapped (paper)", Lla.Step_size.adaptive ~initial:1.0 ~cap:1e6 ());
+    ]
+
+let run_schedulers ~system_duration =
+  List.map
+    (fun (label, kind) ->
+      let workload = Lla_workloads.Prototype.workload () in
+      let config =
+        {
+          Lla_runtime.System.default_config with
+          scheduler = kind;
+          optimizer =
+            {
+              Lla_runtime.Optimizer_loop.default_config with
+              error_correction = `Enabled_at (system_duration /. 3.);
+              iterations_per_round = 100;
+            };
+        }
+      in
+      let system = Lla_runtime.System.create ~config workload in
+      Lla_runtime.System.run system ~until:system_duration;
+      let p95 tid =
+        match Lla_runtime.System.measured_task_latency system tid ~p:95. with
+        | Some v -> v
+        | None -> nan
+      in
+      let fast = List.hd Lla_workloads.Prototype.fast_task_ids in
+      let slow = List.hd Lla_workloads.Prototype.slow_task_ids in
+      let misses =
+        List.fold_left
+          (fun acc (t : Task.t) -> acc + Lla_runtime.System.deadline_misses system t.Task.id)
+          0
+          (Lla_runtime.Cluster.workload (Lla_runtime.System.cluster system)).Workload.tasks
+      in
+      { scheduler = label; fast_p95 = p95 fast; slow_p95 = p95 slow; misses })
+    [
+      ("fluid GPS", Lla_sched.Scheduler.Fluid { work_conserving = true });
+      ("fluid capped", Lla_sched.Scheduler.Fluid { work_conserving = false });
+      ("SFQ q=1ms", Lla_sched.Scheduler.Sfq { quantum = 1.0 });
+      ("SFS q=1ms", Lla_sched.Scheduler.Sfs { quantum = 1.0 });
+    ]
+
+let run_distributed ~iterations =
+  let workload = Lla_workloads.Paper_sim.base () in
+  let solver = Lla.Solver.create workload in
+  ignore (Lla.Solver.run_until_converged solver ~max_iterations:iterations);
+  let sync_row =
+    {
+      mode = "synchronous";
+      utility = Lla.Solver.utility solver;
+      messages = 0;
+      rounds = Lla.Solver.iteration solver;
+    }
+  in
+  let engine = Lla_sim.Engine.create () in
+  let distributed = Lla_runtime.Distributed.create engine workload in
+  (* 10 ms ticks for [iterations] rounds of control traffic. *)
+  Lla_runtime.Distributed.run distributed ~duration:(10. *. float_of_int iterations);
+  let dist_row =
+    {
+      mode = "distributed (1ms delay)";
+      utility = Lla_runtime.Distributed.utility distributed;
+      messages = Lla_runtime.Distributed.messages_sent distributed;
+      rounds = Lla_runtime.Distributed.allocation_rounds distributed;
+    }
+  in
+  [ sync_row; dist_row ]
+
+type share_model_row = {
+  model : string;
+  converged_at : int option;
+  share_utility : float;
+  kkt_worst : float;
+}
+
+(* Two chain tasks over three resources; the share model is the variable. *)
+let share_model_workload spec =
+  let chain_task ~id ~exec ~critical_time =
+    let tid = Ids.Task_id.make id in
+    let subtasks =
+      List.init 3 (fun j ->
+          Subtask.make ~share_spec:spec ~id:((id * 10) + j) ~task:tid ~resource:j
+            ~exec_time:exec ())
+    in
+    Task.make_exn ~id ~subtasks
+      ~graph:(Graph.chain (List.map (fun (s : Subtask.t) -> s.id) subtasks))
+      ~critical_time
+      ~utility:(Utility.linear ~k:2. ~critical_time)
+      ~trigger:(Trigger.periodic ~period:100. ())
+      ()
+  in
+  Workload.make_exn
+    ~tasks:[ chain_task ~id:1 ~exec:3. ~critical_time:50.; chain_task ~id:2 ~exec:5. ~critical_time:90. ]
+    ~resources:(List.init 3 (fun i -> Resource.make ~availability:0.5 i))
+
+let run_share_models ~iterations =
+  List.map
+    (fun (model, spec) ->
+      let workload = share_model_workload spec in
+      let solver = Lla.Solver.create workload in
+      let converged_at = Lla.Solver.run_until_converged solver ~max_iterations:iterations in
+      Lla.Solver.run solver ~iterations:500;
+      {
+        model;
+        converged_at;
+        share_utility = Lla.Solver.utility solver;
+        kkt_worst = Lla.Kkt.worst (Lla.Kkt.of_solver solver);
+      })
+    [
+      ("reciprocal (Eq. 10)", Share.Reciprocal);
+      ("power 1.5", Share.Power { exponent = 1.5 });
+      ("power 2.0", Share.Power { exponent = 2.0 });
+    ]
+
+type result = {
+  baselines : baseline_row list;
+  variants : variant_row list;
+  caps : cap_row list;
+  schedulers : scheduler_row list;
+  distributed : distributed_row list;
+  share_models : share_model_row list;
+}
+
+let run ?(iterations = 2000) ?(system_duration = 30_000.) () =
+  {
+    baselines = run_baselines ~iterations;
+    variants = run_variants ~iterations;
+    caps = run_caps ~iterations;
+    schedulers = run_schedulers ~system_duration;
+    distributed = run_distributed ~iterations;
+    share_models = run_share_models ~iterations;
+  }
+
+let report r =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Report.header "Ablations");
+  Buffer.add_string buf "LLA vs baselines (base workload):\n";
+  let table =
+    Lla_stdx.Table.create
+      ~columns:
+        [
+          ("assignment", Lla_stdx.Table.Left);
+          ("utility", Lla_stdx.Table.Right);
+          ("deadlines ok", Lla_stdx.Table.Right);
+          ("resources ok", Lla_stdx.Table.Right);
+        ]
+  in
+  List.iter
+    (fun b ->
+      Lla_stdx.Table.add_row table
+        [
+          b.name;
+          Lla_stdx.Table.cell_f b.utility;
+          string_of_bool b.meets_deadlines;
+          string_of_bool b.fits_resources;
+        ])
+    r.baselines;
+  Buffer.add_string buf (Lla_stdx.Table.render table);
+  Buffer.add_string buf "\nUtility aggregation variant (Section 3.2):\n";
+  List.iter
+    (fun v ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-14s utility %8.2f converged at %s\n" v.variant v.utility
+           (match v.converged_at with Some i -> string_of_int i | None -> "never")))
+    r.variants;
+  Buffer.add_string buf "\nAdaptive step-size cap (our addition; 'settled' = 1% spread):\n";
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-18s settled at %-6s tail stddev %.3f\n" c.cap_label
+           (match c.settled_at with Some i -> string_of_int i | None -> "never")
+           c.tail_stddev))
+    r.caps;
+  Buffer.add_string buf "\nScheduler discipline (prototype workload, measured):\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-14s fast p95 %7.2fms  slow p95 %7.2fms  misses %d\n" s.scheduler
+           s.fast_p95 s.slow_p95 s.misses))
+    r.schedulers;
+  Buffer.add_string buf "\nShare-function model (power shares use the general solver):\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-20s converged at %-6s utility %8.2f KKT %.4f\n" s.model
+           (match s.converged_at with Some i -> string_of_int i | None -> "never")
+           s.share_utility s.kkt_worst))
+    r.share_models;
+  Buffer.add_string buf "\nSynchronous vs distributed (message-passing) LLA:\n";
+  List.iter
+    (fun d ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-24s utility %8.2f rounds %6d messages %d\n" d.mode d.utility
+           d.rounds d.messages))
+    r.distributed;
+  Buffer.contents buf

@@ -1,0 +1,58 @@
+(** Ablations beyond the paper's figures, covering the design decisions
+    DESIGN.md calls out:
+
+    - LLA vs the deadline-slicing baselines (utility and feasibility);
+    - sum vs path-weighted utility aggregation (§3.2);
+    - the adaptive step-size cap (our addition vs the paper's unbounded
+      doubling);
+    - scheduler discipline (fluid GPS vs SFQ vs SFS) under the prototype
+      workload;
+    - synchronous vs message-passing (distributed) LLA. *)
+
+type baseline_row = {
+  name : string;
+  utility : float;
+  meets_deadlines : bool;
+  fits_resources : bool;
+}
+
+type variant_row = { variant : string; utility : float; converged_at : int option }
+
+type cap_row = { cap_label : string; settled_at : int option; tail_stddev : float }
+
+type scheduler_row = {
+  scheduler : string;
+  fast_p95 : float;  (** measured 95th-percentile latency of a fast task, ms. *)
+  slow_p95 : float;
+  misses : int;
+}
+
+type distributed_row = {
+  mode : string;
+  utility : float;
+  messages : int;
+  rounds : int;
+}
+
+type share_model_row = {
+  model : string;
+  converged_at : int option;
+  share_utility : float;
+  kkt_worst : float;
+}
+
+type result = {
+  baselines : baseline_row list;  (** on the base workload; LLA row first. *)
+  variants : variant_row list;
+  caps : cap_row list;
+  schedulers : scheduler_row list;
+  distributed : distributed_row list;
+  share_models : share_model_row list;
+      (** reciprocal vs power share functions — the latter exercises the
+          general (non-closed-form) stationarity solver end to end. *)
+}
+
+val run : ?iterations:int -> ?system_duration:float -> unit -> result
+(** Defaults: 2000 solver iterations; 30 s per scheduler run. *)
+
+val report : result -> string

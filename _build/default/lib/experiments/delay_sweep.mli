@@ -1,0 +1,29 @@
+(** Control-plane delay sweep: how does the distributed (message-passing)
+    deployment degrade as the price/latency control messages slow down?
+
+    For each one-way delay, the distributed LLA runs for a fixed control
+    horizon; the result reports the utility gap to the synchronous
+    optimum, constraint violations, and control traffic. The shape to
+    expect: the gap stays negligible while the delay is small relative to
+    the agents' tick period, and convergence merely slows (never diverges)
+    as staleness grows — dual decomposition tolerates asynchrony. *)
+
+type point = {
+  delay : float;  (** one-way message delay, ms. *)
+  utility_gap_percent : float;  (** |distributed - synchronous| / synchronous. *)
+  max_violation_percent : float;
+      (** worst relative constraint violation at the end of the run. *)
+  messages : int;
+  allocation_rounds : int;
+}
+
+type result = {
+  synchronous_utility : float;
+  points : point list;
+}
+
+val run : ?delays:float list -> ?horizon:float -> unit -> result
+(** Defaults: delays [\[0.1; 1; 2; 5; 10; 20\]] ms; 120 s of control time
+    per point. *)
+
+val report : result -> string

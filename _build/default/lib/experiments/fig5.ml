@@ -1,0 +1,102 @@
+type curve = {
+  label : string;
+  series : Lla_stdx.Series.t;
+  settled_at : int option;
+  to_optimum_at : int option;
+  feasible_at_end : bool;
+  tail_stddev : float;
+  final_utility : float;
+}
+
+type result = { curves : curve list; iterations : int }
+
+let policies =
+  [
+    ("gamma=0.1", Lla.Step_size.fixed 0.1);
+    ("gamma=1", Lla.Step_size.fixed 1.0);
+    ("gamma=10", Lla.Step_size.fixed 10.0);
+    ("adaptive", Lla.Step_size.adaptive ~initial:1.0 ());
+  ]
+
+let run ?(iterations = 2000) () =
+  let curves =
+    List.map
+      (fun (label, step_policy) ->
+        let config = { Lla.Solver.default_config with step_policy } in
+        let solver = Lla.Solver.create ~config (Lla_workloads.Paper_sim.base ()) in
+        Lla.Solver.run solver ~iterations;
+        let series = Lla.Solver.utility_series solver in
+        let tail =
+          Lla_stdx.Series.y_stats_from series ~from:(Stdlib.max 0 (iterations - 100))
+        in
+        {
+          label;
+          series;
+          settled_at = Lla_stdx.Series.converged_at series ~tolerance:0.01 ~window:50;
+          to_optimum_at = None;
+          feasible_at_end = Lla.Solver.feasible solver;
+          tail_stddev = tail.Lla_stdx.Stats.stddev;
+          final_utility = Lla.Solver.utility solver;
+        })
+      policies
+  in
+  (* Reference optimum: the final utility of the last feasible curve (the
+     adaptive run). "Converged" = within 1.5% of it from some iteration
+     onward. *)
+  let reference =
+    List.fold_left (fun acc c -> if c.feasible_at_end then Some c.final_utility else acc) None
+      curves
+  in
+  let curves =
+    match reference with
+    | None -> curves
+    | Some optimum ->
+      List.map
+        (fun c ->
+          let ys = Lla_stdx.Series.ys c.series in
+          let n = Array.length ys in
+          let ok i = Float.abs (ys.(i) -. optimum) /. Float.abs optimum <= 0.015 in
+          (* Earliest index such that every later sample is also ok. *)
+          let rec suffix_start i best =
+            if i < 0 then best else if ok i then suffix_start (i - 1) (Some (i + 1)) else best
+          in
+          { c with to_optimum_at = suffix_start (n - 1) None })
+        curves
+  in
+  { curves; iterations }
+
+let report r =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (Report.header "Figure 5 - fixed vs adaptive step sizes (utility vs iteration)");
+  Buffer.add_string buf
+    (Report.series_block ~title:"total utility vs iteration"
+       (List.map (fun c -> (c.label, c.series)) r.curves));
+  let table =
+    Lla_stdx.Table.create
+      ~columns:
+        [
+          ("policy", Lla_stdx.Table.Left);
+          ("settled at", Lla_stdx.Table.Right);
+          ("within 1.5% of optimum at", Lla_stdx.Table.Right);
+          ("tail stddev", Lla_stdx.Table.Right);
+          ("final utility", Lla_stdx.Table.Right);
+          ("feasible", Lla_stdx.Table.Right);
+        ]
+  in
+  List.iter
+    (fun c ->
+      Lla_stdx.Table.add_row table
+        [
+          c.label;
+          (match c.settled_at with Some i -> string_of_int i | None -> "never");
+          (match c.to_optimum_at with Some i -> string_of_int i | None -> "never");
+          Lla_stdx.Table.cell_f ~decimals:3 c.tail_stddev;
+          Lla_stdx.Table.cell_f c.final_utility;
+          string_of_bool c.feasible_at_end;
+        ])
+    r.curves;
+  Buffer.add_string buf (Lla_stdx.Table.render table);
+  Buffer.add_string buf
+    "Paper shape: gamma=10 oscillates with high amplitude; gamma=0.1 converges only after\n\
+     >1000 iterations; gamma=1 in ~500; adaptive settles fastest and feasibly.\n";
+  Buffer.contents buf

@@ -1,0 +1,28 @@
+(** Figure 7 reproduction: LLA as a schedulability probe. The 6-task
+    workload keeps the original critical times, so demand exceeds what the
+    resources can deliver within the deadlines: the run must not converge
+    to a feasible point, share sums and utility keep fluctuating (the
+    paper plots 100 iterations), and critical paths overrun their critical
+    times (the paper reports 1.75-2.41x; our equilibrium splits the
+    violation differently between the two constraint families — see
+    EXPERIMENTS.md). *)
+
+type result = {
+  verdict : Lla.Schedulability.verdict;
+  utility_series : Lla_stdx.Series.t;
+  share_series : (string * Lla_stdx.Series.t) list;  (** per resource. *)
+  overrun_range : float * float;
+      (** min and max critical-path / critical-time ratio at the end. *)
+  capacity_overrun_range : float * float;
+      (** min and max share-sum / availability ratio at the end. *)
+  schedulable_control : bool;
+      (** the over-provisioned 6-task control converges (sanity check that
+          the probe's "unschedulable" verdict is about the deadlines, not
+          the task count). *)
+}
+
+val run : ?iterations:int -> unit -> result
+(** Default 500 iterations (the paper plots the first 100). Uses the
+    paper's uncapped doubling heuristic so the fluctuations are visible. *)
+
+val report : result -> string

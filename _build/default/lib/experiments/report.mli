@@ -1,0 +1,19 @@
+(** Shared report formatting for the experiment harnesses. *)
+
+val header : string -> string
+(** Banner line for an experiment section. *)
+
+val paper_vs_measured :
+  ?extra_columns:(string * (string -> string)) list ->
+  rows:(string * float * float) list ->
+  unit ->
+  string
+(** Render a (label, paper value, measured value) table with a relative
+    deviation column. *)
+
+val deviation : paper:float -> measured:float -> float
+(** [(measured - paper) / |paper|]; 0 when the paper value is 0 and the
+    measured one matches. *)
+
+val series_block : ?max_points:int -> title:string -> (string * Lla_stdx.Series.t) list -> string
+(** ASCII plot of the series plus a downsampled numeric appendix. *)

@@ -1,0 +1,19 @@
+(** Table 1 reproduction: optimize the base 3-task workload and compare
+    per-subtask latencies and per-task critical paths with the paper's
+    reported values. The headline property is that every task's critical
+    path lands within 1% *below* its critical time. *)
+
+type result = {
+  latencies : (string * float * float) list;  (** name, paper, measured. *)
+  critical_paths : (string * float * float) list;
+  critical_times : (string * float) list;
+  utility : float;
+  converged_at : int option;
+  within_one_percent : bool;
+      (** every critical path in [0.99 * C, C] — the paper's §3.2 claim. *)
+}
+
+val run : ?iterations:int -> unit -> result
+(** Default 2000 iterations with the solver defaults. *)
+
+val report : result -> string

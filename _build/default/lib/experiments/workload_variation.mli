@@ -1,0 +1,29 @@
+(** Workload-variation experiment (the other half of the paper's §1
+    adaptivity claim, complementing {!Adaptation}'s resource variation).
+
+    The prototype system runs with online error correction *and* arrival
+    rate tracking. Mid-run the fast tasks silently raise their release
+    rate from 40/s to 60/s — the optimizer is never told; it only sees the
+    measured inter-arrival times. The rate-stability floor of the fast
+    subtasks rises from 0.2 to 0.3, so their shares must climb and the
+    slow tasks give capacity back. *)
+
+type result = {
+  fast_share_series : Lla_stdx.Series.t;
+  slow_share_series : Lla_stdx.Series.t;
+  fast_share_before : float;
+  fast_share_after : float;
+  slow_share_before : float;
+  slow_share_after : float;
+  fast_floor_after : float;  (** expected stability floor at the new rate (0.3). *)
+  misses_after_switch : int;
+  completions : int;
+  backlog_bounded : bool;
+      (** no unbounded queueing after the rate change (in-flight job sets
+          stay small at the end of the run). *)
+}
+
+val run : ?duration:float -> ?switch_at:float -> unit -> result
+(** Defaults: 180 s simulated; the rate change happens at 90 s. *)
+
+val report : result -> string

@@ -1,0 +1,1 @@
+lib/model/graph.ml: Format Ids List Printf Queue Result Subtask_id Utility

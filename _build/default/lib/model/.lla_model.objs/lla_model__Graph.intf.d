@@ -1,0 +1,1 @@
+lib/model/graph.mli: Format Ids Subtask_id Utility

@@ -1,0 +1,1 @@
+lib/model/ids.ml: Format Hashtbl Int Map Printf Set

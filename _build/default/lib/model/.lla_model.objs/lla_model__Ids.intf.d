@@ -1,0 +1,1 @@
+lib/model/ids.mli: Format Hashtbl Map Set

@@ -1,0 +1,1 @@
+lib/model/percentile_map.ml: Array Ids List Subtask_id Task

@@ -1,0 +1,1 @@
+lib/model/percentile_map.mli: Ids Subtask_id Task

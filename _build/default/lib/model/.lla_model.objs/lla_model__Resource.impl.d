@@ -1,0 +1,1 @@
+lib/model/resource.ml: Format Ids

@@ -1,0 +1,1 @@
+lib/model/resource.mli: Format Ids

@@ -1,0 +1,1 @@
+lib/model/share.ml: Printf

@@ -1,0 +1,1 @@
+lib/model/subtask.ml: Format Ids Share

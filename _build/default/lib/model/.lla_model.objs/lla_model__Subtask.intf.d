@@ -1,0 +1,1 @@
+lib/model/subtask.mli: Format Ids Share

@@ -1,0 +1,1 @@
+lib/model/task.ml: Array Format Graph Ids List Printf Result Subtask Subtask_id Task_id Trigger Utility

@@ -1,0 +1,1 @@
+lib/model/task.mli: Format Graph Ids Subtask Subtask_id Task_id Trigger Utility

@@ -1,0 +1,1 @@
+lib/model/trigger.ml: Float Format Lla_stdx

@@ -1,0 +1,1 @@
+lib/model/trigger.mli: Format Lla_stdx

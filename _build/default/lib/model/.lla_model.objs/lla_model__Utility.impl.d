@@ -1,0 +1,1 @@
+lib/model/utility.ml: Float Lla_numeric Printf

@@ -1,0 +1,1 @@
+lib/model/workload.ml: Array Float Graph Ids List Printf Resource Resource_id Result Share String Subtask Subtask_id Task Task_id

@@ -1,0 +1,1 @@
+lib/model/workload.mli: Ids Resource Resource_id Share Subtask Subtask_id Task Task_id

@@ -1,0 +1,1 @@
+lib/model/workload_codec.ml: Buffer Graph Ids In_channel List Out_channel Printf Resource Resource_id Result Share String Subtask Subtask_id Task Task_id Trigger Utility Workload

@@ -1,0 +1,1 @@
+lib/model/workload_codec.mli: Ids Subtask_id Task Trigger Workload

@@ -1,0 +1,233 @@
+open Ids
+
+type t = {
+  node_list : Subtask_id.t list;
+  edge_list : (Subtask_id.t * Subtask_id.t) list;
+  succ : Subtask_id.t list Subtask_id.Map.t;
+  pred : Subtask_id.t list Subtask_id.Map.t;
+  graph_root : Subtask_id.t;
+  topo : Subtask_id.t list;
+}
+
+let nodes t = t.node_list
+
+let edges t = t.edge_list
+
+let node_count t = List.length t.node_list
+
+let root t = t.graph_root
+
+let mem t s = Subtask_id.Map.mem s t.succ
+
+let successors t s =
+  match Subtask_id.Map.find_opt s t.succ with
+  | Some l -> l
+  | None -> invalid_arg "Graph.successors: unknown subtask"
+
+let predecessors t s =
+  match Subtask_id.Map.find_opt s t.pred with
+  | Some l -> l
+  | None -> invalid_arg "Graph.predecessors: unknown subtask"
+
+let in_degree t s = List.length (predecessors t s)
+
+let leaves t = List.filter (fun s -> successors t s = []) t.node_list
+
+let topological_order t = t.topo
+
+let ( let* ) = Result.bind
+
+let build_adjacency nodes edges =
+  let empty = List.fold_left (fun m s -> Subtask_id.Map.add s [] m) Subtask_id.Map.empty nodes in
+  let add m (a, b) =
+    Subtask_id.Map.update a (function Some l -> Some (b :: l) | None -> None) m
+  in
+  (* Reverse at the end so successor lists keep declaration order. *)
+  let filled = List.fold_left add empty edges in
+  Subtask_id.Map.map List.rev filled
+
+let validate ~nodes:node_list ~edges:edge_list =
+  let* () = if node_list = [] then Error "graph has no nodes" else Ok () in
+  let node_set = Subtask_id.Set.of_list node_list in
+  let* () =
+    if Subtask_id.Set.cardinal node_set <> List.length node_list then
+      Error "duplicate nodes in graph"
+    else Ok ()
+  in
+  let* () =
+    let bad =
+      List.find_opt
+        (fun (a, b) ->
+          (not (Subtask_id.Set.mem a node_set)) || not (Subtask_id.Set.mem b node_set))
+        edge_list
+    in
+    match bad with
+    | Some (a, b) ->
+      Error
+        (Printf.sprintf "edge (%s, %s) references an undeclared node" (Subtask_id.to_string a)
+           (Subtask_id.to_string b))
+    | None -> Ok ()
+  in
+  let* () =
+    if List.exists (fun (a, b) -> Subtask_id.equal a b) edge_list then Error "self edge in graph"
+    else Ok ()
+  in
+  let* () =
+    let sorted = List.sort compare edge_list in
+    let rec has_dup = function
+      | a :: (b :: _ as rest) -> a = b || has_dup rest
+      | [ _ ] | [] -> false
+    in
+    if has_dup sorted then Error "duplicate edge in graph" else Ok ()
+  in
+  let succ = build_adjacency node_list edge_list in
+  let pred = build_adjacency node_list (List.map (fun (a, b) -> (b, a)) edge_list) in
+  let roots = List.filter (fun s -> Subtask_id.Map.find s pred = []) node_list in
+  let* graph_root =
+    match roots with
+    | [ r ] -> Ok r
+    | [] -> Error "graph has no root (cycle through every node)"
+    | _ :: _ :: _ ->
+      Error
+        (Printf.sprintf "graph has %d roots; the paper's task model requires a unique start subtask"
+           (List.length roots))
+  in
+  (* Kahn's algorithm: produces a topological order iff acyclic. *)
+  let in_deg = Subtask_id.Tbl.create 16 in
+  List.iter (fun s -> Subtask_id.Tbl.replace in_deg s (List.length (Subtask_id.Map.find s pred)))
+    node_list;
+  let queue = Queue.create () in
+  List.iter (fun s -> if Subtask_id.Tbl.find in_deg s = 0 then Queue.add s queue) node_list;
+  let topo = ref [] in
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    topo := s :: !topo;
+    List.iter
+      (fun next ->
+        let d = Subtask_id.Tbl.find in_deg next - 1 in
+        Subtask_id.Tbl.replace in_deg next d;
+        if d = 0 then Queue.add next queue)
+      (Subtask_id.Map.find s succ)
+  done;
+  let topo = List.rev !topo in
+  let* () =
+    if List.length topo <> List.length node_list then Error "graph contains a cycle" else Ok ()
+  in
+  let* () =
+    (* Reachability from the root. *)
+    let visited = Subtask_id.Tbl.create 16 in
+    let rec visit s =
+      if not (Subtask_id.Tbl.mem visited s) then begin
+        Subtask_id.Tbl.replace visited s ();
+        List.iter visit (Subtask_id.Map.find s succ)
+      end
+    in
+    visit graph_root;
+    if Subtask_id.Tbl.length visited <> List.length node_list then
+      Error "some subtasks are unreachable from the root"
+    else Ok ()
+  in
+  Ok { node_list; edge_list; succ; pred; graph_root; topo }
+
+let make ~nodes ~edges = validate ~nodes ~edges
+
+let make_exn ~nodes ~edges =
+  match make ~nodes ~edges with Ok t -> t | Error msg -> invalid_arg ("Graph.make: " ^ msg)
+
+let chain ids =
+  if ids = [] then invalid_arg "Graph.chain: empty";
+  let rec pair = function a :: (b :: _ as rest) -> (a, b) :: pair rest | [ _ ] | [] -> [] in
+  make_exn ~nodes:ids ~edges:(pair ids)
+
+let fan_out ~root ~hub ~leaves =
+  if leaves = [] then invalid_arg "Graph.fan_out: no leaves";
+  make_exn
+    ~nodes:(root :: hub :: leaves)
+    ~edges:((root, hub) :: List.map (fun leaf -> (hub, leaf)) leaves)
+
+let paths t =
+  let rec extend s =
+    match Subtask_id.Map.find s t.succ with
+    | [] -> [ [ s ] ]
+    | succs -> List.concat_map (fun next -> List.map (fun p -> s :: p) (extend next)) succs
+  in
+  extend t.graph_root
+
+(* Paths through s = (paths from root to s) * (paths from s to any leaf),
+   both by DP over the topological order. *)
+let counts_from_root t =
+  let counts = Subtask_id.Tbl.create 16 in
+  List.iter
+    (fun s ->
+      let preds = Subtask_id.Map.find s t.pred in
+      let c =
+        if preds = [] then 1
+        else List.fold_left (fun acc p -> acc + Subtask_id.Tbl.find counts p) 0 preds
+      in
+      Subtask_id.Tbl.replace counts s c)
+    t.topo;
+  counts
+
+let counts_to_leaves t =
+  let counts = Subtask_id.Tbl.create 16 in
+  List.iter
+    (fun s ->
+      let succs = Subtask_id.Map.find s t.succ in
+      let c =
+        if succs = [] then 1
+        else List.fold_left (fun acc n -> acc + Subtask_id.Tbl.find counts n) 0 succs
+      in
+      Subtask_id.Tbl.replace counts s c)
+    (List.rev t.topo);
+  counts
+
+let path_count t = Subtask_id.Tbl.find (counts_to_leaves t) t.graph_root
+
+let path_count_through t s =
+  if not (mem t s) then invalid_arg "Graph.path_count_through: unknown subtask";
+  let from_root = counts_from_root t and to_leaves = counts_to_leaves t in
+  Subtask_id.Tbl.find from_root s * Subtask_id.Tbl.find to_leaves s
+
+let weights t ~variant =
+  match (variant : Utility.variant) with
+  | Utility.Sum ->
+    List.fold_left (fun m s -> Subtask_id.Map.add s 1. m) Subtask_id.Map.empty t.node_list
+  | Utility.Path_weighted ->
+    let from_root = counts_from_root t and to_leaves = counts_to_leaves t in
+    let total = float_of_int (Subtask_id.Tbl.find to_leaves t.graph_root) in
+    List.fold_left
+      (fun m s ->
+        let through =
+          float_of_int (Subtask_id.Tbl.find from_root s * Subtask_id.Tbl.find to_leaves s)
+        in
+        Subtask_id.Map.add s (through /. total) m)
+      Subtask_id.Map.empty t.node_list
+
+let path_latency path ~latency = List.fold_left (fun acc s -> acc +. latency s) 0. path
+
+let critical_path t ~latency =
+  (* best.(s) = (max latency from s to a leaf, the corresponding suffix). *)
+  let best = Subtask_id.Tbl.create 16 in
+  List.iter
+    (fun s ->
+      let own = latency s in
+      let succs = Subtask_id.Map.find s t.succ in
+      let tail =
+        List.fold_left
+          (fun acc n ->
+            let cost, suffix = Subtask_id.Tbl.find best n in
+            match acc with
+            | Some (best_cost, _) when best_cost >= cost -> acc
+            | _ -> Some (cost, suffix))
+          None succs
+      in
+      match tail with
+      | None -> Subtask_id.Tbl.replace best s (own, [ s ])
+      | Some (cost, suffix) -> Subtask_id.Tbl.replace best s (own +. cost, s :: suffix))
+    (List.rev t.topo);
+  let cost, path = Subtask_id.Tbl.find best t.graph_root in
+  (path, cost)
+
+let pp ppf t =
+  Format.fprintf ppf "graph(root=%a, %d nodes, %d edges, %d paths)" Subtask_id.pp t.graph_root
+    (node_count t) (List.length t.edge_list) (path_count t)

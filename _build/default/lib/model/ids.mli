@@ -1,0 +1,39 @@
+(** Typed identifiers for tasks, subtasks, resources and paths.
+
+    Each identifier kind is a distinct abstract type over [int] so the
+    compiler rejects, e.g., indexing a resource table with a task id. *)
+
+module type ID = sig
+  type t
+
+  val make : int -> t
+  (** @raise Invalid_argument on negative input. *)
+
+  val to_int : t -> int
+
+  val compare : t -> t -> int
+
+  val equal : t -> t -> bool
+
+  val hash : t -> int
+
+  val pp : Format.formatter -> t -> unit
+
+  val to_string : t -> string
+
+  module Map : Map.S with type key = t
+
+  module Set : Set.S with type elt = t
+
+  module Tbl : Hashtbl.S with type key = t
+end
+
+module Task_id : ID
+
+module Subtask_id : ID
+
+module Resource_id : ID
+
+module Path_id : ID
+(** Paths are numbered within their task, in the deterministic order
+    produced by {!Graph.paths}. *)

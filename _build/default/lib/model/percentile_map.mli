@@ -1,0 +1,33 @@
+(** Latency-percentile composition (paper §2.1).
+
+    Utilities may be computed from a percentile of end-to-end latencies
+    rather than the worst case. Percentiles do not add along a path: if
+    each of two subtasks independently meets a latency bound with
+    probability [p/100], the path meets the sum of the bounds only with
+    probability [(p/100)^2]. Hence for a task targeting its [p]-th
+    end-to-end percentile over a path of [n] subtasks, each subtask's
+    latency model must target the
+
+    {[ p^(1/n) * 100^((n-1)/n) ]}
+
+    percentile (the paper's formula), so the per-subtask bounds compose to
+    the requested end-to-end percentile. *)
+
+open Ids
+
+val subtask_percentile : task_percentile:float -> path_length:int -> float
+(** @raise Invalid_argument unless [0 < task_percentile <= 100] and
+    [path_length >= 1]. [subtask_percentile ~task_percentile:100.] is 100
+    for every length (worst case composes trivially). *)
+
+val for_task : Task.t -> float Subtask_id.Map.t
+(** Per-subtask sampling percentile for the task's configured
+    [latency_percentile]. When path lengths differ, a subtask uses the
+    longest path through it (the conservative choice the paper's "separate
+    latency functions" remark motivates). *)
+
+val compose : float -> int -> float
+(** [compose sub_p n] is the end-to-end percentile achieved when [n]
+    subtasks each meet their bound at percentile [sub_p]:
+    [100 * (sub_p/100)^n]. Inverse of {!subtask_percentile}; exposed for
+    tests and diagnostics. *)

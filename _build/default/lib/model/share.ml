@@ -1,0 +1,38 @@
+type spec =
+  | Reciprocal
+  | Power of { exponent : float }
+
+type t = {
+  name : string;
+  eval : float -> float;
+  deval : float -> float;
+  inverse : float -> float;
+  lat_min : float;
+}
+
+let spec_to_string = function
+  | Reciprocal -> "reciprocal"
+  | Power { exponent } -> Printf.sprintf "power(%.2f)" exponent
+
+let instantiate spec ~exec ~lag =
+  if exec <= 0. then invalid_arg "Share.instantiate: exec <= 0";
+  if lag < 0. then invalid_arg "Share.instantiate: negative lag";
+  let work = exec +. lag in
+  match spec with
+  | Reciprocal ->
+    {
+      name = "reciprocal";
+      eval = (fun lat -> work /. lat);
+      deval = (fun lat -> -.work /. (lat *. lat));
+      inverse = (fun share -> work /. share);
+      lat_min = work;
+    }
+  | Power { exponent } ->
+    if exponent < 1. then invalid_arg "Share.instantiate: power exponent < 1";
+    {
+      name = spec_to_string spec;
+      eval = (fun lat -> (work /. lat) ** exponent);
+      deval = (fun lat -> -.exponent /. lat *. ((work /. lat) ** exponent));
+      inverse = (fun share -> work /. (share ** (1. /. exponent)));
+      lat_min = work;
+    }

@@ -1,0 +1,71 @@
+(** Time-utility functions (Jensen-style, §2.1 and §3.2).
+
+    A utility function maps an *aggregate latency* (the sum or the
+    path-weighted sum of a task's subtask latencies, §3.2) to a benefit
+    value. LLA requires them concave, non-increasing and continuously
+    differentiable below the critical time. *)
+
+(** Symbolic description of a stock utility, for serialization
+    ({!Lla_model.Workload_codec}). *)
+type spec =
+  | Linear_spec of { k : float }
+  | Negative_spec
+  | Logarithmic_spec of { k : float; weight : float }
+  | Soft_deadline_spec of { sharpness : float; scale : float }
+  | Quadratic_spec of { weight : float }
+  | Constant_spec of { value : float }
+
+type t = private {
+  name : string;
+  f : float -> float;  (** benefit as a function of aggregate latency (ms). *)
+  df : float -> float;  (** derivative of {!f} (non-positive). *)
+  spec : spec option;  (** [None] for {!custom} utilities. *)
+}
+
+(** How a task's subtask latencies are aggregated before applying {!f}
+    (§3.2, introduced because the critical path itself would make the
+    objective non-concave). *)
+type variant =
+  | Sum  (** aggregate = sum of all subtask latencies. *)
+  | Path_weighted
+      (** aggregate = sum weighted by normalized path counts, i.e. the
+          mean path latency (the paper's weights are "proportional to the
+          number of paths the subtask belongs to"; we normalize by the
+          total path count — see DESIGN.md). *)
+
+val linear : k:float -> critical_time:float -> t
+(** The paper's simulation utility: [f(x) = k*C - x] with [k >= 1]
+    (§5.2 uses [k = 2]). *)
+
+val negative_latency : unit -> t
+(** The paper's prototype utility: [f(x) = -x] (§6.2). *)
+
+val logarithmic : ?weight:float -> k:float -> critical_time:float -> unit -> t
+(** [f(x) = weight * log(k*C - x)]: strongly elastic, marginal benefit of
+    latency reduction grows as latency nears [k*C]. Defined for
+    [x < k*C]; requires [k > 1] so the function is smooth at the critical
+    time. *)
+
+val soft_deadline : ?scale:float -> sharpness:float -> critical_time:float -> unit -> t
+(** [f(x) = scale * (1 - exp((x - C)/sharpness))]: nearly flat far below
+    the deadline and dropping steeply as [x] approaches [C] — a smooth,
+    concave stand-in for an inelastic (hard-deadline) task. Smaller
+    [sharpness] is closer to a step. *)
+
+val quadratic : ?weight:float -> unit -> t
+(** [f(x) = -weight * x^2]: increasing marginal penalty for latency. *)
+
+val constant : value:float -> t
+(** Fully inelastic benefit: [f(x) = value]. The task exerts no latency
+    pressure of its own; its latencies are driven entirely by constraint
+    prices. *)
+
+val custom : name:string -> f:(float -> float) -> df:(float -> float) -> t
+(** Arbitrary utility; the caller is responsible for concavity and
+    monotonicity ({!check_concave_decreasing} can verify numerically). *)
+
+val check_concave_decreasing : t -> lo:float -> hi:float -> samples:int -> (unit, string) result
+(** Numerically verify non-increasing midpoint concavity of [f] on
+    [\[lo, hi\]], and that [df] matches a finite-difference derivative. *)
+
+val variant_to_string : variant -> string

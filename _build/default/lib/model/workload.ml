@@ -1,0 +1,138 @@
+open Ids
+
+type t = {
+  tasks : Task.t list;
+  resources : Resource.t list;
+}
+
+let ( let* ) = Result.bind
+
+let make ~tasks ~resources =
+  let* () = if tasks = [] then Error "workload: no tasks" else Ok () in
+  let* () = if resources = [] then Error "workload: no resources" else Ok () in
+  let task_ids = List.map (fun (t : Task.t) -> t.id) tasks in
+  let* () =
+    if Task_id.Set.cardinal (Task_id.Set.of_list task_ids) <> List.length task_ids then
+      Error "workload: duplicate task ids"
+    else Ok ()
+  in
+  let resource_ids = List.map (fun (r : Resource.t) -> r.id) resources in
+  let resource_set = Resource_id.Set.of_list resource_ids in
+  let* () =
+    if Resource_id.Set.cardinal resource_set <> List.length resource_ids then
+      Error "workload: duplicate resource ids"
+    else Ok ()
+  in
+  let all_subtasks = List.concat_map (fun (t : Task.t) -> t.subtasks) tasks in
+  let subtask_ids = List.map (fun (s : Subtask.t) -> s.id) all_subtasks in
+  let* () =
+    if Subtask_id.Set.cardinal (Subtask_id.Set.of_list subtask_ids) <> List.length subtask_ids
+    then Error "workload: subtask ids are not globally unique"
+    else Ok ()
+  in
+  let* () =
+    match
+      List.find_opt
+        (fun (s : Subtask.t) -> not (Resource_id.Set.mem s.resource resource_set))
+        all_subtasks
+    with
+    | Some s ->
+      Error
+        (Printf.sprintf "workload: subtask %s uses undeclared resource %s" s.name
+           (Resource_id.to_string s.resource))
+    | None -> Ok ()
+  in
+  Ok { tasks; resources }
+
+let make_exn ~tasks ~resources =
+  match make ~tasks ~resources with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Workload.make: " ^ msg)
+
+let task t id = List.find (fun (task : Task.t) -> Task_id.equal task.id id) t.tasks
+
+let resource t id = List.find (fun (r : Resource.t) -> Resource_id.equal r.id id) t.resources
+
+let subtasks t = List.concat_map (fun (task : Task.t) -> task.subtasks) t.tasks
+
+let subtask t id = List.find (fun (s : Subtask.t) -> Subtask_id.equal s.id id) (subtasks t)
+
+let owner t id =
+  List.find
+    (fun (task : Task.t) ->
+      List.exists (fun (s : Subtask.t) -> Subtask_id.equal s.id id) task.subtasks)
+    t.tasks
+
+let subtasks_on t r =
+  List.filter (fun (s : Subtask.t) -> Resource_id.equal s.resource r) (subtasks t)
+
+let share_function t id =
+  let s = subtask t id in
+  let r = resource t s.resource in
+  Subtask.share_function s ~lag:r.lag
+
+let utilization t r =
+  List.fold_left
+    (fun acc (s : Subtask.t) ->
+      let rate = Task.arrival_rate (owner t s.id) in
+      acc +. (rate *. s.exec_time))
+    0. (subtasks_on t r)
+
+let min_share t id =
+  let s = subtask t id in
+  Task.arrival_rate (owner t id) *. s.exec_time
+
+let latency_bounds t id =
+  let share = share_function t id in
+  let lat_min = share.Share.lat_min in
+  let floor_share = min_share t id in
+  let stability = if floor_share > 0. then share.Share.inverse floor_share else infinity in
+  let critical_time = (owner t id).Task.critical_time in
+  (lat_min, Float.min stability critical_time)
+
+let total_utility t ~latency =
+  List.fold_left (fun acc task -> acc +. Task.utility_value task ~latency) 0. t.tasks
+
+let share_sum t r ~latency =
+  List.fold_left
+    (fun acc (s : Subtask.t) ->
+      let share = share_function t s.id in
+      acc +. share.Share.eval (latency s.id))
+    0. (subtasks_on t r)
+
+let constraint_violations t ~latency ~tolerance =
+  let resource_violations =
+    List.filter_map
+      (fun (r : Resource.t) ->
+        let used = share_sum t r.id ~latency in
+        if used > r.availability *. (1. +. tolerance) then
+          Some
+            (Printf.sprintf "resource %s over capacity: share sum %.4f > B=%.4f" r.name used
+               r.availability)
+        else None)
+      t.resources
+  in
+  let path_violations =
+    List.concat_map
+      (fun (task : Task.t) ->
+        Array.to_list task.paths
+        |> List.filter_map (fun path ->
+               let lat = Graph.path_latency path ~latency in
+               if lat > task.critical_time *. (1. +. tolerance) then
+                 Some
+                   (Printf.sprintf "task %s path [%s] misses critical time: %.2f > C=%.2f"
+                      task.name
+                      (String.concat " " (List.map Subtask_id.to_string path))
+                      lat task.critical_time)
+               else None))
+      t.tasks
+  in
+  resource_violations @ path_violations
+
+let stats t =
+  let n_subtasks = List.length (subtasks t) in
+  let utils = List.map (fun (r : Resource.t) -> utilization t r.id) t.resources in
+  let lo = List.fold_left Float.min infinity utils
+  and hi = List.fold_left Float.max neg_infinity utils in
+  Printf.sprintf "%d tasks, %d subtasks, %d resources, utilization %.2f..%.2f"
+    (List.length t.tasks) n_subtasks (List.length t.resources) lo hi

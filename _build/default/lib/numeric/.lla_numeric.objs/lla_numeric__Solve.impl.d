@@ -1,0 +1,1 @@
+lib/numeric/solve.ml: Float Printf

@@ -1,0 +1,73 @@
+exception No_bracket of string
+
+let check_bracket name flo fhi =
+  if flo *. fhi > 0. then
+    raise
+      (No_bracket (Printf.sprintf "%s: f(lo)=%g and f(hi)=%g have the same sign" name flo fhi))
+
+let bisect ?(tolerance = 1e-12) ?(max_iterations = 200) ~lo ~hi f =
+  let flo = f lo and fhi = f hi in
+  if flo = 0. then lo
+  else if fhi = 0. then hi
+  else begin
+    check_bracket "Solve.bisect" flo fhi;
+    let rec loop lo hi flo iterations =
+      let mid = 0.5 *. (lo +. hi) in
+      if hi -. lo < tolerance || iterations = 0 then mid
+      else begin
+        let fmid = f mid in
+        if fmid = 0. then mid
+        else if flo *. fmid < 0. then loop lo mid flo (iterations - 1)
+        else loop mid hi fmid (iterations - 1)
+      end
+    in
+    loop lo hi flo max_iterations
+  end
+
+let newton_bisect ?(tolerance = 1e-12) ?(max_iterations = 100) ~df ~lo ~hi f =
+  let flo = f lo and fhi = f hi in
+  if flo = 0. then lo
+  else if fhi = 0. then hi
+  else begin
+    check_bracket "Solve.newton_bisect" flo fhi;
+    (* Invariant: the root stays bracketed by [lo, hi]; x is the current
+       iterate inside the bracket. *)
+    let rec loop lo hi flo x fx iterations =
+      if iterations = 0 || Float.abs fx < tolerance || hi -. lo < tolerance then x
+      else begin
+        let lo, hi, flo = if flo *. fx < 0. then (lo, x, flo) else (x, hi, fx) in
+        let dfx = df x in
+        let newton = if dfx = 0. then infinity else x -. (fx /. dfx) in
+        let x' = if newton > lo && newton < hi then newton else 0.5 *. (lo +. hi) in
+        loop lo hi flo x' (f x') (iterations - 1)
+      end
+    in
+    let x0 = 0.5 *. (lo +. hi) in
+    loop lo hi flo x0 (f x0) max_iterations
+  end
+
+let golden_max ?(tolerance = 1e-10) ?(max_iterations = 200) ~lo ~hi f =
+  let inv_phi = (sqrt 5. -. 1.) /. 2. in
+  let rec loop lo hi x1 x2 f1 f2 iterations =
+    if hi -. lo < tolerance || iterations = 0 then 0.5 *. (lo +. hi)
+    else if f1 > f2 then begin
+      let hi = x2 and x2 = x1 and f2 = f1 in
+      let x1 = hi -. (inv_phi *. (hi -. lo)) in
+      loop lo hi x1 x2 (f x1) f2 (iterations - 1)
+    end
+    else begin
+      let lo = x1 and x1 = x2 and f1 = f2 in
+      let x2 = lo +. (inv_phi *. (hi -. lo)) in
+      loop lo hi x1 x2 f1 (f x2) (iterations - 1)
+    end
+  in
+  let x1 = hi -. (inv_phi *. (hi -. lo)) and x2 = lo +. (inv_phi *. (hi -. lo)) in
+  loop lo hi x1 x2 (f x1) (f x2) max_iterations
+
+let derivative ?h f x =
+  let h = match h with Some h -> h | None -> 1e-6 *. Float.max 1. (Float.abs x) in
+  (f (x +. h) -. f (x -. h)) /. (2. *. h)
+
+let clamp ~lo ~hi x =
+  if not (lo <= hi) then invalid_arg "Solve.clamp: lo > hi";
+  Float.min hi (Float.max lo x)

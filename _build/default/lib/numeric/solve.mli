@@ -1,0 +1,40 @@
+(** Scalar root finding and 1-D concave maximization.
+
+    The latency-allocation step (paper §4.2) sets the derivative of the
+    Lagrangian w.r.t. each subtask latency to zero; for non-linear
+    utilities or non-reciprocal share functions that stationarity equation
+    has no closed form and is solved with the bracketed Newton/bisection
+    hybrid below. *)
+
+exception No_bracket of string
+(** Raised when the supplied interval does not bracket a root. *)
+
+val bisect :
+  ?tolerance:float -> ?max_iterations:int -> lo:float -> hi:float -> (float -> float) -> float
+(** [bisect ~lo ~hi f] finds [x] in [\[lo, hi\]] with [f x = 0], assuming
+    [f lo] and [f hi] have opposite signs (or one of them is zero).
+    @raise No_bracket when the signs agree. *)
+
+val newton_bisect :
+  ?tolerance:float ->
+  ?max_iterations:int ->
+  df:(float -> float) ->
+  lo:float ->
+  hi:float ->
+  (float -> float) ->
+  float
+(** Safeguarded Newton–Raphson: takes Newton steps while they remain
+    inside the current bracket and make progress, otherwise bisects. Same
+    bracketing requirement as {!bisect}. *)
+
+val golden_max :
+  ?tolerance:float -> ?max_iterations:int -> lo:float -> hi:float -> (float -> float) -> float
+(** Golden-section search for the maximizer of a unimodal (e.g. concave)
+    function on [\[lo, hi\]]. Returns the abscissa of the maximum. *)
+
+val derivative : ?h:float -> (float -> float) -> float -> float
+(** Central finite difference, for validation and for utilities supplied
+    without an analytic derivative. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** [clamp ~lo ~hi x] requires [lo <= hi]. *)

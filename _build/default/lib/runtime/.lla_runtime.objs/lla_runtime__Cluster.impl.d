@@ -1,0 +1,1 @@
+lib/runtime/cluster.ml: Ids List Lla_model Lla_sched Lla_sim Resource Subtask Workload

@@ -1,0 +1,1 @@
+lib/runtime/cluster.mli: Ids Lla_model Lla_sched Lla_sim Workload

@@ -1,0 +1,1 @@
+lib/runtime/dispatcher.ml: Array Cluster Graph Ids List Lla_model Lla_sim Lla_stdx Stdlib Subtask Task Trigger Workload

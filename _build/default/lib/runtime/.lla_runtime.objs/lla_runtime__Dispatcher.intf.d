@@ -1,0 +1,1 @@
+lib/runtime/dispatcher.mli: Cluster Ids Lla_model

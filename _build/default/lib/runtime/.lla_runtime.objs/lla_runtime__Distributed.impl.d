@@ -1,0 +1,1 @@
+lib/runtime/distributed.ml: Array Float Int List Lla Lla_sim

@@ -1,0 +1,1 @@
+lib/runtime/distributed.mli: Ids Lla Lla_model Lla_sim Workload

@@ -1,0 +1,1 @@
+lib/runtime/optimizer_loop.ml: Cluster Dispatcher Float Ids List Lla Lla_model Lla_sim Lla_stdx Logs Percentile_map Share Subtask Task Workload

@@ -1,0 +1,1 @@
+lib/runtime/optimizer_loop.mli: Cluster Dispatcher Ids Lla Lla_model Lla_stdx

@@ -1,0 +1,1 @@
+lib/runtime/system.ml: Cluster Dispatcher Ids List Lla_model Lla_sched Lla_sim Lla_stdx Optimizer_loop Task Utility Workload

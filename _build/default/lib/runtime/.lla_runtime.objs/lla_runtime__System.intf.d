@@ -1,0 +1,1 @@
+lib/runtime/system.mli: Cluster Dispatcher Ids Lla_model Lla_sched Lla_sim Lla_stdx Optimizer_loop Workload

@@ -1,0 +1,44 @@
+open Lla_model
+
+type t = {
+  engine : Lla_sim.Engine.t;
+  workload : Workload.t;
+  schedulers : Lla_sched.Scheduler.t Ids.Resource_id.Map.t;
+}
+
+let create ?(kind = Lla_sched.Scheduler.Sfs { quantum = 1.0 }) engine workload =
+  let schedulers =
+    List.fold_left
+      (fun acc (r : Resource.t) ->
+        let sched = Lla_sched.Scheduler.create kind engine ~capacity:r.availability in
+        Ids.Resource_id.Map.add r.id sched acc)
+      Ids.Resource_id.Map.empty workload.Workload.resources
+  in
+  { engine; workload; schedulers }
+
+let engine t = t.engine
+
+let workload t = t.workload
+
+let scheduler t rid =
+  match Ids.Resource_id.Map.find_opt rid t.schedulers with
+  | Some s -> s
+  | None -> invalid_arg "Cluster.scheduler: unknown resource"
+
+let scheduler_of_subtask t sid =
+  let s = Workload.subtask t.workload sid in
+  scheduler t s.Subtask.resource
+
+let set_share t sid value =
+  Lla_sched.Scheduler.set_share (scheduler_of_subtask t sid)
+    ~class_id:(Ids.Subtask_id.to_int sid) ~share:value
+
+let share t sid =
+  Lla_sched.Scheduler.share (scheduler_of_subtask t sid) ~class_id:(Ids.Subtask_id.to_int sid)
+
+let submit t sid ~work ~on_complete =
+  Lla_sched.Scheduler.submit (scheduler_of_subtask t sid) ~class_id:(Ids.Subtask_id.to_int sid)
+    ~work ~on_complete
+
+let backlog t sid =
+  Lla_sched.Scheduler.backlog (scheduler_of_subtask t sid) ~class_id:(Ids.Subtask_id.to_int sid)

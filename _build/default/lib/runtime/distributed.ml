@@ -1,0 +1,222 @@
+type config = {
+  message_delay : float;
+  controller_period : float;
+  resource_period : float;
+  step_policy : Lla.Step_size.policy;
+  mu0 : float;
+  sweeps : int;
+}
+
+let default_config =
+  {
+    message_delay = 1.0;
+    controller_period = 10.0;
+    resource_period = 10.0;
+    step_policy = Lla.Step_size.adaptive ~initial:1.0 ();
+    mu0 = 1.0;
+    sweeps = 2;
+  }
+
+(* Per-resource price agent: owns mu_r and its adaptive step size; sees
+   only the latencies announced for its own subtasks. *)
+type agent = {
+  resource : int;
+  mutable price : float;
+  mutable gamma : float;
+  lat_view : float array;  (* latest announced latency per local subtask slot *)
+  local_subtasks : int array;  (* problem subtask indices on this resource *)
+  controllers : int list;  (* task indices to notify *)
+}
+
+(* Per-task controller: owns its path prices and a stale view of resource
+   prices. Writes only its own subtasks' latency slots. *)
+type controller = {
+  task : int;
+  mu_view : float array;  (* indexed by resource *)
+  congested_view : bool array;
+  lambda : float array;  (* indexed by global path id; only own paths used *)
+  gamma_p : float array;  (* per own path *)
+  lat : float array;  (* shared storage; controller writes only own slots *)
+}
+
+type t = {
+  config : config;
+  engine : Lla_sim.Engine.t;
+  problem : Lla.Problem.t;
+  agents : agent array;
+  controllers : controller array;
+  offsets : float array;
+  lat : float array;  (* controller-written latency vector *)
+  mutable messages : int;
+  mutable price_rounds : int;
+  mutable allocation_rounds : int;
+  mutable started : bool;
+}
+
+let initial_gamma policy =
+  match (policy : Lla.Step_size.policy) with
+  | Lla.Step_size.Fixed g -> g
+  | Lla.Step_size.Adaptive { initial; _ } -> initial
+
+let adapt policy gamma ~congested =
+  match (policy : Lla.Step_size.policy) with
+  | Lla.Step_size.Fixed g -> g
+  | Lla.Step_size.Adaptive { initial; multiplier; cap } ->
+    if congested then Float.min cap (gamma *. multiplier) else initial
+
+let create ?(config = default_config) engine workload =
+  let problem = Lla.Problem.compile workload in
+  let n_subtasks = Lla.Problem.n_subtasks problem in
+  let n_resources = Lla.Problem.n_resources problem in
+  let lat = Array.init n_subtasks (fun i -> problem.subtasks.(i).lat_hi) in
+  let agents =
+    Array.init n_resources (fun r ->
+        let local = problem.by_resource.(r) in
+        let controllers =
+          Array.to_list local
+          |> List.map (fun i -> problem.subtasks.(i).task)
+          |> List.sort_uniq Int.compare
+        in
+        {
+          resource = r;
+          price = config.mu0;
+          gamma = initial_gamma config.step_policy;
+          lat_view = Array.map (fun i -> lat.(i)) local;
+          local_subtasks = local;
+          controllers;
+        })
+  in
+  let controllers =
+    Array.init (Lla.Problem.n_tasks problem) (fun ti ->
+        {
+          task = ti;
+          mu_view = Array.make n_resources config.mu0;
+          congested_view = Array.make n_resources false;
+          lambda = Array.make (Lla.Problem.n_paths problem) 0.;
+          gamma_p =
+            Array.make
+              (Array.length problem.tasks.(ti).path_indices)
+              (initial_gamma config.step_policy);
+          lat;
+        })
+  in
+  {
+    config;
+    engine;
+    problem;
+    agents;
+    controllers;
+    offsets = Array.make n_subtasks 0.;
+    lat;
+    messages = 0;
+    price_rounds = 0;
+    allocation_rounds = 0;
+    started = false;
+  }
+
+let send t ~delay f =
+  t.messages <- t.messages + 1;
+  ignore (Lla_sim.Engine.schedule_after t.engine ~delay (fun _ -> f ()))
+
+(* Agent tick: Eq. 8 from the announced latencies, then broadcast. *)
+let agent_tick t (a : agent) =
+  t.price_rounds <- t.price_rounds + 1;
+  let used = ref 0. in
+  Array.iteri
+    (fun slot i ->
+      used :=
+        !used +. Lla.Problem.effective_share t.problem i ~lat:a.lat_view.(slot) ~offset:t.offsets.(i))
+    a.local_subtasks;
+  let cap = t.problem.capacities.(a.resource) in
+  let congested = !used > cap +. 1e-12 in
+  a.price <- Float.max 0. (a.price -. (a.gamma *. (cap -. !used)));
+  a.gamma <- adapt t.config.step_policy a.gamma ~congested;
+  let price = a.price in
+  List.iter
+    (fun ti ->
+      let c = t.controllers.(ti) in
+      send t ~delay:t.config.message_delay (fun () ->
+          c.mu_view.(a.resource) <- price;
+          c.congested_view.(a.resource) <- congested))
+    a.controllers
+
+(* Controller tick: Eq. 9 for own paths, Eq. 7 for own subtasks, then
+   announce the new latencies to the agents hosting them. *)
+let controller_tick t (c : controller) =
+  t.allocation_rounds <- t.allocation_rounds + 1;
+  let info = t.problem.tasks.(c.task) in
+  Array.iteri
+    (fun local p ->
+      let path = t.problem.paths.(p) in
+      let latency =
+        Array.fold_left (fun acc i -> acc +. c.lat.(i)) 0. path.subtask_indices
+      in
+      let slack = 1. -. (latency /. path.critical_time) in
+      c.lambda.(p) <- Float.max 0. (c.lambda.(p) -. (c.gamma_p.(local) *. slack));
+      let any_congested =
+        Array.exists (fun r -> c.congested_view.(r)) path.path_resources
+      in
+      c.gamma_p.(local) <- adapt t.config.step_policy c.gamma_p.(local) ~congested:any_congested)
+    info.path_indices;
+  Lla.Allocation.allocate_task t.problem c.task ~mu:c.mu_view ~lambda:c.lambda ~offsets:t.offsets
+    ~sweeps:t.config.sweeps ~lat:c.lat;
+  (* Group announcements per destination resource. *)
+  Array.iter
+    (fun i ->
+      let s = t.problem.subtasks.(i) in
+      let a = t.agents.(s.resource) in
+      let value = c.lat.(i) in
+      send t ~delay:t.config.message_delay (fun () ->
+          (* Locate the agent's slot for this subtask. *)
+          Array.iteri (fun slot j -> if j = i then a.lat_view.(slot) <- value) a.local_subtasks))
+    info.subtask_indices
+
+let start t =
+  if t.started then invalid_arg "Distributed.start: already started";
+  t.started <- true;
+  (* Initial announcements so agents have a latency view before pricing. *)
+  Array.iter
+    (fun (c : controller) ->
+      Array.iter
+        (fun i ->
+          let s = t.problem.subtasks.(i) in
+          let a = t.agents.(s.resource) in
+          let value = c.lat.(i) in
+          send t ~delay:t.config.message_delay (fun () ->
+              Array.iteri (fun slot j -> if j = i then a.lat_view.(slot) <- value) a.local_subtasks))
+        t.problem.tasks.(c.task).subtask_indices)
+    t.controllers;
+  let rec agent_loop a =
+    ignore
+      (Lla_sim.Engine.schedule_after t.engine ~delay:t.config.resource_period (fun _ ->
+           agent_tick t a;
+           agent_loop a))
+  in
+  Array.iter agent_loop t.agents;
+  let rec controller_loop c =
+    ignore
+      (Lla_sim.Engine.schedule_after t.engine ~delay:t.config.controller_period (fun _ ->
+           controller_tick t c;
+           controller_loop c))
+  in
+  Array.iter controller_loop t.controllers
+
+let run t ~duration =
+  if not t.started then start t;
+  Lla_sim.Engine.run_until t.engine (Lla_sim.Engine.now t.engine +. duration)
+
+let latency t sid = t.lat.(Lla.Problem.subtask_index t.problem sid)
+
+let share t sid =
+  let i = Lla.Problem.subtask_index t.problem sid in
+  Lla.Problem.effective_share t.problem i ~lat:t.lat.(i) ~offset:t.offsets.(i)
+
+let mu t rid = t.agents.(Lla.Problem.resource_index t.problem rid).price
+
+let utility t = Lla.Problem.total_utility t.problem ~lat:t.lat
+
+let messages_sent t = t.messages
+
+let price_rounds t = t.price_rounds
+
+let allocation_rounds t = t.allocation_rounds

@@ -1,0 +1,60 @@
+(** Message-passing deployment of LLA (paper §4.1).
+
+    One {e task controller} per task and one {e price agent} per resource
+    run as actors on the discrete-event engine:
+
+    - a price agent periodically recomputes its resource price from the
+      most recently received subtask latencies (Eq. 8) and broadcasts
+      [Price] messages to the controllers of tasks with subtasks on it
+      (including a congestion bit for the adaptive step-size heuristic);
+    - a task controller periodically recomputes its path prices (Eq. 9)
+      and its subtasks' latencies from its — possibly stale — view of the
+      resource prices (Eq. 7), then sends [Latency] messages to the
+      agents.
+
+    Messages incur a configurable one-way delay, so this exercises LLA
+    under the asynchrony a real deployment has. With zero delay and equal
+    periods the trajectory matches the synchronous {!Lla.Solver} engine up
+    to message ordering (tested). *)
+
+open Lla_model
+
+type config = {
+  message_delay : float;  (** one-way latency of the control channel, ms. *)
+  controller_period : float;  (** ms between controller allocations. *)
+  resource_period : float;  (** ms between price recomputations. *)
+  step_policy : Lla.Step_size.policy;
+  mu0 : float;
+  sweeps : int;
+}
+
+val default_config : config
+(** 1 ms delay, 10 ms periods, adaptive steps from 1.0, [mu0 = 1],
+    2 sweeps. *)
+
+type t
+
+val create : ?config:config -> Lla_sim.Engine.t -> Workload.t -> t
+
+val start : t -> unit
+(** Controllers announce initial latencies; agents and controllers begin
+    their periodic ticks. *)
+
+val run : t -> duration:float -> unit
+(** Convenience: {!start} on first use, then advance the engine. *)
+
+val latency : t -> Ids.Subtask_id.t -> float
+
+val share : t -> Ids.Subtask_id.t -> float
+
+val mu : t -> Ids.Resource_id.t -> float
+
+val utility : t -> float
+
+val messages_sent : t -> int
+
+val price_rounds : t -> int
+(** Total agent ticks so far. *)
+
+val allocation_rounds : t -> int
+(** Total controller ticks so far. *)

@@ -1,0 +1,68 @@
+(** The online optimizer actor (paper §6): runs LLA rounds periodically on
+    the cluster's engine, enacts the resulting shares on the schedulers,
+    and (optionally, from a configurable instant — Fig. 8 enables it at
+    t=277s) applies online model error correction from measured job
+    latencies. *)
+
+open Lla_model
+
+type config = {
+  solver_config : Lla.Solver.config;
+  warmup_iterations : int;
+      (** LLA iterations before the first enactment ("the optimizer runs
+          continuously until the utility improvement ... is below 1%"). *)
+  period : float;  (** ms between subsequent optimization rounds. *)
+  iterations_per_round : int;
+  error_correction : [ `Disabled | `Enabled_at of float ];
+      (** absolute engine time (ms) at which correction turns on. *)
+  correction_percentile : float;  (** §6.3 uses > 90th percentile samples. *)
+  correction_alpha : float;  (** exponential smoothing weight. *)
+  correction_min_samples : int;
+      (** skip a correction round for a subtask with fewer samples. *)
+  correction_per_task_percentiles : bool;
+      (** when true, each subtask samples at the percentile derived from
+          its task's [latency_percentile] via
+          {!Lla_model.Percentile_map.for_task} (paper §2.1) instead of
+          [correction_percentile]. *)
+  enact_threshold : float;
+      (** relative share change below which a new allocation is not pushed
+          to the scheduler (the paper enacts "only when significant
+          changes occur", §4.4). 0 = always enact. *)
+  track_arrival_rates : bool;
+      (** when true, each round feeds {!Dispatcher.measured_rate} into
+          {!Lla.Solver.set_arrival_rate}, so the optimizer's rate-stability
+          bounds follow the *observed* workload rather than the static
+          specification — the paper's workload-variation adaptivity. *)
+}
+
+val default_config : config
+(** 2000 warmup iterations, 1000 ms period, 50 iterations/round,
+    correction disabled, percentile 95, alpha 0.3, min 8 samples, flat
+    percentiles, threshold 0 (always enact), rate tracking off. *)
+
+type t
+
+val create : ?config:config -> cluster:Cluster.t -> dispatcher:Dispatcher.t -> unit -> t
+(** Registers a subtask-latency observer on the dispatcher (for the
+    correctors) and prepares a solver over the cluster's workload. *)
+
+val start : t -> unit
+(** Run warmup, enact, and schedule the periodic rounds. *)
+
+val solver : t -> Lla.Solver.t
+
+val rounds : t -> int
+
+val share_trace : t -> Ids.Subtask_id.t -> Lla_stdx.Series.t
+(** Enacted share over time (x = engine ms). *)
+
+val offset_trace : t -> Ids.Subtask_id.t -> Lla_stdx.Series.t
+(** Error-correction offset over time. *)
+
+val offset : t -> Ids.Subtask_id.t -> float
+
+val enactments : t -> int
+(** Number of share updates actually pushed to schedulers. *)
+
+val skipped_enactments : t -> int
+(** Updates suppressed by [enact_threshold]. *)

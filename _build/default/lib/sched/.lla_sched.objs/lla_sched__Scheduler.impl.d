@@ -1,0 +1,1 @@
+lib/sched/scheduler.ml: Float Hashtbl List Lla_sim Queue

@@ -1,0 +1,83 @@
+type event = {
+  time : float;
+  seq : int;
+  action : t -> unit;
+  mutable live : bool;
+}
+
+and t = {
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable live_count : int;
+  mutable fired : int;
+  queue : event Lla_stdx.Heap.t;
+}
+
+type event_id = event
+
+let compare_events a b =
+  match Float.compare a.time b.time with 0 -> Int.compare a.seq b.seq | c -> c
+
+let create ?(start_time = 0.) () =
+  {
+    clock = start_time;
+    next_seq = 0;
+    live_count = 0;
+    fired = 0;
+    queue = Lla_stdx.Heap.create ~cmp:compare_events;
+  }
+
+let now t = t.clock
+
+let schedule t ~at action =
+  if at < t.clock then
+    invalid_arg (Printf.sprintf "Engine.schedule: time %g is before now (%g)" at t.clock);
+  let event = { time = at; seq = t.next_seq; action; live = true } in
+  t.next_seq <- t.next_seq + 1;
+  t.live_count <- t.live_count + 1;
+  Lla_stdx.Heap.push t.queue event;
+  event
+
+let schedule_after t ~delay action =
+  if delay < 0. then invalid_arg "Engine.schedule_after: negative delay";
+  schedule t ~at:(t.clock +. delay) action
+
+let cancel t event =
+  if event.live then begin
+    event.live <- false;
+    t.live_count <- t.live_count - 1
+  end
+
+let cancelled _ event = not event.live
+
+let rec step t =
+  match Lla_stdx.Heap.pop t.queue with
+  | None -> false
+  | Some event when not event.live -> step t
+  | Some event ->
+    event.live <- false;
+    t.live_count <- t.live_count - 1;
+    t.clock <- event.time;
+    t.fired <- t.fired + 1;
+    event.action t;
+    true
+
+let run_until t horizon =
+  if horizon < t.clock then invalid_arg "Engine.run_until: horizon is in the past";
+  let rec loop () =
+    match Lla_stdx.Heap.peek t.queue with
+    | Some event when event.time <= horizon ->
+      ignore (step t);
+      loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  t.clock <- horizon
+
+let run t ?(max_events = max_int) () =
+  let rec loop remaining = if remaining > 0 && step t then loop (remaining - 1) in
+  loop max_events
+
+let pending t = t.live_count
+
+let events_fired t = t.fired

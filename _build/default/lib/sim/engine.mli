@@ -1,0 +1,40 @@
+(** Discrete-event simulation engine.
+
+    A single-threaded event loop over simulated time (ms). Events at equal
+    times fire in scheduling order (deterministic tie-break by sequence
+    number), so simulations are reproducible. *)
+
+type t
+
+type event_id
+
+val create : ?start_time:float -> unit -> t
+
+val now : t -> float
+
+val schedule : t -> at:float -> (t -> unit) -> event_id
+(** Schedule a callback at absolute time [at].
+    @raise Invalid_argument when [at] is in the past. *)
+
+val schedule_after : t -> delay:float -> (t -> unit) -> event_id
+(** Schedule after a non-negative [delay] from {!now}. *)
+
+val cancel : t -> event_id -> unit
+(** Cancelling an already-fired or cancelled event is a no-op. *)
+
+val cancelled : t -> event_id -> bool
+
+val step : t -> bool
+(** Fire the earliest pending event; [false] when none remain. *)
+
+val run_until : t -> float -> unit
+(** Fire every event with time <= the horizon, then advance {!now} to the
+    horizon. *)
+
+val run : t -> ?max_events:int -> unit -> unit
+(** Fire events until none remain (or [max_events] fired). *)
+
+val pending : t -> int
+(** Number of live (non-cancelled) scheduled events. *)
+
+val events_fired : t -> int

@@ -1,0 +1,1 @@
+lib/stdx/ascii_plot.ml: Array Buffer Float List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/stdx/ascii_plot.mli:

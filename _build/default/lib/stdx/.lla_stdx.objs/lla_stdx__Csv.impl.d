@@ -1,0 +1,1 @@
+lib/stdx/csv.ml: Buffer Fun List Printf String

@@ -1,0 +1,1 @@
+lib/stdx/percentile.ml: Array Float Stdlib

@@ -1,0 +1,1 @@
+lib/stdx/rng.mli:

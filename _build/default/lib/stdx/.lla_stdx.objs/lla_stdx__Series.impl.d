@@ -1,0 +1,1 @@
+lib/stdx/series.ml: Array Float List Stats Stdlib

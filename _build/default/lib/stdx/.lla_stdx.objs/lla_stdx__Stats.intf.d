@@ -1,0 +1,1 @@
+lib/stdx/stats.mli: Format

@@ -1,0 +1,1 @@
+lib/stdx/table.ml: Array Buffer List Printf String

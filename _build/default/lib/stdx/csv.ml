@@ -1,0 +1,33 @@
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let escape s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let row_to_string cells = String.concat "," (List.map escape cells)
+
+let write ~path ~header ~rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (row_to_string header);
+      output_char oc '\n';
+      List.iter
+        (fun row ->
+          output_string oc (row_to_string row);
+          output_char oc '\n')
+        rows)
+
+let series_rows points =
+  List.map (fun (x, y) -> [ Printf.sprintf "%.17g" x; Printf.sprintf "%.17g" y ]) points

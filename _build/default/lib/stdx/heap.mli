@@ -1,0 +1,33 @@
+(** Imperative binary min-heap with a user-supplied ordering.
+
+    Used as the event queue of the discrete-event simulator and as the
+    ready queue of the virtual-time schedulers. All operations are
+    O(log n) except {!peek} and {!size} which are O(1). *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp] (minimum first). *)
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Minimum element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Elements in unspecified order (heap order of the backing array). *)
+
+val drain : 'a t -> 'a list
+(** Remove every element, returned in increasing order. *)

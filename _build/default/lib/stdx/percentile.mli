@@ -1,0 +1,49 @@
+(** Percentile estimation: exact (from stored samples) and streaming (P²).
+
+    The paper computes utilities from configurable latency percentiles
+    (§2.1) and feeds "high percentile samples (greater than 90th
+    percentile)" into the model error corrector (§6.3); both consumers use
+    this module. *)
+
+val exact : float array -> p:float -> float
+(** [exact samples ~p] is the [p]-th percentile ([0 <= p <= 100]) using
+    linear interpolation between closest ranks. The array is not modified.
+    @raise Invalid_argument on an empty array or [p] outside [\[0, 100\]]. *)
+
+(** Reservoir of recent samples with exact percentile queries. *)
+module Window : sig
+  type t
+
+  val create : capacity:int -> t
+  (** Keeps the most recent [capacity] samples (circular buffer). *)
+
+  val add : t -> float -> unit
+
+  val count : t -> int
+  (** Number of samples currently held (at most [capacity]). *)
+
+  val total : t -> int
+  (** Number of samples ever added. *)
+
+  val percentile : t -> p:float -> float option
+  (** [None] when empty. *)
+
+  val clear : t -> unit
+end
+
+(** Streaming P² estimator (Jain & Chlamtac, 1985): O(1) memory, no stored
+    samples. Accurate for stationary streams; used where windows would be
+    too costly. *)
+module P2 : sig
+  type t
+
+  val create : p:float -> t
+  (** Estimator for the [p]-th percentile, [0 < p < 100]. *)
+
+  val add : t -> float -> unit
+
+  val count : t -> int
+
+  val get : t -> float option
+  (** Current estimate; [None] with fewer than 5 samples. *)
+end

@@ -1,0 +1,1 @@
+lib/workloads/paper_sim.ml: Array Float Graph Ids List Lla_model Printf Resource Subtask Task Trigger Utility Workload

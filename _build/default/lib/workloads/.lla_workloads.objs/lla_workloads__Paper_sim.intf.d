@@ -1,0 +1,1 @@
+lib/workloads/paper_sim.mli: Lla_model Utility Workload

@@ -1,0 +1,1 @@
+lib/workloads/prototype.ml: Graph Ids List Lla_model Printf Resource Subtask Task Trigger Utility Workload

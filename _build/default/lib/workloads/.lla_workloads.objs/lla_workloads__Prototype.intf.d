@@ -1,0 +1,1 @@
+lib/workloads/prototype.mli: Ids Lla_model Workload

@@ -1,0 +1,1 @@
+lib/workloads/random_gen.ml: Array Float Fun Graph Ids List Lla_model Lla_stdx Resource Stdlib Subtask Task Trigger Utility Workload

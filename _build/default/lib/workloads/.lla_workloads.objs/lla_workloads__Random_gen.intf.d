@@ -1,0 +1,1 @@
+lib/workloads/random_gen.mli: Lla_model Utility Workload

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Float Graph Ids List Lla Lla_baseline Lla_model Lla_workloads Printf QCheck QCheck_alcotest Resource Subtask Task Trigger Utility Workload

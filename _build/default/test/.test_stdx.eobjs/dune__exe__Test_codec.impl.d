@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Filename Float Graph Ids List Lla Lla_model Lla_workloads Printf QCheck QCheck_alcotest Resource Share String Subtask Sys Task Trigger Utility Workload Workload_codec

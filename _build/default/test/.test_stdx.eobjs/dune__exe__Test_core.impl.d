@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float Format Graph Ids Int List Lla Lla_baseline Lla_model Lla_stdx Lla_workloads Printf QCheck QCheck_alcotest Resource Share Subtask Task Trigger Utility Workload

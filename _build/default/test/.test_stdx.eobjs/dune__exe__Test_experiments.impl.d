@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Float List Lla Lla_experiments Option Printf String

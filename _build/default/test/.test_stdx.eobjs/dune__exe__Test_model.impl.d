@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Float Graph Ids List Lla_model Lla_stdx Percentile_map Printf QCheck QCheck_alcotest Resource Share String Subtask Task Trigger Utility Workload

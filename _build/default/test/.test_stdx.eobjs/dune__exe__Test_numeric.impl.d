@@ -1,0 +1,1 @@
+test/test_numeric.ml: Alcotest Float List Lla_numeric Printf QCheck QCheck_alcotest Solve

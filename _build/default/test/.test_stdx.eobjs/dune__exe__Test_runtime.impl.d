@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Float Graph Hashtbl Ids List Lla Lla_model Lla_runtime Lla_sim Lla_stdx Lla_workloads Option Printf Resource Subtask Task Trigger Utility Workload

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Float Gen List Lla_sched Lla_sim Printf QCheck QCheck_alcotest Scheduler

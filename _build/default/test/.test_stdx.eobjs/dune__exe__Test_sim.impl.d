@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Engine Gen List Lla_sim QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_stdx.ml: Alcotest Array Ascii_plot Csv Ewma Filename Float Fun Gen Heap Int Int64 List Lla_stdx Percentile Printf QCheck QCheck_alcotest Rng Series Stats String Sys Table

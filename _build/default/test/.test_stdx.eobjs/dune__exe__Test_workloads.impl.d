@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Float Graph Ids List Lla_model Lla_workloads Printf QCheck QCheck_alcotest Resource String Subtask Task Workload

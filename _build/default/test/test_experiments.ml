@@ -1,0 +1,234 @@
+(* Integration tests: each experiment harness reproduces the paper's
+   qualitative result (run with reduced budgets where possible). *)
+
+let find_curve (r : Lla_experiments.Fig5.result) label =
+  List.find (fun (c : Lla_experiments.Fig5.curve) -> c.label = label) r.Lla_experiments.Fig5.curves
+
+let test_table1 () =
+  let r = Lla_experiments.Table1.run () in
+  Alcotest.(check bool) "critical paths within 1% below C" true
+    r.Lla_experiments.Table1.within_one_percent;
+  Alcotest.(check bool) "converged" true (r.Lla_experiments.Table1.converged_at <> None);
+  (* Critical paths within 2% of the paper's reported values. *)
+  List.iter
+    (fun (name, paper, measured) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %.2f vs paper %.2f" name measured paper)
+        true
+        (Float.abs (measured -. paper) /. paper < 0.02))
+    r.Lla_experiments.Table1.critical_paths;
+  (* Per-subtask latencies in the right ballpark (the exact optimum depends
+     on unpublished parameters; Table 1 deviations stay within 30%). *)
+  List.iter
+    (fun (name, paper, measured) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s latency %.2f vs paper %.2f" name measured paper)
+        true
+        (Float.abs (measured -. paper) /. paper < 0.30))
+    r.Lla_experiments.Table1.latencies;
+  (* The report renders. *)
+  Alcotest.(check bool) "report non-empty" true
+    (String.length (Lla_experiments.Table1.report r) > 100)
+
+let test_fig5_shape () =
+  let r = Lla_experiments.Fig5.run ~iterations:2000 () in
+  let adaptive = find_curve r "adaptive" in
+  let g01 = find_curve r "gamma=0.1" in
+  let g1 = find_curve r "gamma=1" in
+  let g10 = find_curve r "gamma=10" in
+  (* gamma = 10 oscillates: never within 1.5% of the optimum, large tail
+     variance. *)
+  Alcotest.(check (option int)) "gamma=10 never converges" None g10.to_optimum_at;
+  Alcotest.(check bool) "gamma=10 oscillation dominates" true
+    (g10.tail_stddev > 10. *. adaptive.tail_stddev);
+  (* gamma = 0.1 is far slower than gamma = 1. *)
+  let to_int = function Some i -> i | None -> max_int in
+  Alcotest.(check bool) "gamma=0.1 slower than gamma=1 (paper: >1000 vs ~500)" true
+    (to_int g01.to_optimum_at > 1000 && to_int g1.to_optimum_at < 1000);
+  (* Adaptive converges feasibly, at least as fast as gamma=1. *)
+  Alcotest.(check bool) "adaptive feasible" true adaptive.feasible_at_end;
+  Alcotest.(check bool) "adaptive no slower than gamma=1 (within slack)" true
+    (to_int adaptive.to_optimum_at <= to_int g1.to_optimum_at + 100)
+
+let test_fig6_shape () =
+  let r = Lla_experiments.Fig6.run ~iterations:2000 () in
+  let points = r.Lla_experiments.Fig6.points in
+  Alcotest.(check (list int)) "task counts" [ 3; 6; 12 ]
+    (List.map (fun (p : Lla_experiments.Fig6.point) -> p.n_tasks) points);
+  (* Every scale converges. *)
+  List.iter
+    (fun (p : Lla_experiments.Fig6.point) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%d tasks converge" p.n_tasks)
+        true (p.converged_at <> None))
+    points;
+  (* Convergence speed does not blow up with the task count: the largest
+     workload converges within 3x the iterations of the smallest. *)
+  let iters =
+    List.map
+      (fun (p : Lla_experiments.Fig6.point) -> Option.value p.converged_at ~default:max_int)
+      points
+  in
+  let lo = List.fold_left min max_int iters and hi = List.fold_left max 0 iters in
+  Alcotest.(check bool)
+    (Printf.sprintf "spread bounded (%d..%d)" lo hi)
+    true
+    (hi <= 4 * lo);
+  (* Utility grows roughly linearly: normalized values within 25% of each
+     other. *)
+  let normalized =
+    List.map (fun (p : Lla_experiments.Fig6.point) -> p.utility_per_task_normalized) points
+  in
+  let nlo = List.fold_left Float.min infinity normalized in
+  let nhi = List.fold_left Float.max neg_infinity normalized in
+  Alcotest.(check bool)
+    (Printf.sprintf "normalized utility flat (%.1f..%.1f)" nlo nhi)
+    true
+    (nhi /. nlo < 1.25)
+
+let test_fig7_shape () =
+  let r = Lla_experiments.Fig7.run ~iterations:300 () in
+  Alcotest.(check bool) "verdict unschedulable" true
+    (not (Lla.Schedulability.is_schedulable r.Lla_experiments.Fig7.verdict));
+  let _, hi = r.Lla_experiments.Fig7.overrun_range in
+  Alcotest.(check bool) "critical paths overrun" true (hi > 1.);
+  let _, chi = r.Lla_experiments.Fig7.capacity_overrun_range in
+  Alcotest.(check bool) "resources oversubscribed" true (chi > 1.);
+  Alcotest.(check bool) "control workload converges" true
+    r.Lla_experiments.Fig7.schedulable_control;
+  Alcotest.(check int) "share series per resource" 8
+    (List.length r.Lla_experiments.Fig7.share_series)
+
+let test_fig8_shape () =
+  (* Shorter run than the headline experiment, same qualitative outcome. *)
+  let r = Lla_experiments.Fig8.run ~duration:60_000. ~enable_correction_at:20_000. () in
+  let shares = r.Lla_experiments.Fig8.shares in
+  let measured label =
+    let _, _, v = List.find (fun (l, _, _) -> l = label) shares in
+    v
+  in
+  (* After correction: fast at the 0.2 stability floor, slow near 0.25 --
+     the paper's exact annotations. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "fast-after = 0.20 (got %.4f)" (measured "fast-after"))
+    true
+    (Float.abs (measured "fast-after" -. 0.20) < 0.01);
+  Alcotest.(check bool)
+    (Printf.sprintf "slow-after = 0.25 (got %.4f)" (measured "slow-after"))
+    true
+    (Float.abs (measured "slow-after" -. 0.25) < 0.02);
+  (* Correction moves the shares in the paper's directions. *)
+  Alcotest.(check bool) "fast falls" true (r.Lla_experiments.Fig8.fast_change_percent < -10.);
+  Alcotest.(check bool) "slow rises" true (r.Lla_experiments.Fig8.slow_change_percent > 10.);
+  (* Hardly any deadline misses. *)
+  Alcotest.(check bool) "misses rare" true
+    (r.Lla_experiments.Fig8.deadline_misses * 100 < r.Lla_experiments.Fig8.completions)
+
+let test_ablation_runs () =
+  let r = Lla_experiments.Ablation.run ~iterations:800 ~system_duration:8_000. () in
+  (* LLA row leads and respects both constraint families. *)
+  (match r.Lla_experiments.Ablation.baselines with
+  | lla :: _ ->
+    Alcotest.(check string) "LLA first" "LLA" lla.Lla_experiments.Ablation.name;
+    Alcotest.(check bool) "LLA feasible" true
+      (lla.Lla_experiments.Ablation.meets_deadlines && lla.Lla_experiments.Ablation.fits_resources)
+  | [] -> Alcotest.fail "no baseline rows");
+  Alcotest.(check int) "two variants" 2 (List.length r.Lla_experiments.Ablation.variants);
+  Alcotest.(check int) "four caps" 4 (List.length r.Lla_experiments.Ablation.caps);
+  Alcotest.(check int) "four schedulers" 4 (List.length r.Lla_experiments.Ablation.schedulers);
+  (* Report renders. *)
+  Alcotest.(check bool) "report" true (String.length (Lla_experiments.Ablation.report r) > 200)
+
+
+let test_adaptation () =
+  let r = Lla_experiments.Adaptation.run ~iterations_per_phase:1200 () in
+  (match r.Lla_experiments.Adaptation.phases with
+  | [ nominal; degraded; recovered ] ->
+    Alcotest.(check bool) "all phases feasible" true
+      (nominal.Lla_experiments.Adaptation.feasible
+      && degraded.Lla_experiments.Adaptation.feasible
+      && recovered.Lla_experiments.Adaptation.feasible);
+    Alcotest.(check bool) "degraded utility lower" true
+      (degraded.Lla_experiments.Adaptation.utility
+      < nominal.Lla_experiments.Adaptation.utility);
+    Alcotest.(check bool) "recovery restores the optimum" true
+      (Float.abs
+         (recovered.Lla_experiments.Adaptation.utility
+         -. nominal.Lla_experiments.Adaptation.utility)
+      /. nominal.Lla_experiments.Adaptation.utility
+      < 0.02);
+    List.iter
+      (fun (p : Lla_experiments.Adaptation.phase) ->
+        Alcotest.(check bool) (p.phase_name ^ " reconverges") true (p.reconverged_at <> None))
+      [ nominal; degraded; recovered ]
+  | _ -> Alcotest.fail "expected three phases");
+  Alcotest.(check bool) "report renders" true
+    (String.length (Lla_experiments.Adaptation.report r) > 200)
+
+let test_share_model_ablation () =
+  let r = Lla_experiments.Ablation.run ~iterations:800 ~system_duration:5_000. () in
+  Alcotest.(check int) "three share models" 3
+    (List.length r.Lla_experiments.Ablation.share_models);
+  List.iter
+    (fun (row : Lla_experiments.Ablation.share_model_row) ->
+      Alcotest.(check bool) (row.model ^ " converges") true (row.converged_at <> None);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s KKT small (%.4f)" row.model row.kkt_worst)
+        true (row.kkt_worst < 0.05))
+    r.Lla_experiments.Ablation.share_models
+
+
+let test_workload_variation () =
+  let r = Lla_experiments.Workload_variation.run ~duration:90_000. ~switch_at:45_000. () in
+  let open Lla_experiments.Workload_variation in
+  (* Before the switch the fast tasks sit at the 0.2 floor (correction
+     active); after, the measured 60/s rate lifts them to 0.3. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "fast before ~0.2 (got %.3f)" r.fast_share_before)
+    true
+    (Float.abs (r.fast_share_before -. 0.2) < 0.02);
+  Alcotest.(check bool)
+    (Printf.sprintf "fast after ~0.3 (got %.3f)" r.fast_share_after)
+    true
+    (Float.abs (r.fast_share_after -. 0.3) < 0.02);
+  Alcotest.(check bool) "slow gives capacity back" true
+    (r.slow_share_after < r.slow_share_before);
+  Alcotest.(check bool) "backlog bounded" true r.backlog_bounded;
+  Alcotest.(check bool) "few misses" true (r.misses_after_switch * 50 < r.completions)
+
+let test_delay_sweep () =
+  let r = Lla_experiments.Delay_sweep.run ~delays:[ 1.; 10. ] ~horizon:60_000. () in
+  let open Lla_experiments.Delay_sweep in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "delay %.0fms gap %.2f%% small" p.delay p.utility_gap_percent)
+        true
+        (p.utility_gap_percent < 3.);
+      Alcotest.(check bool) "violations tiny" true (p.max_violation_percent < 2.))
+    r.points
+
+let test_reports_render () =
+  (* Rendering only; small budgets. *)
+  let fig7 = Lla_experiments.Fig7.run ~iterations:120 () in
+  Alcotest.(check bool) "fig7 report" true
+    (String.length (Lla_experiments.Fig7.report fig7) > 200)
+
+let () =
+  Alcotest.run "lla_experiments"
+    [
+      ( "paper-reproduction",
+        [
+          Alcotest.test_case "Table 1" `Slow test_table1;
+          Alcotest.test_case "Figure 5 shape" `Slow test_fig5_shape;
+          Alcotest.test_case "Figure 6 shape" `Slow test_fig6_shape;
+          Alcotest.test_case "Figure 7 shape" `Slow test_fig7_shape;
+          Alcotest.test_case "Figure 8 shape" `Slow test_fig8_shape;
+          Alcotest.test_case "ablations" `Slow test_ablation_runs;
+          Alcotest.test_case "adaptation to resource variation" `Slow test_adaptation;
+          Alcotest.test_case "share-model ablation" `Slow test_share_model_ablation;
+          Alcotest.test_case "workload variation (rate tracking)" `Slow test_workload_variation;
+          Alcotest.test_case "distributed delay sweep" `Slow test_delay_sweep;
+          Alcotest.test_case "reports render" `Slow test_reports_render;
+        ] );
+    ]

@@ -1,0 +1,673 @@
+(* Tests for the lla_model programming model. *)
+
+open Lla_model
+
+let sid = Ids.Subtask_id.make
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (expected %g, got %g)" msg expected actual)
+    true
+    (Float.abs (expected -. actual) <= eps)
+
+(* ------------------------------------------------------------------ *)
+(* Ids                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_ids_roundtrip () =
+  let id = Ids.Task_id.make 17 in
+  Alcotest.(check int) "to_int" 17 (Ids.Task_id.to_int id);
+  Alcotest.(check string) "to_string" "T17" (Ids.Task_id.to_string id);
+  Alcotest.(check bool) "equal" true (Ids.Task_id.equal id (Ids.Task_id.make 17));
+  Alcotest.(check bool) "ordering" true (Ids.Task_id.compare id (Ids.Task_id.make 18) < 0)
+
+let test_ids_negative () =
+  Alcotest.check_raises "negative id" (Invalid_argument "T id: negative") (fun () ->
+      ignore (Ids.Task_id.make (-1)))
+
+let test_ids_collections () =
+  let set = Ids.Subtask_id.Set.of_list [ sid 1; sid 2; sid 1 ] in
+  Alcotest.(check int) "set dedupes" 2 (Ids.Subtask_id.Set.cardinal set);
+  let map = Ids.Subtask_id.Map.(add (sid 3) "x" empty) in
+  Alcotest.(check (option string)) "map lookup" (Some "x") (Ids.Subtask_id.Map.find_opt (sid 3) map)
+
+(* ------------------------------------------------------------------ *)
+(* Resource                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_resource_defaults () =
+  let r = Resource.make 4 in
+  Alcotest.(check string) "name" "r4" r.Resource.name;
+  check_close "availability" 1.0 r.Resource.availability;
+  check_close "lag" 0.0 r.Resource.lag
+
+let test_resource_validation () =
+  Alcotest.check_raises "availability > 1"
+    (Invalid_argument "Resource.make: availability outside [0, 1]") (fun () ->
+      ignore (Resource.make ~availability:1.2 0));
+  Alcotest.check_raises "negative lag" (Invalid_argument "Resource.make: negative lag") (fun () ->
+      ignore (Resource.make ~lag:(-1.) 0))
+
+(* ------------------------------------------------------------------ *)
+(* Share                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_share_reciprocal () =
+  let s = Share.instantiate Share.Reciprocal ~exec:5. ~lag:5. in
+  check_close "eq 10: share = (c + l) / lat" 0.2 (s.Share.eval 50.);
+  check_close "inverse" 50. (s.Share.inverse 0.2);
+  check_close "lat_min makes share 1" 1.0 (s.Share.eval s.Share.lat_min);
+  check_close ~eps:1e-6 "derivative" (-10. /. (50. *. 50.)) (s.Share.deval 50.)
+
+let test_share_power_reduces_to_reciprocal () =
+  let p = Share.instantiate (Share.Power { exponent = 1. }) ~exec:3. ~lag:2. in
+  let r = Share.instantiate Share.Reciprocal ~exec:3. ~lag:2. in
+  check_close "same eval" (r.Share.eval 12.) (p.Share.eval 12.);
+  check_close "same inverse" (r.Share.inverse 0.3) (p.Share.inverse 0.3)
+
+let test_share_validation () =
+  Alcotest.check_raises "exec <= 0" (Invalid_argument "Share.instantiate: exec <= 0") (fun () ->
+      ignore (Share.instantiate Share.Reciprocal ~exec:0. ~lag:1.));
+  Alcotest.check_raises "power < 1" (Invalid_argument "Share.instantiate: power exponent < 1")
+    (fun () -> ignore (Share.instantiate (Share.Power { exponent = 0.5 }) ~exec:1. ~lag:0.))
+
+let prop_share_inverse_roundtrip =
+  QCheck.Test.make ~name:"share: inverse(eval(lat)) = lat for both models"
+    QCheck.(triple (float_range 0.5 20.) (float_range 0. 10.) (float_range 1. 3.))
+    (fun (exec, lag, exponent) ->
+      let check spec =
+        let s = Share.instantiate spec ~exec ~lag in
+        let lat = s.Share.lat_min *. 3. in
+        Float.abs (s.Share.inverse (s.Share.eval lat) -. lat) < 1e-6
+      in
+      check Share.Reciprocal && check (Share.Power { exponent }))
+
+let prop_share_decreasing_convex =
+  QCheck.Test.make ~name:"share: eval is decreasing and strictly convex"
+    QCheck.(pair (float_range 1. 10.) (float_range 1. 3.))
+    (fun (exec, exponent) ->
+      let s = Share.instantiate (Share.Power { exponent }) ~exec ~lag:1. in
+      let base = s.Share.lat_min in
+      let l1 = base *. 2. and l2 = base *. 3. and l3 = base *. 4. in
+      s.Share.eval l1 > s.Share.eval l2
+      && s.Share.eval l2 > s.Share.eval l3
+      && s.Share.eval l2 < (s.Share.eval l1 +. s.Share.eval l3) /. 2.)
+
+(* ------------------------------------------------------------------ *)
+(* Utility                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_utility_linear () =
+  let u = Utility.linear ~k:2. ~critical_time:45. in
+  check_close "f(44.9) = 90 - 44.9" 45.1 (u.Utility.f 44.9);
+  check_close "slope" (-1.) (u.Utility.df 10.)
+
+let test_utility_negative_latency () =
+  let u = Utility.negative_latency () in
+  check_close "f(x) = -x" (-42.) (u.Utility.f 42.)
+
+let test_utility_constant () =
+  let u = Utility.constant ~value:7. in
+  check_close "flat" 7. (u.Utility.f 123.);
+  check_close "zero slope" 0. (u.Utility.df 123.)
+
+let test_utility_shapes_are_concave_decreasing () =
+  let cases =
+    [
+      Utility.linear ~k:2. ~critical_time:50.;
+      Utility.negative_latency ();
+      Utility.logarithmic ~k:2. ~critical_time:50. ();
+      Utility.soft_deadline ~sharpness:5. ~critical_time:50. ();
+      Utility.quadratic ();
+      Utility.constant ~value:1.;
+    ]
+  in
+  List.iter
+    (fun u ->
+      match Utility.check_concave_decreasing u ~lo:0.1 ~hi:49. ~samples:100 with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg)
+    cases
+
+let test_utility_validation () =
+  Alcotest.check_raises "linear k < 1" (Invalid_argument "Utility.linear: k < 1") (fun () ->
+      ignore (Utility.linear ~k:0.5 ~critical_time:10.));
+  Alcotest.check_raises "log k <= 1" (Invalid_argument "Utility.logarithmic: k <= 1") (fun () ->
+      ignore (Utility.logarithmic ~k:1. ~critical_time:10. ()))
+
+let test_utility_check_rejects_convex () =
+  let bogus = Utility.custom ~name:"convex" ~f:(fun x -> x *. x) ~df:(fun x -> 2. *. x) in
+  match Utility.check_concave_decreasing bogus ~lo:0.1 ~hi:10. ~samples:50 with
+  | Ok () -> Alcotest.fail "convex increasing function must be rejected"
+  | Error _ -> ()
+
+let test_utility_check_rejects_wrong_derivative () =
+  let bogus = Utility.custom ~name:"bad-df" ~f:(fun x -> -.x) ~df:(fun _ -> -2.) in
+  match Utility.check_concave_decreasing bogus ~lo:0.1 ~hi:10. ~samples:50 with
+  | Ok () -> Alcotest.fail "mismatched derivative must be rejected"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Trigger                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_trigger_periodic () =
+  let t = Trigger.periodic ~period:100. () in
+  let rng = Lla_stdx.Rng.create ~seed:1 in
+  check_close "rate" 0.01 (Trigger.mean_rate t);
+  check_close "first" 100. (Trigger.next_arrival t rng ~after:0.);
+  check_close "aligned" 200. (Trigger.next_arrival t rng ~after:100.);
+  check_close "mid-period" 300. (Trigger.next_arrival t rng ~after:250.)
+
+let test_trigger_periodic_phase () =
+  let t = Trigger.periodic ~phase:30. ~period:100. () in
+  let rng = Lla_stdx.Rng.create ~seed:1 in
+  check_close "before phase" 30. (Trigger.next_arrival t rng ~after:0.);
+  check_close "after phase" 130. (Trigger.next_arrival t rng ~after:30.)
+
+let test_trigger_poisson_mean () =
+  let t = Trigger.poisson ~rate_per_second:40. in
+  check_close "rate in per-ms" 0.04 (Trigger.mean_rate t);
+  let rng = Lla_stdx.Rng.create ~seed:5 in
+  let stats = Lla_stdx.Stats.create () in
+  let now = ref 0. in
+  for _ = 1 to 20_000 do
+    let next = Trigger.next_arrival t rng ~after:!now in
+    Lla_stdx.Stats.add stats (next -. !now);
+    now := next
+  done;
+  Alcotest.(check bool) "mean interarrival ~25ms" true
+    (Float.abs (Lla_stdx.Stats.mean stats -. 25.) < 1.)
+
+let test_trigger_bursty () =
+  let t = Trigger.bursty ~on_duration:30. ~off_duration:70. ~period_in_burst:10. in
+  let rng = Lla_stdx.Rng.create ~seed:1 in
+  (* Arrivals at 0 (cycle start handled by first call after:-?) — from 0 the
+     next in-burst slots are 10, 20, 30, then silence until 100. *)
+  check_close "second slot" 10. (Trigger.next_arrival t rng ~after:0.);
+  check_close "third slot" 20. (Trigger.next_arrival t rng ~after:10.);
+  check_close "last slot of burst" 30. (Trigger.next_arrival t rng ~after:20.);
+  check_close "off phase jumps to next cycle" 100. (Trigger.next_arrival t rng ~after:30.);
+  check_close "deep in off phase" 100. (Trigger.next_arrival t rng ~after:60.);
+  (* 4 arrivals (0, 10, 20, 30) per 100 ms cycle. *)
+  check_close "mean rate" 0.04 (Trigger.mean_rate t)
+
+let prop_trigger_arrivals_advance =
+  QCheck.Test.make ~name:"trigger: next_arrival is strictly after 'after'"
+    QCheck.(pair (int_range 0 2) (float_range 0. 500.))
+    (fun (kind, after) ->
+      let t =
+        match kind with
+        | 0 -> Trigger.periodic ~period:37. ()
+        | 1 -> Trigger.poisson ~rate_per_second:100.
+        | _ -> Trigger.bursty ~on_duration:20. ~off_duration:30. ~period_in_burst:7.
+      in
+      let rng = Lla_stdx.Rng.create ~seed:(int_of_float after) in
+      Trigger.next_arrival t rng ~after > after)
+
+
+let test_trigger_phased () =
+  let t =
+    Trigger.phased
+      ~before:(Trigger.periodic ~period:100. ())
+      ~switch_at:250.
+      ~after:(Trigger.periodic ~period:50. ())
+  in
+  let rng = Lla_stdx.Rng.create ~seed:1 in
+  check_close "before regime" 100. (Trigger.next_arrival t rng ~after:0.);
+  check_close "last before switch" 200. (Trigger.next_arrival t rng ~after:100.);
+  (* The next pre-switch arrival would be 300 >= switch_at, so the new
+     regime takes over starting from the switch time. *)
+  check_close "first after switch" 300. (Trigger.next_arrival t rng ~after:200.);
+  check_close "new period" 350. (Trigger.next_arrival t rng ~after:300.);
+  check_close "rate before" 0.01 (Trigger.rate_at t ~now:100.);
+  check_close "rate after" 0.02 (Trigger.rate_at t ~now:500.);
+  check_close "mean rate = long run" 0.02 (Trigger.mean_rate t)
+
+let test_trigger_phased_validation () =
+  let p = Trigger.periodic ~period:10. () in
+  Alcotest.(check bool) "nesting rejected" true
+    (try
+       ignore (Trigger.phased ~before:(Trigger.phased ~before:p ~switch_at:1. ~after:p)
+                 ~switch_at:2. ~after:p);
+       false
+     with Invalid_argument _ -> true)
+
+let test_trigger_float_progress () =
+  (* Regression: periodic arrivals at a non-representable period (1000/60)
+     must make strict progress even when k * period rounds to the current
+     time. *)
+  let t = Trigger.periodic ~period:(1000. /. 60.) () in
+  let rng = Lla_stdx.Rng.create ~seed:1 in
+  let now = ref 0. in
+  for _ = 1 to 5000 do
+    let next = Trigger.next_arrival t rng ~after:!now in
+    if next <= !now then Alcotest.fail (Printf.sprintf "stuck at %.9f" !now);
+    now := next
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Graph                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let diamond () =
+  (* 1 -> {2, 3} -> 4 *)
+  Graph.make_exn
+    ~nodes:[ sid 1; sid 2; sid 3; sid 4 ]
+    ~edges:[ (sid 1, sid 2); (sid 1, sid 3); (sid 2, sid 4); (sid 3, sid 4) ]
+
+let test_graph_chain () =
+  let g = Graph.chain [ sid 1; sid 2; sid 3 ] in
+  Alcotest.(check int) "one path" 1 (Graph.path_count g);
+  Alcotest.(check bool) "root" true (Ids.Subtask_id.equal (Graph.root g) (sid 1));
+  Alcotest.(check int) "leaves" 1 (List.length (Graph.leaves g))
+
+let test_graph_diamond_paths () =
+  let g = diamond () in
+  Alcotest.(check int) "two paths" 2 (Graph.path_count g);
+  let paths = Graph.paths g in
+  Alcotest.(check int) "enumeration agrees" 2 (List.length paths);
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "path length" 3 (List.length p);
+      Alcotest.(check bool) "starts at root" true (Ids.Subtask_id.equal (List.hd p) (sid 1)))
+    paths;
+  Alcotest.(check int) "paths through root" 2 (Graph.path_count_through g (sid 1));
+  Alcotest.(check int) "paths through branch" 1 (Graph.path_count_through g (sid 2));
+  Alcotest.(check int) "paths through join" 2 (Graph.path_count_through g (sid 4))
+
+let test_graph_fan_out () =
+  let g = Graph.fan_out ~root:(sid 1) ~hub:(sid 2) ~leaves:[ sid 3; sid 4; sid 5 ] in
+  Alcotest.(check int) "3 paths" 3 (Graph.path_count g);
+  Alcotest.(check int) "hub on all" 3 (Graph.path_count_through g (sid 2))
+
+let test_graph_weights () =
+  let g = diamond () in
+  let w = Graph.weights g ~variant:Utility.Path_weighted in
+  check_close "root weight 1" 1. (Ids.Subtask_id.Map.find (sid 1) w);
+  check_close "branch weight 1/2" 0.5 (Ids.Subtask_id.Map.find (sid 2) w);
+  check_close "join weight 1" 1. (Ids.Subtask_id.Map.find (sid 4) w);
+  let w_sum = Graph.weights g ~variant:Utility.Sum in
+  Ids.Subtask_id.Map.iter (fun _ v -> check_close "sum weights are 1" 1. v) w_sum
+
+let test_graph_weighted_sum_is_mean_path_latency () =
+  let g = diamond () in
+  let lat id = float_of_int (Ids.Subtask_id.to_int id) in
+  let w = Graph.weights g ~variant:Utility.Path_weighted in
+  let weighted =
+    Ids.Subtask_id.Map.fold (fun id weight acc -> acc +. (weight *. lat id)) w 0.
+  in
+  let mean_path =
+    let paths = Graph.paths g in
+    List.fold_left (fun acc p -> acc +. Graph.path_latency p ~latency:lat) 0. paths
+    /. float_of_int (List.length paths)
+  in
+  check_close "weighted sum = mean path latency" mean_path weighted
+
+let test_graph_critical_path () =
+  let g = diamond () in
+  let lat id = match Ids.Subtask_id.to_int id with 2 -> 10. | 3 -> 5. | _ -> 1. in
+  let path, cost = Graph.critical_path g ~latency:lat in
+  check_close "cost" 12. cost;
+  Alcotest.(check (list int)) "path goes through the slow branch" [ 1; 2; 4 ]
+    (List.map Ids.Subtask_id.to_int path)
+
+let test_graph_topological_order () =
+  let g = diamond () in
+  let order = Graph.topological_order g in
+  let position id =
+    let rec find i = function
+      | [] -> Alcotest.fail "missing node"
+      | x :: rest -> if Ids.Subtask_id.equal x id then i else find (i + 1) rest
+    in
+    find 0 order
+  in
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check bool) "edge respects order" true (position a < position b))
+    (Graph.edges g)
+
+let expect_error ~substring result =
+  match result with
+  | Ok _ -> Alcotest.fail (Printf.sprintf "expected error mentioning %S" substring)
+  | Error msg ->
+    let contains =
+      let nl = String.length substring and hl = String.length msg in
+      let rec scan i = i + nl <= hl && (String.sub msg i nl = substring || scan (i + 1)) in
+      scan 0
+    in
+    Alcotest.(check bool) (Printf.sprintf "error %S mentions %S" msg substring) true contains
+
+let test_graph_validation () =
+  expect_error ~substring:"no nodes" (Graph.make ~nodes:[] ~edges:[]);
+  expect_error ~substring:"duplicate nodes" (Graph.make ~nodes:[ sid 1; sid 1 ] ~edges:[]);
+  expect_error ~substring:"undeclared"
+    (Graph.make ~nodes:[ sid 1 ] ~edges:[ (sid 1, sid 9) ]);
+  expect_error ~substring:"self edge" (Graph.make ~nodes:[ sid 1 ] ~edges:[ (sid 1, sid 1) ]);
+  expect_error ~substring:"duplicate edge"
+    (Graph.make ~nodes:[ sid 1; sid 2 ] ~edges:[ (sid 1, sid 2); (sid 1, sid 2) ]);
+  expect_error ~substring:"cycle"
+    (Graph.make
+       ~nodes:[ sid 1; sid 2; sid 3 ]
+       ~edges:[ (sid 1, sid 2); (sid 2, sid 3); (sid 3, sid 2) ]);
+  expect_error ~substring:"roots"
+    (Graph.make ~nodes:[ sid 1; sid 2; sid 3 ] ~edges:[ (sid 1, sid 3); (sid 2, sid 3) ]);
+  (* A disconnected cluster necessarily either adds a second root or
+     contains a cycle, so those checks subsume reachability; the cycle
+     message fires here. *)
+  expect_error ~substring:"cycle"
+    (Graph.make
+       ~nodes:[ sid 1; sid 2; sid 3; sid 4 ]
+       ~edges:[ (sid 1, sid 2); (sid 3, sid 4); (sid 4, sid 3) ])
+
+let random_dag_gen =
+  (* Random layered DAG: nodes in layers, edges only forward, single root. *)
+  QCheck.make
+    ~print:(fun (n, seed) -> Printf.sprintf "(n=%d, seed=%d)" n seed)
+    QCheck.Gen.(pair (2 -- 12) (0 -- 1000))
+
+let build_random_dag (n, seed) =
+  let rng = Lla_stdx.Rng.create ~seed in
+  let nodes = List.init n sid in
+  (* Every node i >= 1 gets an edge from some node j < i: connected, acyclic,
+     single root. *)
+  let edges =
+    List.concat
+      (List.init (n - 1) (fun i ->
+           let target = i + 1 in
+           let parent = Lla_stdx.Rng.int rng ~bound:(i + 1) in
+           let extra =
+             if i > 0 && Lla_stdx.Rng.bool rng then
+               let p2 = Lla_stdx.Rng.int rng ~bound:(i + 1) in
+               if p2 <> parent then [ (sid p2, sid target) ] else []
+             else []
+           in
+           (sid parent, sid target) :: extra))
+  in
+  Graph.make_exn ~nodes ~edges
+
+let prop_graph_path_count_consistent =
+  QCheck.Test.make ~name:"graph: DP path counts match enumeration" random_dag_gen (fun input ->
+      let g = build_random_dag input in
+      let enumerated = List.length (Graph.paths g) in
+      Graph.path_count g = enumerated
+      && List.for_all
+           (fun node ->
+             let through =
+               List.length
+                 (List.filter (List.exists (Ids.Subtask_id.equal node)) (Graph.paths g))
+             in
+             Graph.path_count_through g node = through)
+           (Graph.nodes g))
+
+let prop_graph_weights_sum =
+  QCheck.Test.make ~name:"graph: path-weighted weights of each path's nodes average correctly"
+    random_dag_gen (fun input ->
+      let g = build_random_dag input in
+      (* The weighted sum with unit latencies equals the mean path length. *)
+      let w = Graph.weights g ~variant:Utility.Path_weighted in
+      let weighted = Ids.Subtask_id.Map.fold (fun _ v acc -> acc +. v) w 0. in
+      let mean_len =
+        let paths = Graph.paths g in
+        float_of_int (List.fold_left (fun acc p -> acc + List.length p) 0 paths)
+        /. float_of_int (List.length paths)
+      in
+      Float.abs (weighted -. mean_len) < 1e-9)
+
+let prop_graph_critical_path_is_max =
+  QCheck.Test.make ~name:"graph: critical path is the maximum over enumerated paths"
+    random_dag_gen (fun input ->
+      let g = build_random_dag input in
+      let lat id = float_of_int (1 + (Ids.Subtask_id.to_int id * 7 mod 13)) in
+      let _, dp = Graph.critical_path g ~latency:lat in
+      let best =
+        List.fold_left
+          (fun acc p -> Float.max acc (Graph.path_latency p ~latency:lat))
+          neg_infinity (Graph.paths g)
+      in
+      Float.abs (dp -. best) < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Task and Workload                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let make_simple_task ?(id = 1) ?(critical_time = 50.) () =
+  let tid = Ids.Task_id.make id in
+  let a =
+    Subtask.make ~id:(100 * id) ~task:tid ~resource:0 ~exec_time:2. ()
+  in
+  let b =
+    Subtask.make ~id:((100 * id) + 1) ~task:tid ~resource:1 ~exec_time:3. ()
+  in
+  Task.make_exn ~id ~subtasks:[ a; b ]
+    ~graph:(Graph.chain [ a.Subtask.id; b.Subtask.id ])
+    ~critical_time
+    ~utility:(Utility.linear ~k:2. ~critical_time)
+    ~trigger:(Trigger.periodic ~period:100. ())
+    ()
+
+let test_task_validation () =
+  let tid = Ids.Task_id.make 1 in
+  let a = Subtask.make ~id:1 ~task:tid ~resource:0 ~exec_time:1. () in
+  let wrong_owner = Subtask.make ~id:2 ~task:(Ids.Task_id.make 9) ~resource:0 ~exec_time:1. () in
+  (match
+     Task.make ~id:1 ~subtasks:[ a; wrong_owner ]
+       ~graph:(Graph.chain [ a.Subtask.id; wrong_owner.Subtask.id ])
+       ~critical_time:10.
+       ~utility:(Utility.negative_latency ())
+       ~trigger:(Trigger.periodic ~period:10. ())
+       ()
+   with
+  | Ok _ -> Alcotest.fail "owner mismatch must be rejected"
+  | Error _ -> ());
+  match
+    Task.make ~id:1 ~subtasks:[ a ]
+      ~graph:(Graph.chain [ a.Subtask.id; Ids.Subtask_id.make 99 ])
+      ~critical_time:10.
+      ~utility:(Utility.negative_latency ())
+      ~trigger:(Trigger.periodic ~period:10. ())
+      ()
+  with
+  | Ok _ -> Alcotest.fail "graph/subtask mismatch must be rejected"
+  | Error _ -> ()
+
+let test_task_aggregate_and_utility () =
+  let task = make_simple_task () in
+  let latency _ = 10. in
+  check_close "aggregate of chain = sum" 20. (Task.aggregate_latency task ~latency);
+  check_close "utility = 2C - agg" 80. (Task.utility_value task ~latency);
+  check_close "arrival rate" 0.01 (Task.arrival_rate task)
+
+let test_task_weights_accessor () =
+  let task = make_simple_task () in
+  List.iter (fun s -> check_close "chain weights 1" 1. (Task.weight task s))
+    (Task.subtask_ids task)
+
+let make_workload () =
+  let t1 = make_simple_task ~id:1 () in
+  let t2 = make_simple_task ~id:2 ~critical_time:80. () in
+  Workload.make_exn ~tasks:[ t1; t2 ]
+    ~resources:[ Resource.make ~availability:0.8 0; Resource.make ~availability:0.9 ~lag:1. 1 ]
+
+let test_workload_lookups () =
+  let w = make_workload () in
+  Alcotest.(check int) "subtasks" 4 (List.length (Workload.subtasks w));
+  Alcotest.(check int) "on resource 0" 2 (List.length (Workload.subtasks_on w (Ids.Resource_id.make 0)));
+  let owner = Workload.owner w (Ids.Subtask_id.make 201) in
+  Alcotest.(check int) "owner" 2 (Ids.Task_id.to_int owner.Task.id)
+
+let test_workload_validation () =
+  let t1 = make_simple_task ~id:1 () in
+  (match Workload.make ~tasks:[ t1; t1 ] ~resources:[ Resource.make 0; Resource.make 1 ] with
+  | Ok _ -> Alcotest.fail "duplicate tasks must be rejected"
+  | Error _ -> ());
+  match Workload.make ~tasks:[ t1 ] ~resources:[ Resource.make 0 ] with
+  | Ok _ -> Alcotest.fail "missing resource must be rejected"
+  | Error _ -> ()
+
+let test_workload_utilization () =
+  let w = make_workload () in
+  (* Resource 0: two subtasks, 2ms every 100ms each. *)
+  check_close "utilization r0" 0.04 (Workload.utilization w (Ids.Resource_id.make 0));
+  check_close "utilization r1" 0.06 (Workload.utilization w (Ids.Resource_id.make 1))
+
+let test_workload_min_share_and_bounds () =
+  let w = make_workload () in
+  let s = Ids.Subtask_id.make 100 in
+  check_close "min share = rate * wcet" 0.02 (Workload.min_share w s);
+  let lo, hi = Workload.latency_bounds w s in
+  check_close "lat_lo = c + l" 2. lo;
+  (* stability bound: (c+l)/min_share = 2/0.02 = 100 > C = 50 *)
+  check_close "lat_hi = critical time" 50. hi
+
+let test_workload_share_sum_and_violations () =
+  let w = make_workload () in
+  let latency _ = 4. in
+  (* each subtask on r0 has c=2, lag 0 -> share 0.5 each, sum 1.0 > 0.8 *)
+  check_close "share sum" 1.0 (Workload.share_sum w (Ids.Resource_id.make 0) ~latency);
+  let violations = Workload.constraint_violations w ~latency ~tolerance:0.001 in
+  Alcotest.(check bool) "resource violation detected" true
+    (List.exists (fun v -> String.length v > 0) violations);
+  let relaxed _ = 30. in
+  (* shares small; path = 60 > 50 violates task 1's critical time *)
+  let violations = Workload.constraint_violations w ~latency:relaxed ~tolerance:0.001 in
+  Alcotest.(check int) "exactly the path violation" 1 (List.length violations)
+
+let test_workload_total_utility () =
+  let w = make_workload () in
+  let latency _ = 10. in
+  (* task1: 2*50 - 20 = 80; task2: 2*80 - 20 = 140 *)
+  check_close "total" 220. (Workload.total_utility w ~latency)
+
+
+(* ------------------------------------------------------------------ *)
+(* Percentile_map                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_percentile_map_identity () =
+  check_close "n=1 keeps the percentile" 90.
+    (Percentile_map.subtask_percentile ~task_percentile:90. ~path_length:1);
+  check_close "worst case composes trivially" 100.
+    (Percentile_map.subtask_percentile ~task_percentile:100. ~path_length:5)
+
+let test_percentile_map_known_value () =
+  (* The paper's example: two subtasks at percentile p compose to p^2/100,
+     so for a p=81 end-to-end target each subtask needs 90. *)
+  check_close ~eps:1e-9 "sqrt composition" 90.
+    (Percentile_map.subtask_percentile ~task_percentile:81. ~path_length:2)
+
+let test_percentile_map_compose_roundtrip () =
+  List.iter
+    (fun (p, n) ->
+      let sub = Percentile_map.subtask_percentile ~task_percentile:p ~path_length:n in
+      check_close ~eps:1e-6
+        (Printf.sprintf "compose inverse (p=%g, n=%d)" p n)
+        p
+        (Percentile_map.compose sub n))
+    [ (50., 2); (90., 3); (99., 6); (75., 4) ]
+
+let test_percentile_map_for_task () =
+  let task = make_simple_task () in
+  (* Default percentile 100 -> every subtask at 100. *)
+  Ids.Subtask_id.Map.iter (fun _ p -> check_close "worst case" 100. p)
+    (Percentile_map.for_task task)
+
+let prop_percentile_map_monotone =
+  QCheck.Test.make ~name:"percentile_map: per-subtask percentile grows with path length"
+    QCheck.(pair (float_range 10. 99.) (int_range 1 9))
+    (fun (p, n) ->
+      let a = Percentile_map.subtask_percentile ~task_percentile:p ~path_length:n in
+      let b = Percentile_map.subtask_percentile ~task_percentile:p ~path_length:(n + 1) in
+      b > a -. 1e-12 && a >= p -. 1e-9 && b <= 100. +. 1e-9)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+
+let () =
+  Alcotest.run "lla_model"
+    [
+      ( "ids",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_ids_roundtrip;
+          Alcotest.test_case "negative rejected" `Quick test_ids_negative;
+          Alcotest.test_case "collections" `Quick test_ids_collections;
+        ] );
+      ( "resource",
+        [
+          Alcotest.test_case "defaults" `Quick test_resource_defaults;
+          Alcotest.test_case "validation" `Quick test_resource_validation;
+        ] );
+      ( "share",
+        [
+          Alcotest.test_case "reciprocal (Eq. 10)" `Quick test_share_reciprocal;
+          Alcotest.test_case "power(1) = reciprocal" `Quick test_share_power_reduces_to_reciprocal;
+          Alcotest.test_case "validation" `Quick test_share_validation;
+        ]
+        @ qcheck [ prop_share_inverse_roundtrip; prop_share_decreasing_convex ] );
+      ( "utility",
+        [
+          Alcotest.test_case "linear" `Quick test_utility_linear;
+          Alcotest.test_case "negative latency" `Quick test_utility_negative_latency;
+          Alcotest.test_case "constant" `Quick test_utility_constant;
+          Alcotest.test_case "all shapes concave and decreasing" `Quick
+            test_utility_shapes_are_concave_decreasing;
+          Alcotest.test_case "constructor validation" `Quick test_utility_validation;
+          Alcotest.test_case "checker rejects convex" `Quick test_utility_check_rejects_convex;
+          Alcotest.test_case "checker rejects wrong derivative" `Quick
+            test_utility_check_rejects_wrong_derivative;
+        ] );
+      ( "trigger",
+        [
+          Alcotest.test_case "periodic" `Quick test_trigger_periodic;
+          Alcotest.test_case "periodic with phase" `Quick test_trigger_periodic_phase;
+          Alcotest.test_case "poisson mean" `Slow test_trigger_poisson_mean;
+          Alcotest.test_case "bursty pattern" `Quick test_trigger_bursty;
+          Alcotest.test_case "phased regimes" `Quick test_trigger_phased;
+          Alcotest.test_case "phased validation" `Quick test_trigger_phased_validation;
+          Alcotest.test_case "float progress regression" `Quick test_trigger_float_progress;
+        ]
+        @ qcheck [ prop_trigger_arrivals_advance ] );
+      ( "graph",
+        [
+          Alcotest.test_case "chain" `Quick test_graph_chain;
+          Alcotest.test_case "diamond paths" `Quick test_graph_diamond_paths;
+          Alcotest.test_case "fan-out" `Quick test_graph_fan_out;
+          Alcotest.test_case "weights" `Quick test_graph_weights;
+          Alcotest.test_case "weighted sum = mean path latency" `Quick
+            test_graph_weighted_sum_is_mean_path_latency;
+          Alcotest.test_case "critical path" `Quick test_graph_critical_path;
+          Alcotest.test_case "topological order" `Quick test_graph_topological_order;
+          Alcotest.test_case "validation" `Quick test_graph_validation;
+        ]
+        @ qcheck
+            [
+              prop_graph_path_count_consistent;
+              prop_graph_weights_sum;
+              prop_graph_critical_path_is_max;
+            ] );
+      ( "percentile-map",
+        [
+          Alcotest.test_case "identity cases" `Quick test_percentile_map_identity;
+          Alcotest.test_case "known composition" `Quick test_percentile_map_known_value;
+          Alcotest.test_case "compose roundtrip" `Quick test_percentile_map_compose_roundtrip;
+          Alcotest.test_case "per-task map" `Quick test_percentile_map_for_task;
+        ]
+        @ qcheck [ prop_percentile_map_monotone ] );
+      ( "task",
+        [
+          Alcotest.test_case "validation" `Quick test_task_validation;
+          Alcotest.test_case "aggregate and utility" `Quick test_task_aggregate_and_utility;
+          Alcotest.test_case "weights accessor" `Quick test_task_weights_accessor;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "lookups" `Quick test_workload_lookups;
+          Alcotest.test_case "validation" `Quick test_workload_validation;
+          Alcotest.test_case "utilization" `Quick test_workload_utilization;
+          Alcotest.test_case "min share and latency bounds" `Quick
+            test_workload_min_share_and_bounds;
+          Alcotest.test_case "share sums and violations" `Quick
+            test_workload_share_sum_and_violations;
+          Alcotest.test_case "total utility" `Quick test_workload_total_utility;
+        ] );
+    ]

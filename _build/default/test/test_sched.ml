@@ -1,0 +1,349 @@
+(* Tests for the proportional-share scheduler simulations. *)
+
+open Lla_sched
+
+let check_close ?(eps = 1e-6) msg expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (expected %g, got %g)" msg expected actual)
+    true
+    (Float.abs (expected -. actual) <= eps)
+
+let fluid = Scheduler.Fluid { work_conserving = true }
+
+let fluid_capped = Scheduler.Fluid { work_conserving = false }
+
+let sfq = Scheduler.Sfq { quantum = 1.0 }
+
+let sfs = Scheduler.Sfs { quantum = 1.0 }
+
+let all_kinds = [ ("fluid", fluid); ("fluid-capped", fluid_capped); ("sfq", sfq); ("sfs", sfs) ]
+
+let run_to_completion engine = Lla_sim.Engine.run engine ()
+
+(* ------------------------------------------------------------------ *)
+(* Single-class sanity                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_single_job_full_speed () =
+  List.iter
+    (fun (name, kind) ->
+      let engine = Lla_sim.Engine.create () in
+      let sched = Scheduler.create kind engine ~capacity:1.0 in
+      Scheduler.set_share sched ~class_id:0 ~share:1.0;
+      let finish = ref nan in
+      Scheduler.submit sched ~class_id:0 ~work:10. ~on_complete:(fun t -> finish := t);
+      run_to_completion engine;
+      check_close (name ^ ": sole job at full speed") 10. !finish)
+    all_kinds
+
+let test_single_job_reduced_capacity () =
+  List.iter
+    (fun (name, kind) ->
+      let engine = Lla_sim.Engine.create () in
+      let sched = Scheduler.create kind engine ~capacity:0.5 in
+      Scheduler.set_share sched ~class_id:0 ~share:1.0;
+      let finish = ref nan in
+      Scheduler.submit sched ~class_id:0 ~work:10. ~on_complete:(fun t -> finish := t);
+      run_to_completion engine;
+      check_close (name ^ ": capacity halves the speed") 20. !finish)
+    all_kinds
+
+let test_fifo_within_class () =
+  List.iter
+    (fun (name, kind) ->
+      let engine = Lla_sim.Engine.create () in
+      let sched = Scheduler.create kind engine ~capacity:1.0 in
+      Scheduler.set_share sched ~class_id:0 ~share:1.0;
+      let order = ref [] in
+      Scheduler.submit sched ~class_id:0 ~work:5. ~on_complete:(fun _ -> order := "a" :: !order);
+      Scheduler.submit sched ~class_id:0 ~work:1. ~on_complete:(fun _ -> order := "b" :: !order);
+      run_to_completion engine;
+      Alcotest.(check (list string)) (name ^ ": FIFO within class") [ "a"; "b" ] (List.rev !order))
+    all_kinds
+
+let test_invalid_args () =
+  let engine = Lla_sim.Engine.create () in
+  Alcotest.(check bool) "capacity > 1 rejected" true
+    (try
+       ignore (Scheduler.create fluid engine ~capacity:1.5);
+       false
+     with Invalid_argument _ -> true);
+  let sched = Scheduler.create fluid engine ~capacity:1.0 in
+  Alcotest.(check bool) "negative share rejected" true
+    (try
+       Scheduler.set_share sched ~class_id:0 ~share:(-0.1);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "zero work rejected" true
+    (try
+       Scheduler.submit sched ~class_id:0 ~work:0. ~on_complete:(fun _ -> ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Fluid GPS semantics                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_fluid_proportional_rates () =
+  (* Two always-backlogged classes with shares 2:1 finish work 2:1. *)
+  let engine = Lla_sim.Engine.create () in
+  let sched = Scheduler.create fluid engine ~capacity:1.0 in
+  Scheduler.set_share sched ~class_id:0 ~share:0.6;
+  Scheduler.set_share sched ~class_id:1 ~share:0.3;
+  let f0 = ref nan and f1 = ref nan in
+  Scheduler.submit sched ~class_id:0 ~work:20. ~on_complete:(fun t -> f0 := t);
+  Scheduler.submit sched ~class_id:1 ~work:20. ~on_complete:(fun t -> f1 := t);
+  run_to_completion engine;
+  (* class 0 at rate 2/3, class 1 at 1/3 until t=30 when class 0 finishes;
+     then class 1 alone at rate 1: remaining 10 done at t=40. *)
+  check_close "heavier class first" 30. !f0;
+  check_close "lighter class inherits capacity" 40. !f1
+
+let test_fluid_work_conserving_vs_capped () =
+  (* A single backlogged class with share 0.25: work-conserving GPS gives
+     it the whole capacity, the capped variant only its share. *)
+  let run kind =
+    let engine = Lla_sim.Engine.create () in
+    let sched = Scheduler.create kind engine ~capacity:1.0 in
+    Scheduler.set_share sched ~class_id:0 ~share:0.25;
+    let finish = ref nan in
+    Scheduler.submit sched ~class_id:0 ~work:10. ~on_complete:(fun t -> finish := t);
+    run_to_completion engine;
+    !finish
+  in
+  check_close "work conserving" 10. (run fluid);
+  check_close "capped at share" 40. (run fluid_capped)
+
+let test_fluid_capped_oversubscription_normalizes () =
+  (* Shares 0.8 + 0.8 = 1.6 > capacity 1: both run at 0.5. *)
+  let engine = Lla_sim.Engine.create () in
+  let sched = Scheduler.create fluid_capped engine ~capacity:1.0 in
+  Scheduler.set_share sched ~class_id:0 ~share:0.8;
+  Scheduler.set_share sched ~class_id:1 ~share:0.8;
+  let f0 = ref nan in
+  Scheduler.submit sched ~class_id:0 ~work:10. ~on_complete:(fun t -> f0 := t);
+  Scheduler.submit sched ~class_id:1 ~work:10. ~on_complete:(fun _ -> ());
+  run_to_completion engine;
+  check_close "normalized to capacity" 20. !f0
+
+let test_fluid_share_change_mid_job () =
+  let engine = Lla_sim.Engine.create () in
+  let sched = Scheduler.create fluid_capped engine ~capacity:1.0 in
+  Scheduler.set_share sched ~class_id:0 ~share:0.5;
+  let finish = ref nan in
+  Scheduler.submit sched ~class_id:0 ~work:10. ~on_complete:(fun t -> finish := t);
+  (* After 10 ms (5 units done), drop the share to 0.25: remaining 5 units
+     take 20 ms. *)
+  ignore
+    (Lla_sim.Engine.schedule engine ~at:10. (fun _ ->
+         Scheduler.set_share sched ~class_id:0 ~share:0.25));
+  run_to_completion engine;
+  check_close "piecewise service" 30. !finish
+
+let test_fluid_zero_share_starves_until_granted () =
+  let engine = Lla_sim.Engine.create () in
+  let sched = Scheduler.create fluid engine ~capacity:1.0 in
+  let finish = ref nan in
+  Scheduler.submit sched ~class_id:0 ~work:5. ~on_complete:(fun t -> finish := t);
+  ignore
+    (Lla_sim.Engine.schedule engine ~at:7. (fun _ -> Scheduler.set_share sched ~class_id:0 ~share:1.));
+  run_to_completion engine;
+  check_close "starts only when share granted" 12. !finish
+
+(* ------------------------------------------------------------------ *)
+(* Long-run fairness of the quantum disciplines                        *)
+(* ------------------------------------------------------------------ *)
+
+let fairness_ratio kind =
+  (* Two permanently backlogged classes, shares 3:1; compare service. *)
+  let engine = Lla_sim.Engine.create () in
+  let sched = Scheduler.create kind engine ~capacity:1.0 in
+  Scheduler.set_share sched ~class_id:0 ~share:0.75;
+  Scheduler.set_share sched ~class_id:1 ~share:0.25;
+  let keep_fed class_id _ =
+    Scheduler.submit sched ~class_id ~work:2. ~on_complete:(fun _ -> ())
+  in
+  (* Seed deep backlogs. *)
+  for _ = 1 to 400 do
+    keep_fed 0 ();
+    keep_fed 1 ()
+  done;
+  Lla_sim.Engine.run_until engine 400.;
+  Scheduler.served sched ~class_id:0 /. Scheduler.served sched ~class_id:1
+
+let test_sfq_long_run_fairness () =
+  let ratio = fairness_ratio sfq in
+  Alcotest.(check bool) (Printf.sprintf "sfq service ratio ~3 (got %.2f)" ratio) true
+    (ratio > 2.7 && ratio < 3.3)
+
+let test_sfs_long_run_fairness () =
+  let ratio = fairness_ratio sfs in
+  Alcotest.(check bool) (Printf.sprintf "sfs service ratio ~3 (got %.2f)" ratio) true
+    (ratio > 2.7 && ratio < 3.3)
+
+let test_quantum_lag_bounded () =
+  (* A job under SFQ with fair competition must not finish later than the
+     fluid bound by more than a few quanta. *)
+  let fluid_finish =
+    let engine = Lla_sim.Engine.create () in
+    let sched = Scheduler.create fluid engine ~capacity:1.0 in
+    Scheduler.set_share sched ~class_id:0 ~share:0.5;
+    Scheduler.set_share sched ~class_id:1 ~share:0.5;
+    let f = ref nan in
+    Scheduler.submit sched ~class_id:0 ~work:10. ~on_complete:(fun t -> f := t);
+    Scheduler.submit sched ~class_id:1 ~work:10. ~on_complete:(fun _ -> ());
+    run_to_completion engine;
+    !f
+  in
+  List.iter
+    (fun (name, kind) ->
+      let engine = Lla_sim.Engine.create () in
+      let sched = Scheduler.create kind engine ~capacity:1.0 in
+      Scheduler.set_share sched ~class_id:0 ~share:0.5;
+      Scheduler.set_share sched ~class_id:1 ~share:0.5;
+      let f = ref nan in
+      Scheduler.submit sched ~class_id:0 ~work:10. ~on_complete:(fun t -> f := t);
+      Scheduler.submit sched ~class_id:1 ~work:10. ~on_complete:(fun _ -> ());
+      run_to_completion engine;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s finish %.1f within 4 quanta of fluid %.1f" name !f fluid_finish)
+        true
+        (Float.abs (!f -. fluid_finish) <= 4.))
+    [ ("sfq", sfq); ("sfs", sfs) ]
+
+let test_work_conservation_busy_time () =
+  (* With continuous backlog, every discipline must keep the resource busy:
+     busy_time ~ elapsed time. *)
+  List.iter
+    (fun (name, kind) ->
+      let engine = Lla_sim.Engine.create () in
+      let sched = Scheduler.create kind engine ~capacity:1.0 in
+      Scheduler.set_share sched ~class_id:0 ~share:0.5;
+      Scheduler.set_share sched ~class_id:1 ~share:0.5;
+      for _ = 1 to 50 do
+        Scheduler.submit sched ~class_id:0 ~work:1. ~on_complete:(fun _ -> ());
+        Scheduler.submit sched ~class_id:1 ~work:1. ~on_complete:(fun _ -> ())
+      done;
+      run_to_completion engine;
+      (* 100 units of work at capacity 1 -> 100 ms busy. *)
+      check_close ~eps:1e-3 (name ^ ": work conservation") 100. (Scheduler.busy_time sched))
+    all_kinds
+
+let test_backlog_accounting () =
+  let engine = Lla_sim.Engine.create () in
+  let sched = Scheduler.create sfs engine ~capacity:1.0 in
+  Scheduler.set_share sched ~class_id:0 ~share:1.0;
+  Scheduler.submit sched ~class_id:0 ~work:5. ~on_complete:(fun _ -> ());
+  Scheduler.submit sched ~class_id:0 ~work:5. ~on_complete:(fun _ -> ());
+  Alcotest.(check int) "two queued" 2 (Scheduler.backlog sched ~class_id:0);
+  Alcotest.(check int) "total backlog" 2 (Scheduler.total_backlog sched);
+  run_to_completion engine;
+  Alcotest.(check int) "drained" 0 (Scheduler.total_backlog sched)
+
+let prop_quantum_conserves_work =
+  QCheck.Test.make ~name:"schedulers: total served equals total submitted work" ~count:30
+    QCheck.(pair (int_range 0 2) (list_of_size Gen.(1 -- 20) (pair (int_range 0 3) (float_range 0.5 5.))))
+    (fun (kind_index, jobs) ->
+      let kind = match kind_index with 0 -> fluid | 1 -> sfq | _ -> sfs in
+      let engine = Lla_sim.Engine.create () in
+      let sched = Scheduler.create kind engine ~capacity:0.8 in
+      for c = 0 to 3 do
+        Scheduler.set_share sched ~class_id:c ~share:0.2
+      done;
+      let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. jobs in
+      List.iter
+        (fun (class_id, work) -> Scheduler.submit sched ~class_id ~work ~on_complete:(fun _ -> ()))
+        jobs;
+      run_to_completion engine;
+      let served =
+        List.fold_left (fun acc c -> acc +. Scheduler.served sched ~class_id:c) 0. [ 0; 1; 2; 3 ]
+      in
+      Float.abs (served -. total) < 1e-3 && Scheduler.total_backlog sched = 0)
+
+let prop_completion_times_nondecreasing_per_class =
+  QCheck.Test.make ~name:"schedulers: per-class completions preserve FIFO order" ~count:30
+    QCheck.(pair (int_range 0 2) (list_of_size Gen.(2 -- 15) (float_range 0.5 4.)))
+    (fun (kind_index, works) ->
+      let kind = match kind_index with 0 -> fluid | 1 -> sfq | _ -> sfs in
+      let engine = Lla_sim.Engine.create () in
+      let sched = Scheduler.create kind engine ~capacity:1.0 in
+      Scheduler.set_share sched ~class_id:0 ~share:0.5;
+      Scheduler.set_share sched ~class_id:1 ~share:0.5;
+      let completions = ref [] in
+      List.iteri
+        (fun i work ->
+          Scheduler.submit sched ~class_id:0 ~work ~on_complete:(fun t ->
+              completions := (i, t) :: !completions);
+          Scheduler.submit sched ~class_id:1 ~work:1. ~on_complete:(fun _ -> ()))
+        works;
+      run_to_completion engine;
+      let completions = List.rev !completions in
+      List.length completions = List.length works
+      && fst
+           (List.fold_left
+              (fun (ok, prev) (i, _) -> (ok && i = prev + 1, i))
+              (true, -1) completions))
+
+
+let prop_quantum_matches_fluid_service =
+  QCheck.Test.make ~name:"schedulers: long-run per-class service matches fluid GPS" ~count:15
+    QCheck.(pair (int_range 0 1) (pair (float_range 0.1 0.9) (float_range 0.1 0.9)))
+    (fun (kind_index, (w0, w1)) ->
+      let kind = if kind_index = 0 then sfq else sfs in
+      let service kind =
+        let engine = Lla_sim.Engine.create () in
+        let sched = Scheduler.create kind engine ~capacity:1.0 in
+        Scheduler.set_share sched ~class_id:0 ~share:w0;
+        Scheduler.set_share sched ~class_id:1 ~share:w1;
+        for _ = 1 to 300 do
+          Scheduler.submit sched ~class_id:0 ~work:1.5 ~on_complete:(fun _ -> ());
+          Scheduler.submit sched ~class_id:1 ~work:1.5 ~on_complete:(fun _ -> ())
+        done;
+        Lla_sim.Engine.run_until engine 300.;
+        (Scheduler.served sched ~class_id:0, Scheduler.served sched ~class_id:1)
+      in
+      let f0, f1 = service fluid and q0, q1 = service kind in
+      (* Same totals (work conservation) and per-class service within a few
+         quanta of the fluid ideal. *)
+      Float.abs (f0 +. f1 -. (q0 +. q1)) < 2.
+      && Float.abs (f0 -. q0) < 6.
+      && Float.abs (f1 -. q1) < 6.)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "lla_sched"
+    [
+      ( "common",
+        [
+          Alcotest.test_case "single job full speed" `Quick test_single_job_full_speed;
+          Alcotest.test_case "reduced capacity" `Quick test_single_job_reduced_capacity;
+          Alcotest.test_case "FIFO within class" `Quick test_fifo_within_class;
+          Alcotest.test_case "argument validation" `Quick test_invalid_args;
+          Alcotest.test_case "work conservation (busy time)" `Quick
+            test_work_conservation_busy_time;
+          Alcotest.test_case "backlog accounting" `Quick test_backlog_accounting;
+        ]
+        @ qcheck
+            [
+              prop_quantum_conserves_work;
+              prop_completion_times_nondecreasing_per_class;
+              prop_quantum_matches_fluid_service;
+            ] );
+      ( "fluid",
+        [
+          Alcotest.test_case "proportional rates" `Quick test_fluid_proportional_rates;
+          Alcotest.test_case "work conserving vs capped" `Quick
+            test_fluid_work_conserving_vs_capped;
+          Alcotest.test_case "oversubscription normalizes" `Quick
+            test_fluid_capped_oversubscription_normalizes;
+          Alcotest.test_case "share change mid-job" `Quick test_fluid_share_change_mid_job;
+          Alcotest.test_case "zero share starves" `Quick test_fluid_zero_share_starves_until_granted;
+        ] );
+      ( "quantum",
+        [
+          Alcotest.test_case "sfq long-run fairness" `Quick test_sfq_long_run_fairness;
+          Alcotest.test_case "sfs long-run fairness" `Quick test_sfs_long_run_fairness;
+          Alcotest.test_case "lag vs fluid bounded" `Quick test_quantum_lag_bounded;
+        ] );
+    ]

@@ -1,0 +1,145 @@
+(* Tests for the discrete-event engine. *)
+
+open Lla_sim
+
+let test_engine_fires_in_time_order () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  let record tag _ = log := tag :: !log in
+  ignore (Engine.schedule engine ~at:3. (record "c"));
+  ignore (Engine.schedule engine ~at:1. (record "a"));
+  ignore (Engine.schedule engine ~at:2. (record "b"));
+  Engine.run engine ();
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_engine_fifo_at_equal_times () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  let record tag _ = log := tag :: !log in
+  ignore (Engine.schedule engine ~at:5. (record "first"));
+  ignore (Engine.schedule engine ~at:5. (record "second"));
+  ignore (Engine.schedule engine ~at:5. (record "third"));
+  Engine.run engine ();
+  Alcotest.(check (list string)) "deterministic tie-break" [ "first"; "second"; "third" ]
+    (List.rev !log)
+
+let test_engine_clock_advances () =
+  let engine = Engine.create () in
+  let seen = ref [] in
+  ignore (Engine.schedule engine ~at:10. (fun e -> seen := Engine.now e :: !seen));
+  ignore (Engine.schedule engine ~at:20. (fun e -> seen := Engine.now e :: !seen));
+  Engine.run engine ();
+  Alcotest.(check (list (float 0.))) "now inside events" [ 10.; 20. ] (List.rev !seen);
+  Alcotest.(check (float 0.)) "clock at last event" 20. (Engine.now engine)
+
+let test_engine_schedule_in_past_rejected () =
+  let engine = Engine.create () in
+  ignore (Engine.schedule engine ~at:10. (fun _ -> ()));
+  Engine.run engine ();
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Engine.schedule engine ~at:5. (fun _ -> ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_engine_schedule_after () =
+  let engine = Engine.create ~start_time:100. () in
+  let fired_at = ref nan in
+  ignore (Engine.schedule_after engine ~delay:5. (fun e -> fired_at := Engine.now e));
+  Engine.run engine ();
+  Alcotest.(check (float 0.)) "relative delay" 105. !fired_at
+
+let test_engine_cancel () =
+  let engine = Engine.create () in
+  let fired = ref false in
+  let ev = Engine.schedule engine ~at:1. (fun _ -> fired := true) in
+  Alcotest.(check int) "pending" 1 (Engine.pending engine);
+  Engine.cancel engine ev;
+  Alcotest.(check bool) "marked cancelled" true (Engine.cancelled engine ev);
+  Alcotest.(check int) "pending drops" 0 (Engine.pending engine);
+  Engine.run engine ();
+  Alcotest.(check bool) "never fires" false !fired;
+  (* double cancel is a no-op *)
+  Engine.cancel engine ev;
+  Alcotest.(check int) "still zero" 0 (Engine.pending engine)
+
+let test_engine_events_schedule_events () =
+  let engine = Engine.create () in
+  let count = ref 0 in
+  let rec chain n e =
+    incr count;
+    if n > 0 then ignore (Engine.schedule_after e ~delay:1. (chain (n - 1)))
+  in
+  ignore (Engine.schedule engine ~at:0. (chain 9));
+  Engine.run engine ();
+  Alcotest.(check int) "chained events" 10 !count;
+  Alcotest.(check int) "fired count" 10 (Engine.events_fired engine)
+
+let test_engine_run_until () =
+  let engine = Engine.create () in
+  let fired = ref [] in
+  List.iter
+    (fun at -> ignore (Engine.schedule engine ~at (fun _ -> fired := at :: !fired)))
+    [ 1.; 2.; 3.; 10. ];
+  Engine.run_until engine 5.;
+  Alcotest.(check (list (float 0.))) "only events <= horizon" [ 1.; 2.; 3. ] (List.rev !fired);
+  Alcotest.(check (float 0.)) "clock at horizon" 5. (Engine.now engine);
+  Alcotest.(check int) "one pending" 1 (Engine.pending engine);
+  Engine.run_until engine 15.;
+  Alcotest.(check int) "drained" 0 (Engine.pending engine)
+
+let test_engine_run_until_handles_newly_scheduled () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule engine ~at:1. (fun e ->
+         log := 1. :: !log;
+         (* schedules an earlier follow-up than other pending events *)
+         ignore (Engine.schedule_after e ~delay:0.5 (fun _ -> log := 1.5 :: !log))));
+  ignore (Engine.schedule engine ~at:2. (fun _ -> log := 2. :: !log));
+  Engine.run_until engine 3.;
+  Alcotest.(check (list (float 0.))) "interleaved correctly" [ 1.; 1.5; 2. ] (List.rev !log)
+
+let test_engine_max_events () =
+  let engine = Engine.create () in
+  let rec forever e = ignore (Engine.schedule_after e ~delay:1. forever) in
+  ignore (Engine.schedule engine ~at:0. forever);
+  Engine.run engine ~max_events:50 ();
+  Alcotest.(check int) "bounded" 50 (Engine.events_fired engine)
+
+let prop_engine_random_order =
+  QCheck.Test.make ~name:"engine: random schedules fire in nondecreasing time order"
+    QCheck.(list_of_size Gen.(1 -- 100) (float_bound_inclusive 1000.))
+    (fun times ->
+      let engine = Engine.create () in
+      let fired = ref [] in
+      List.iter
+        (fun at -> ignore (Engine.schedule engine ~at (fun e -> fired := Engine.now e :: !fired)))
+        times;
+      Engine.run engine ();
+      let fired = List.rev !fired in
+      List.length fired = List.length times
+      && fst
+           (List.fold_left
+              (fun (sorted, prev) t -> (sorted && t >= prev, t))
+              (true, neg_infinity) fired))
+
+let () =
+  Alcotest.run "lla_sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "time order" `Quick test_engine_fires_in_time_order;
+          Alcotest.test_case "FIFO tie-break" `Quick test_engine_fifo_at_equal_times;
+          Alcotest.test_case "clock advances" `Quick test_engine_clock_advances;
+          Alcotest.test_case "past scheduling rejected" `Quick test_engine_schedule_in_past_rejected;
+          Alcotest.test_case "schedule_after" `Quick test_engine_schedule_after;
+          Alcotest.test_case "cancellation" `Quick test_engine_cancel;
+          Alcotest.test_case "events schedule events" `Quick test_engine_events_schedule_events;
+          Alcotest.test_case "run_until horizon" `Quick test_engine_run_until;
+          Alcotest.test_case "run_until with fresh events" `Quick
+            test_engine_run_until_handles_newly_scheduled;
+          Alcotest.test_case "max_events bound" `Quick test_engine_max_events;
+          QCheck_alcotest.to_alcotest prop_engine_random_order;
+        ] );
+    ]

@@ -1,0 +1,529 @@
+(* Unit and property tests for the lla_stdx utility library. *)
+
+open Lla_stdx
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  nl = 0 || scan 0
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let check_floatish msg = Alcotest.(check (float 1e-6)) msg
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_basic () =
+  let h = Heap.create ~cmp:Int.compare in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "peek empty" None (Heap.peek h);
+  Alcotest.(check (option int)) "pop empty" None (Heap.pop h);
+  Heap.push h 5;
+  Heap.push h 1;
+  Heap.push h 3;
+  Alcotest.(check int) "size" 3 (Heap.size h);
+  Alcotest.(check (option int)) "peek min" (Some 1) (Heap.peek h);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Heap.pop h);
+  Alcotest.(check (option int)) "pop 3" (Some 3) (Heap.pop h);
+  Alcotest.(check (option int)) "pop 5" (Some 5) (Heap.pop h);
+  Alcotest.(check bool) "empty again" true (Heap.is_empty h)
+
+let test_heap_pop_exn () =
+  let h = Heap.create ~cmp:Int.compare in
+  Alcotest.check_raises "pop_exn on empty" (Invalid_argument "Heap.pop_exn: empty heap") (fun () ->
+      ignore (Heap.pop_exn h))
+
+let test_heap_duplicates () =
+  let h = Heap.create ~cmp:Int.compare in
+  List.iter (Heap.push h) [ 2; 2; 1; 2; 1 ];
+  Alcotest.(check (list int)) "drain with duplicates" [ 1; 1; 2; 2; 2 ] (Heap.drain h)
+
+let test_heap_clear () =
+  let h = Heap.create ~cmp:Int.compare in
+  List.iter (Heap.push h) [ 3; 1; 2 ];
+  Heap.clear h;
+  Alcotest.(check int) "cleared" 0 (Heap.size h);
+  Heap.push h 7;
+  Alcotest.(check (option int)) "usable after clear" (Some 7) (Heap.pop h)
+
+let prop_heap_drain_sorted =
+  QCheck.Test.make ~name:"heap: drain returns elements sorted"
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:Int.compare in
+      List.iter (Heap.push h) xs;
+      Heap.drain h = List.sort Int.compare xs)
+
+let prop_heap_size =
+  QCheck.Test.make ~name:"heap: size tracks pushes and pops"
+    QCheck.(pair (list small_int) small_nat)
+    (fun (xs, pops) ->
+      let h = Heap.create ~cmp:Int.compare in
+      List.iter (Heap.push h) xs;
+      let popped = ref 0 in
+      for _ = 1 to pops do
+        if Heap.pop h <> None then incr popped
+      done;
+      Heap.size h = List.length xs - !popped)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Rng.int64 a) (Rng.int64 b)) then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_rng_split_independent () =
+  let parent = Rng.create ~seed:7 in
+  let child = Rng.split parent in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Rng.int64 parent) (Rng.int64 child)) then differs := true
+  done;
+  Alcotest.(check bool) "split stream differs" true !differs
+
+let test_rng_copy () =
+  let a = Rng.create ~seed:3 in
+  ignore (Rng.int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.int64 a) (Rng.int64 b)
+
+let test_rng_float_range () =
+  let rng = Rng.create ~seed:11 in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0. && x < 1.)
+  done
+
+let test_rng_int_range () =
+  let rng = Rng.create ~seed:13 in
+  let seen = Array.make 7 false in
+  for _ = 1 to 2000 do
+    let x = Rng.int rng ~bound:7 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 7);
+    seen.(x) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_rng_int_invalid () =
+  let rng = Rng.create ~seed:1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound <= 0") (fun () ->
+      ignore (Rng.int rng ~bound:0))
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create ~seed:5 in
+  let stats = Stats.create () in
+  for _ = 1 to 20_000 do
+    Stats.add stats (Rng.exponential rng ~rate:0.5)
+  done;
+  (* mean should be ~2 within a few percent at n=20k *)
+  Alcotest.(check bool) "exponential mean near 1/rate" true
+    (Float.abs (Stats.mean stats -. 2.) < 0.1)
+
+let test_rng_normal_moments () =
+  let rng = Rng.create ~seed:17 in
+  let stats = Stats.create () in
+  for _ = 1 to 20_000 do
+    Stats.add stats (Rng.normal rng ~mean:3. ~stddev:2.)
+  done;
+  Alcotest.(check bool) "normal mean" true (Float.abs (Stats.mean stats -. 3.) < 0.1);
+  Alcotest.(check bool) "normal stddev" true (Float.abs (Stats.stddev stats -. 2.) < 0.1)
+
+let test_rng_pareto_minimum () =
+  let rng = Rng.create ~seed:23 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "pareto >= scale" true (Rng.pareto rng ~shape:2. ~scale:1.5 >= 1.5)
+  done
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create ~seed:29 in
+  let a = Array.init 20 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "shuffle is a permutation" (Array.init 20 Fun.id) sorted
+
+let prop_rng_uniform_in_range =
+  QCheck.Test.make ~name:"rng: uniform stays in [lo, hi)"
+    QCheck.(pair (float_bound_exclusive 100.) (float_bound_exclusive 100.))
+    (fun (a, b) ->
+      let lo = Float.min a b and hi = Float.max a b +. 1. in
+      let rng = Rng.create ~seed:(int_of_float (a +. b)) in
+      let x = Rng.uniform rng ~lo ~hi in
+      x >= lo && x < hi)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  Alcotest.(check int) "count" 0 (Stats.count s);
+  check_float "mean" 0. (Stats.mean s);
+  check_float "variance" 0. (Stats.variance s)
+
+let test_stats_known_values () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  check_floatish "mean" 5. (Stats.mean s);
+  (* sample variance of that classic set is 32/7 *)
+  check_floatish "variance" (32. /. 7.) (Stats.variance s);
+  check_float "min" 2. (Stats.min s);
+  check_float "max" 9. (Stats.max s);
+  check_float "sum" 40. (Stats.sum s)
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () and whole = Stats.create () in
+  let xs = [ 1.; 5.; 2.; 8.; 3. ] and ys = [ 9.; 0.; 4. ] in
+  List.iter (Stats.add a) xs;
+  List.iter (Stats.add b) ys;
+  List.iter (Stats.add whole) (xs @ ys);
+  let merged = Stats.merge a b in
+  Alcotest.(check int) "merged count" (Stats.count whole) (Stats.count merged);
+  check_floatish "merged mean" (Stats.mean whole) (Stats.mean merged);
+  check_floatish "merged variance" (Stats.variance whole) (Stats.variance merged);
+  check_float "merged min" (Stats.min whole) (Stats.min merged);
+  check_float "merged max" (Stats.max whole) (Stats.max merged)
+
+let test_stats_merge_empty () =
+  let a = Stats.create () and b = Stats.create () in
+  Stats.add b 4.;
+  let merged = Stats.merge a b in
+  Alcotest.(check int) "count" 1 (Stats.count merged);
+  check_float "mean" 4. (Stats.mean merged)
+
+let prop_stats_mean_bounded =
+  QCheck.Test.make ~name:"stats: min <= mean <= max"
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_inclusive 1000.))
+    (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      Stats.min s <= Stats.mean s +. 1e-9 && Stats.mean s <= Stats.max s +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Percentile                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_percentile_exact_simple () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  check_float "p0" 1. (Percentile.exact xs ~p:0.);
+  check_float "p50" 3. (Percentile.exact xs ~p:50.);
+  check_float "p100" 5. (Percentile.exact xs ~p:100.);
+  check_float "p25" 2. (Percentile.exact xs ~p:25.)
+
+let test_percentile_interpolation () =
+  let xs = [| 10.; 20. |] in
+  check_float "p50 interpolates" 15. (Percentile.exact xs ~p:50.)
+
+let test_percentile_single () = check_float "single" 7. (Percentile.exact [| 7. |] ~p:83.)
+
+let test_percentile_unsorted_input () =
+  let xs = [| 5.; 1.; 3.; 2.; 4. |] in
+  check_float "p50 of unsorted" 3. (Percentile.exact xs ~p:50.);
+  Alcotest.(check (array (float 0.))) "input not mutated" [| 5.; 1.; 3.; 2.; 4. |] xs
+
+let test_percentile_errors () =
+  Alcotest.check_raises "empty" (Invalid_argument "Percentile.exact: empty array") (fun () ->
+      ignore (Percentile.exact [||] ~p:50.));
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Percentile.exact: p outside [0, 100]") (fun () ->
+      ignore (Percentile.exact [| 1. |] ~p:101.))
+
+let test_window_eviction () =
+  let w = Percentile.Window.create ~capacity:3 in
+  Alcotest.(check (option (float 0.))) "empty" None (Percentile.Window.percentile w ~p:50.);
+  List.iter (Percentile.Window.add w) [ 1.; 2.; 3.; 100. ];
+  (* window now holds 2, 3, 100 *)
+  Alcotest.(check int) "count capped" 3 (Percentile.Window.count w);
+  Alcotest.(check int) "total" 4 (Percentile.Window.total w);
+  Alcotest.(check (option (float 1e-9))) "median after eviction" (Some 3.)
+    (Percentile.Window.percentile w ~p:50.)
+
+let test_window_clear () =
+  let w = Percentile.Window.create ~capacity:4 in
+  Percentile.Window.add w 5.;
+  Percentile.Window.clear w;
+  Alcotest.(check int) "cleared" 0 (Percentile.Window.count w)
+
+let test_p2_against_exact () =
+  let rng = Rng.create ~seed:31 in
+  let est = Percentile.P2.create ~p:90. in
+  let samples = Array.init 10_000 (fun _ -> Rng.exponential rng ~rate:1.) in
+  Array.iter (Percentile.P2.add est) samples;
+  let exact = Percentile.exact samples ~p:90. in
+  match Percentile.P2.get est with
+  | None -> Alcotest.fail "P2 returned no estimate"
+  | Some approx ->
+    Alcotest.(check bool)
+      (Printf.sprintf "P2 within 5%% of exact (%g vs %g)" approx exact)
+      true
+      (Float.abs (approx -. exact) /. exact < 0.05)
+
+let test_p2_few_samples () =
+  let est = Percentile.P2.create ~p:50. in
+  Alcotest.(check (option (float 0.))) "no samples" None (Percentile.P2.get est);
+  List.iter (Percentile.P2.add est) [ 3.; 1. ];
+  Alcotest.(check (option (float 1e-9))) "exact for < 5 samples" (Some 2.)
+    (Percentile.P2.get est)
+
+let prop_p2_bounded =
+  QCheck.Test.make ~name:"percentile: P2 estimate within sample range"
+    QCheck.(list_of_size Gen.(6 -- 200) (float_bound_inclusive 100.))
+    (fun xs ->
+      let est = Percentile.P2.create ~p:75. in
+      List.iter (Percentile.P2.add est) xs;
+      match Percentile.P2.get est with
+      | None -> false
+      | Some v ->
+        let lo = List.fold_left Float.min infinity xs in
+        let hi = List.fold_left Float.max neg_infinity xs in
+        v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Ewma                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_ewma_first_sample () =
+  let e = Ewma.create ~alpha:0.25 in
+  Alcotest.(check bool) "uninitialized" false (Ewma.initialized e);
+  Ewma.add e 10.;
+  check_float "first sample taken as-is" 10. (Ewma.value e)
+
+let test_ewma_smoothing () =
+  let e = Ewma.create ~alpha:0.5 in
+  Ewma.add e 10.;
+  Ewma.add e 20.;
+  check_float "0.5 * 20 + 0.5 * 10" 15. (Ewma.value e);
+  Ewma.add e 0.;
+  check_float "0.5 * 0 + 0.5 * 15" 7.5 (Ewma.value e)
+
+let test_ewma_reset () =
+  let e = Ewma.create ~alpha:0.5 in
+  Ewma.add e 5.;
+  Ewma.reset e;
+  Alcotest.(check int) "count reset" 0 (Ewma.count e);
+  check_float "value reset" 0. (Ewma.value e)
+
+let test_ewma_invalid_alpha () =
+  Alcotest.check_raises "alpha 0" (Invalid_argument "Ewma.create: alpha outside (0, 1]")
+    (fun () -> ignore (Ewma.create ~alpha:0.))
+
+let prop_ewma_bounded =
+  QCheck.Test.make ~name:"ewma: stays within min/max of samples"
+    QCheck.(list_of_size Gen.(1 -- 60) (float_bound_inclusive 50.))
+    (fun xs ->
+      let e = Ewma.create ~alpha:0.3 in
+      List.iter (Ewma.add e) xs;
+      let lo = List.fold_left Float.min infinity xs in
+      let hi = List.fold_left Float.max neg_infinity xs in
+      Ewma.value e >= lo -. 1e-9 && Ewma.value e <= hi +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Series                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let fill_series pts =
+  let s = Series.create ~name:"t" () in
+  List.iter (fun (x, y) -> Series.add s ~x ~y) pts;
+  s
+
+let test_series_basic () =
+  let s = fill_series [ (1., 10.); (2., 20.); (3., 30.) ] in
+  Alcotest.(check int) "length" 3 (Series.length s);
+  Alcotest.(check string) "name" "t" (Series.name s);
+  Alcotest.(check (pair (float 0.) (float 0.))) "get" (2., 20.) (Series.get s 1);
+  Alcotest.(check (option (pair (float 0.) (float 0.)))) "last" (Some (3., 30.)) (Series.last s)
+
+let test_series_downsample_keeps_ends () =
+  let s = fill_series (List.init 100 (fun i -> (float_of_int i, float_of_int (i * i)))) in
+  let points = Series.downsample s ~max_points:10 in
+  Alcotest.(check int) "10 points" 10 (List.length points);
+  Alcotest.(check (float 0.)) "first kept" 0. (fst (List.hd points));
+  Alcotest.(check (float 0.)) "last kept" 99. (fst (List.nth points 9))
+
+let test_series_downsample_short () =
+  let s = fill_series [ (1., 1.); (2., 2.) ] in
+  Alcotest.(check int) "no padding" 2 (List.length (Series.downsample s ~max_points:10))
+
+let test_series_converged_at () =
+  (* 20 noisy samples then 80 flat ones. *)
+  let pts =
+    List.init 100 (fun i ->
+        let y = if i < 20 then float_of_int (100 - (i * 5)) else 10. in
+        (float_of_int i, y))
+  in
+  let s = fill_series pts in
+  match Series.converged_at s ~tolerance:0.01 ~window:10 with
+  | None -> Alcotest.fail "expected convergence"
+  | Some i -> Alcotest.(check bool) (Printf.sprintf "converges near 20 (got %d)" i) true (i >= 18 && i <= 25)
+
+let test_series_never_converges () =
+  let pts = List.init 100 (fun i -> (float_of_int i, if i mod 2 = 0 then 0. else 100.)) in
+  Alcotest.(check (option int)) "oscillation" None
+    (Series.converged_at (fill_series pts) ~tolerance:0.01 ~window:10)
+
+let test_series_y_stats_from () =
+  let s = fill_series [ (0., 1.); (1., 2.); (2., 3.); (3., 4.) ] in
+  let stats = Series.y_stats_from s ~from:2 in
+  Alcotest.(check int) "n" 2 stats.Stats.n;
+  check_float "mean of tail" 3.5 stats.Stats.mean
+
+
+let test_series_get_bounds () =
+  let s = fill_series [ (1., 1.) ] in
+  Alcotest.(check bool) "out of bounds" true
+    (try
+       ignore (Series.get s 1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_csv_series_rows () =
+  let rows = Csv.series_rows [ (1.5, 2.25) ] in
+  Alcotest.(check int) "one row" 1 (List.length rows);
+  match rows with
+  | [ [ x; y ] ] ->
+    Alcotest.(check (float 0.)) "x roundtrips" 1.5 (float_of_string x);
+    Alcotest.(check (float 0.)) "y roundtrips" 2.25 (float_of_string y)
+  | _ -> Alcotest.fail "unexpected shape"
+
+(* ------------------------------------------------------------------ *)
+(* Table / Csv / Ascii_plot                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_table_render () =
+  let t = Table.create ~columns:[ ("name", Table.Left); ("value", Table.Right) ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let rendered = Table.render t in
+  Alcotest.(check bool) "contains header" true
+    (String.length rendered > 0
+    && contains rendered "name"
+    && contains rendered "alpha"
+    && contains rendered "22")
+
+let test_table_width_mismatch () =
+  let t = Table.create ~columns:[ ("a", Table.Left) ] in
+  Alcotest.check_raises "row width" (Invalid_argument "Table.add_row: row width differs from header")
+    (fun () -> Table.add_row t [ "x"; "y" ])
+
+let test_csv_escape () =
+  Alcotest.(check string) "plain" "abc" (Csv.escape "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Csv.escape "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Csv.escape "a\"b");
+  Alcotest.(check string) "row" "a,\"b,c\"" (Csv.row_to_string [ "a"; "b,c" ])
+
+let test_csv_write_roundtrip () =
+  let path = Filename.temp_file "lla_test" ".csv" in
+  Csv.write ~path ~header:[ "x"; "y" ] ~rows:[ [ "1"; "2" ]; [ "3"; "4" ] ];
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove path;
+  Alcotest.(check (list string)) "content" [ "x,y"; "1,2"; "3,4" ] (List.rev !lines)
+
+let test_ascii_plot_nonempty () =
+  let out = Ascii_plot.render ~title:"test" [ ("a", [ (0., 0.); (1., 1.) ]) ] in
+  Alcotest.(check bool) "has legend" true (contains out "legend");
+  Alcotest.(check bool) "has title" true (contains out "test")
+
+let test_ascii_plot_empty () =
+  let out = Ascii_plot.render [ ("a", []) ] in
+  Alcotest.(check bool) "placeholder" true (contains out "no data")
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "lla_stdx"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "basic order" `Quick test_heap_basic;
+          Alcotest.test_case "pop_exn raises" `Quick test_heap_pop_exn;
+          Alcotest.test_case "duplicates" `Quick test_heap_duplicates;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+        ]
+        @ qcheck [ prop_heap_drain_sorted; prop_heap_size ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "int range and coverage" `Quick test_rng_int_range;
+          Alcotest.test_case "int invalid bound" `Quick test_rng_int_invalid;
+          Alcotest.test_case "exponential mean" `Slow test_rng_exponential_mean;
+          Alcotest.test_case "normal moments" `Slow test_rng_normal_moments;
+          Alcotest.test_case "pareto minimum" `Quick test_rng_pareto_minimum;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+        ]
+        @ qcheck [ prop_rng_uniform_in_range ] );
+      ( "stats",
+        [
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "known values" `Quick test_stats_known_values;
+          Alcotest.test_case "merge equals whole" `Quick test_stats_merge;
+          Alcotest.test_case "merge with empty" `Quick test_stats_merge_empty;
+        ]
+        @ qcheck [ prop_stats_mean_bounded ] );
+      ( "percentile",
+        [
+          Alcotest.test_case "exact simple" `Quick test_percentile_exact_simple;
+          Alcotest.test_case "interpolation" `Quick test_percentile_interpolation;
+          Alcotest.test_case "single sample" `Quick test_percentile_single;
+          Alcotest.test_case "unsorted input untouched" `Quick test_percentile_unsorted_input;
+          Alcotest.test_case "errors" `Quick test_percentile_errors;
+          Alcotest.test_case "window eviction" `Quick test_window_eviction;
+          Alcotest.test_case "window clear" `Quick test_window_clear;
+          Alcotest.test_case "P2 vs exact" `Slow test_p2_against_exact;
+          Alcotest.test_case "P2 few samples" `Quick test_p2_few_samples;
+        ]
+        @ qcheck [ prop_p2_bounded ] );
+      ( "ewma",
+        [
+          Alcotest.test_case "first sample" `Quick test_ewma_first_sample;
+          Alcotest.test_case "smoothing" `Quick test_ewma_smoothing;
+          Alcotest.test_case "reset" `Quick test_ewma_reset;
+          Alcotest.test_case "invalid alpha" `Quick test_ewma_invalid_alpha;
+        ]
+        @ qcheck [ prop_ewma_bounded ] );
+      ( "series",
+        [
+          Alcotest.test_case "basic" `Quick test_series_basic;
+          Alcotest.test_case "downsample keeps endpoints" `Quick test_series_downsample_keeps_ends;
+          Alcotest.test_case "downsample short series" `Quick test_series_downsample_short;
+          Alcotest.test_case "converged_at finds settle point" `Quick test_series_converged_at;
+          Alcotest.test_case "oscillation never converges" `Quick test_series_never_converges;
+          Alcotest.test_case "tail statistics" `Quick test_series_y_stats_from;
+          Alcotest.test_case "get bounds" `Quick test_series_get_bounds;
+        ] );
+      ( "table-csv-plot",
+        [
+          Alcotest.test_case "table render" `Quick test_table_render;
+          Alcotest.test_case "table width mismatch" `Quick test_table_width_mismatch;
+          Alcotest.test_case "csv escaping" `Quick test_csv_escape;
+          Alcotest.test_case "csv write" `Quick test_csv_write_roundtrip;
+          Alcotest.test_case "csv series rows" `Quick test_csv_series_rows;
+          Alcotest.test_case "ascii plot renders" `Quick test_ascii_plot_nonempty;
+          Alcotest.test_case "ascii plot empty" `Quick test_ascii_plot_empty;
+        ] );
+    ]
