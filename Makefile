@@ -1,0 +1,29 @@
+# Tier-1 verification is `make ci` (= dune build && dune runtest).
+
+.PHONY: all build test fmt-check bench ci clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Formatting is best-effort: the check runs only where ocamlformat is
+# installed (the build container does not ship it).
+fmt-check:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune build @fmt; \
+	else \
+		echo "ocamlformat not installed; skipping fmt-check"; \
+	fi
+
+bench:
+	dune exec bench/main.exe
+
+ci:
+	./scripts/ci.sh
+
+clean:
+	dune clean

@@ -2,7 +2,7 @@
    evaluation (Table 1, Figures 5-8), runs the ablation suite, and closes
    with Bechamel microbenchmarks of the implementation's hot paths.
 
-   Usage: main.exe [table1|fig5|fig6|fig7|fig8|ablation|micro|all]... *)
+   Usage: main.exe [table1|fig5|fig6|fig7|fig8|ablation|chaos|micro|all]... *)
 
 let run_table1 () = print_string (Lla_experiments.Table1.report (Lla_experiments.Table1.run ()))
 
@@ -26,6 +26,8 @@ let run_variation () =
 
 let run_delay_sweep () =
   print_string (Lla_experiments.Delay_sweep.report (Lla_experiments.Delay_sweep.run ()))
+
+let run_chaos () = print_string (Lla_experiments.Chaos.report (Lla_experiments.Chaos.run ()))
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
@@ -124,6 +126,7 @@ let experiments =
     ("adaptation", run_adaptation);
     ("variation", run_variation);
     ("delays", run_delay_sweep);
+    ("chaos", run_chaos);
     ("micro", run_micro);
   ]
 

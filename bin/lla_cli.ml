@@ -176,12 +176,54 @@ let variation_cmd =
     Term.(const run $ const ())
 
 let delays_cmd =
-  let run () =
-    print_string (Lla_experiments.Delay_sweep.report (Lla_experiments.Delay_sweep.run ()))
+  let jitter =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "jitter" ] ~docv:"FRACTION"
+          ~doc:
+            "Jitter one-way delays uniformly by +/- this fraction of the nominal delay \
+             (0.5 = +/-50%) instead of using a constant delay.")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"Seed for the jittered delay RNG.")
+  in
+  let run jitter seed =
+    print_string
+      (Lla_experiments.Delay_sweep.report (Lla_experiments.Delay_sweep.run ~jitter ~seed ()))
   in
   Cmd.v
     (Cmd.info "delays" ~doc:"Sweep control-message delay for the distributed deployment.")
-    Term.(const run $ const ())
+    Term.(const run $ jitter $ seed)
+
+let chaos_cmd =
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Seed for the fault-injection RNG.")
+  in
+  let horizon =
+    Arg.(
+      value
+      & opt float 120.
+      & info [ "horizon" ] ~docv:"SECONDS" ~doc:"Simulated control time per scenario.")
+  in
+  let run seed horizon csv =
+    let result = Lla_experiments.Chaos.run ~seed ~horizon:(horizon *. 1000.) () in
+    print_string (Lla_experiments.Chaos.report result);
+    Option.iter
+      (fun path ->
+        let series = Lla_stdx.Series.create ~name:"partition-utility" () in
+        List.iter
+          (fun (x, y) -> Lla_stdx.Series.add series ~x ~y)
+          result.Lla_experiments.Chaos.partition.Lla_experiments.Chaos.series;
+        write_series_csv path [ ("partition-utility", series) ])
+      csv
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the chaos experiments (message loss, delay jitter, partition + heal) on the \
+          distributed deployment.")
+    Term.(const run $ seed $ horizon $ csv_arg)
 
 let ablation_cmd =
   let run iterations =
@@ -333,6 +375,7 @@ let () =
             fig7_cmd;
             fig8_cmd;
             ablation_cmd;
+            chaos_cmd;
             adaptation_cmd;
             variation_cmd;
             delays_cmd;

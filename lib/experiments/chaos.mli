@@ -1,0 +1,62 @@
+(** Chaos experiments: LLA convergence under an unreliable control plane.
+
+    The paper argues (§4.1) that the distributed deployment tolerates
+    staleness and asynchrony; the delay sweep only exercises the benign
+    half of that claim. These experiments drive the message-passing
+    deployment through {!Lla_transport.Transport} fault injection:
+
+    - {b drop sweep}: aggregate-utility gap to the fault-free run as the
+      control-message loss probability grows;
+    - {b jitter sweep}: gap as the one-way delay becomes increasingly
+      random (uniform jitter around a base delay);
+    - {b partition + heal}: a group of price agents is partitioned from
+      every controller mid-run (and crashes during the outage, losing its
+      price state); the utility trajectory shows a perturbation and then
+      recovery after the heal.
+
+    All randomness derives from [seed], so a run is reproducible with
+    [lla_cli chaos --seed N]. *)
+
+type drop_point = {
+  drop : float;  (** message loss probability. *)
+  utility_gap_percent : float;  (** |utility − fault-free| / fault-free. *)
+  delivered_percent : float;  (** share of send attempts delivered. *)
+  messages : int;
+}
+
+type jitter_point = {
+  jitter : float;  (** fraction: 0.5 = delays uniform in base ± 50%. *)
+  utility_gap_percent : float;
+  p95_delay : float;  (** measured 95th-percentile delivered delay, ms. *)
+}
+
+type partition_run = {
+  series : (float * float) list;  (** (time ms, aggregate utility). *)
+  partition_at : float;
+  heal_at : float;
+  gap_before_percent : float;  (** gap just before the partition. *)
+  max_gap_after_percent : float;  (** worst gap from the partition on. *)
+  final_gap_percent : float;  (** gap at the end of the run. *)
+  cut_messages : int;  (** messages lost to the partition. *)
+  agent_outages : int;  (** crashes among the partitioned agents. *)
+}
+
+type result = {
+  seed : int;
+  fault_free_utility : float;
+  drop_points : drop_point list;
+  jitter_points : jitter_point list;
+  partition : partition_run;
+}
+
+val run :
+  ?seed:int ->
+  ?horizon:float ->
+  ?drops:float list ->
+  ?jitters:float list ->
+  unit ->
+  result
+(** Defaults: seed 42, 120 s of control time per scenario, drops
+    [\[0; 0.05; 0.1; 0.2; 0.3\]], jitters [\[0; 0.25; 0.5; 0.75; 1\]]. *)
+
+val report : result -> string

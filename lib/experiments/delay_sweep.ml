@@ -1,7 +1,10 @@
 open Lla_model
+module Transport = Lla_transport.Transport
+module Delay_model = Lla_transport.Delay_model
 
 type point = {
   delay : float;
+  jitter : float;
   utility_gap_percent : float;
   max_violation_percent : float;
   messages : int;
@@ -10,6 +13,7 @@ type point = {
 
 type result = {
   synchronous_utility : float;
+  jitter : float;
   points : point list;
 }
 
@@ -27,7 +31,8 @@ let max_violation workload ~latency =
       Float.max acc ((cost -. task.Task.critical_time) /. task.Task.critical_time))
     resource workload.Workload.tasks
 
-let run ?(delays = [ 0.1; 1.; 2.; 5.; 10.; 20. ]) ?(horizon = 120_000.) () =
+let run ?(delays = [ 0.1; 1.; 2.; 5.; 10.; 20. ]) ?(jitter = 0.) ?(seed = 0)
+    ?(horizon = 120_000.) () =
   let workload = Lla_workloads.Paper_sim.base () in
   let solver = Lla.Solver.create workload in
   ignore (Lla.Solver.run_until_converged solver ~max_iterations:3000);
@@ -36,12 +41,23 @@ let run ?(delays = [ 0.1; 1.; 2.; 5.; 10.; 20. ]) ?(horizon = 120_000.) () =
     List.map
       (fun delay ->
         let engine = Lla_sim.Engine.create () in
+        (* All delay plumbing lives in the transport: a constant model when
+           jitter is zero, a uniform band around the nominal delay
+           otherwise. *)
+        let model =
+          if jitter <= 0. then Delay_model.constant delay
+          else Delay_model.jittered ~base:delay ~jitter
+        in
+        let transport =
+          Transport.create ~config:{ Transport.default_config with delay = model; seed } engine
+        in
         let config = { Lla_runtime.Distributed.default_config with message_delay = delay } in
-        let distributed = Lla_runtime.Distributed.create ~config engine workload in
+        let distributed = Lla_runtime.Distributed.create ~config ~transport engine workload in
         Lla_runtime.Distributed.run distributed ~duration:horizon;
         let latency sid = Lla_runtime.Distributed.latency distributed sid in
         {
           delay;
+          jitter;
           utility_gap_percent =
             100.
             *. Float.abs (Lla_runtime.Distributed.utility distributed -. synchronous_utility)
@@ -52,13 +68,16 @@ let run ?(delays = [ 0.1; 1.; 2.; 5.; 10.; 20. ]) ?(horizon = 120_000.) () =
         })
       delays
   in
-  { synchronous_utility; points }
+  { synchronous_utility; jitter; points }
 
 let report r =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf (Report.header "Delay sweep - distributed LLA under control-plane latency");
   Buffer.add_string buf
     (Printf.sprintf "synchronous reference utility: %.2f\n" r.synchronous_utility);
+  if r.jitter > 0. then
+    Buffer.add_string buf
+      (Printf.sprintf "one-way delays jittered uniformly by +/-%.0f%%\n" (100. *. r.jitter));
   let table =
     Lla_stdx.Table.create
       ~columns:

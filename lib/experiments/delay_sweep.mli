@@ -6,10 +6,16 @@
     optimum, constraint violations, and control traffic. The shape to
     expect: the gap stays negligible while the delay is small relative to
     the agents' tick period, and convergence merely slows (never diverges)
-    as staleness grows — dual decomposition tolerates asynchrony. *)
+    as staleness grows — dual decomposition tolerates asynchrony.
+
+    Delays are routed through {!Lla_transport.Transport}: pass [jitter]
+    to replace the constant one-way delay with a uniform band around it
+    ([Delay_model.Jittered]) and exercise per-message randomness on top of
+    staleness. *)
 
 type point = {
-  delay : float;  (** one-way message delay, ms. *)
+  delay : float;  (** nominal one-way message delay, ms. *)
+  jitter : float;  (** applied jitter fraction; 0 = constant delay. *)
   utility_gap_percent : float;  (** |distributed - synchronous| / synchronous. *)
   max_violation_percent : float;
       (** worst relative constraint violation at the end of the run. *)
@@ -19,11 +25,14 @@ type point = {
 
 type result = {
   synchronous_utility : float;
+  jitter : float;
   points : point list;
 }
 
-val run : ?delays:float list -> ?horizon:float -> unit -> result
-(** Defaults: delays [\[0.1; 1; 2; 5; 10; 20\]] ms; 120 s of control time
-    per point. *)
+val run :
+  ?delays:float list -> ?jitter:float -> ?seed:int -> ?horizon:float -> unit -> result
+(** Defaults: delays [\[0.1; 1; 2; 5; 10; 20\]] ms; no jitter; seed 0;
+    120 s of control time per point. [jitter] is a fraction of the nominal
+    delay (0.5 = one-way delays uniform in [delay ± 50%]). *)
 
 val report : result -> string

@@ -1,3 +1,6 @@
+module Transport = Lla_transport.Transport
+module Delay_model = Lla_transport.Delay_model
+
 type config = {
   message_delay : float;
   controller_period : float;
@@ -26,6 +29,7 @@ type agent = {
   lat_view : float array;  (* latest announced latency per local subtask slot *)
   local_subtasks : int array;  (* problem subtask indices on this resource *)
   controllers : int list;  (* task indices to notify *)
+  agent_endpoint : Transport.endpoint;
 }
 
 (* Per-task controller: owns its path prices and a stale view of resource
@@ -37,20 +41,25 @@ type controller = {
   lambda : float array;  (* indexed by global path id; only own paths used *)
   gamma_p : float array;  (* per own path *)
   lat : float array;  (* shared storage; controller writes only own slots *)
+  controller_endpoint : Transport.endpoint;
 }
 
 type t = {
   config : config;
   engine : Lla_sim.Engine.t;
+  transport : Transport.t;
   problem : Lla.Problem.t;
   agents : agent array;
   controllers : controller array;
   offsets : float array;
   lat : float array;  (* controller-written latency vector *)
+  agent_ticks : Lla_sim.Engine.event_id option array;
+  controller_ticks : Lla_sim.Engine.event_id option array;
   mutable messages : int;
   mutable price_rounds : int;
   mutable allocation_rounds : int;
   mutable started : bool;
+  mutable stopped : bool;
 }
 
 let initial_gamma policy =
@@ -64,7 +73,35 @@ let adapt policy gamma ~congested =
   | Lla.Step_size.Adaptive { initial; multiplier; cap } ->
     if congested then Float.min cap (gamma *. multiplier) else initial
 
-let create ?(config = default_config) engine workload =
+(* A restarted agent has lost its price state: it restarts from mu0 and the
+   compiled initial latency view, rebuilding both from the next received
+   Latency messages (§4.1 asynchrony made crash-tolerant). *)
+let reset_agent t (a : agent) =
+  a.price <- t.config.mu0;
+  a.gamma <- initial_gamma t.config.step_policy;
+  Array.iteri (fun slot i -> a.lat_view.(slot) <- t.problem.subtasks.(i).lat_hi) a.local_subtasks
+
+(* A restarted controller forgets its price views and path multipliers; the
+   latency assignment itself (t.lat) is enacted state in the data plane and
+   survives the controller's crash. *)
+let reset_controller t (c : controller) =
+  Array.fill c.mu_view 0 (Array.length c.mu_view) t.config.mu0;
+  Array.fill c.congested_view 0 (Array.length c.congested_view) false;
+  Array.iter (fun p -> c.lambda.(p) <- 0.) t.problem.tasks.(c.task).path_indices;
+  Array.fill c.gamma_p 0 (Array.length c.gamma_p) (initial_gamma t.config.step_policy)
+
+let create ?(config = default_config) ?transport engine workload =
+  let transport =
+    match transport with
+    | Some tr ->
+      if not (Transport.engine tr == engine) then
+        invalid_arg "Distributed.create: transport runs on a different engine";
+      tr
+    | None ->
+      Transport.create engine
+        ~config:
+          { Transport.default_config with delay = Delay_model.constant config.message_delay }
+  in
   let problem = Lla.Problem.compile workload in
   let n_subtasks = Lla.Problem.n_subtasks problem in
   let n_resources = Lla.Problem.n_resources problem in
@@ -84,6 +121,7 @@ let create ?(config = default_config) engine workload =
           lat_view = Array.map (fun i -> lat.(i)) local;
           local_subtasks = local;
           controllers;
+          agent_endpoint = Transport.endpoint transport ~name:(Printf.sprintf "agent:%d" r);
         })
   in
   let controllers =
@@ -98,25 +136,50 @@ let create ?(config = default_config) engine workload =
               (Array.length problem.tasks.(ti).path_indices)
               (initial_gamma config.step_policy);
           lat;
+          controller_endpoint =
+            Transport.endpoint transport ~name:(Printf.sprintf "controller:%d" ti);
         })
   in
-  {
-    config;
-    engine;
-    problem;
+  let t =
+    {
+      config;
+      engine;
+      transport;
+      problem;
+      agents;
+      controllers;
+      offsets = Array.make n_subtasks 0.;
+      lat;
+      agent_ticks = Array.make n_resources None;
+      controller_ticks = Array.make (Array.length controllers) None;
+      messages = 0;
+      price_rounds = 0;
+      allocation_rounds = 0;
+      started = false;
+      stopped = false;
+    }
+  in
+  Array.iter
+    (fun a -> Transport.on_restart transport a.agent_endpoint (fun () -> reset_agent t a))
     agents;
+  Array.iter
+    (fun c -> Transport.on_restart transport c.controller_endpoint (fun () -> reset_controller t c))
     controllers;
-    offsets = Array.make n_subtasks 0.;
-    lat;
-    messages = 0;
-    price_rounds = 0;
-    allocation_rounds = 0;
-    started = false;
-  }
+  t
 
-let send t ~delay f =
+let send ?key t ~src ~dst f =
   t.messages <- t.messages + 1;
-  ignore (Lla_sim.Engine.schedule_after t.engine ~delay (fun _ -> f ()))
+  Transport.send ?key t.transport ~src ~dst f
+
+(* Announce one subtask latency to the agent hosting it; keyed by the
+   subtask index so last-write-wins discards reordered stale values. *)
+let announce_latency t (c : controller) i =
+  let s = t.problem.subtasks.(i) in
+  let a = t.agents.(s.resource) in
+  let value = c.lat.(i) in
+  send t ~key:i ~src:c.controller_endpoint ~dst:a.agent_endpoint (fun () ->
+      (* Locate the agent's slot for this subtask. *)
+      Array.iteri (fun slot j -> if j = i then a.lat_view.(slot) <- value) a.local_subtasks)
 
 (* Agent tick: Eq. 8 from the announced latencies, then broadcast. *)
 let agent_tick t (a : agent) =
@@ -135,7 +198,7 @@ let agent_tick t (a : agent) =
   List.iter
     (fun ti ->
       let c = t.controllers.(ti) in
-      send t ~delay:t.config.message_delay (fun () ->
+      send t ~key:a.resource ~src:a.agent_endpoint ~dst:c.controller_endpoint (fun () ->
           c.mu_view.(a.resource) <- price;
           c.congested_view.(a.resource) <- congested))
     a.controllers
@@ -160,16 +223,7 @@ let controller_tick t (c : controller) =
     info.path_indices;
   Lla.Allocation.allocate_task t.problem c.task ~mu:c.mu_view ~lambda:c.lambda ~offsets:t.offsets
     ~sweeps:t.config.sweeps ~lat:c.lat;
-  (* Group announcements per destination resource. *)
-  Array.iter
-    (fun i ->
-      let s = t.problem.subtasks.(i) in
-      let a = t.agents.(s.resource) in
-      let value = c.lat.(i) in
-      send t ~delay:t.config.message_delay (fun () ->
-          (* Locate the agent's slot for this subtask. *)
-          Array.iteri (fun slot j -> if j = i then a.lat_view.(slot) <- value) a.local_subtasks))
-    info.subtask_indices
+  Array.iter (fun i -> announce_latency t c i) info.subtask_indices
 
 let start t =
   if t.started then invalid_arg "Distributed.start: already started";
@@ -177,33 +231,54 @@ let start t =
   (* Initial announcements so agents have a latency view before pricing. *)
   Array.iter
     (fun (c : controller) ->
-      Array.iter
-        (fun i ->
-          let s = t.problem.subtasks.(i) in
-          let a = t.agents.(s.resource) in
-          let value = c.lat.(i) in
-          send t ~delay:t.config.message_delay (fun () ->
-              Array.iteri (fun slot j -> if j = i then a.lat_view.(slot) <- value) a.local_subtasks))
-        t.problem.tasks.(c.task).subtask_indices)
+      Array.iter (fun i -> announce_latency t c i) t.problem.tasks.(c.task).subtask_indices)
     t.controllers;
+  (* Periodic ticks: a down actor skips its round (its endpoint neither
+     computes nor sends) but the schedule keeps running so it resumes
+     after a restart. The current event id is kept so {!stop} can cancel
+     the loops. *)
   let rec agent_loop a =
-    ignore
-      (Lla_sim.Engine.schedule_after t.engine ~delay:t.config.resource_period (fun _ ->
-           agent_tick t a;
-           agent_loop a))
+    t.agent_ticks.(a.resource) <-
+      Some
+        (Lla_sim.Engine.schedule_after t.engine ~delay:t.config.resource_period (fun _ ->
+             if not t.stopped then begin
+               if Transport.is_up t.transport a.agent_endpoint then agent_tick t a;
+               agent_loop a
+             end))
   in
   Array.iter agent_loop t.agents;
   let rec controller_loop c =
-    ignore
-      (Lla_sim.Engine.schedule_after t.engine ~delay:t.config.controller_period (fun _ ->
-           controller_tick t c;
-           controller_loop c))
+    t.controller_ticks.(c.task) <-
+      Some
+        (Lla_sim.Engine.schedule_after t.engine ~delay:t.config.controller_period (fun _ ->
+             if not t.stopped then begin
+               if Transport.is_up t.transport c.controller_endpoint then controller_tick t c;
+               controller_loop c
+             end))
   in
   Array.iter controller_loop t.controllers
+
+let stop t =
+  if t.started && not t.stopped then begin
+    t.stopped <- true;
+    let cancel ticks i =
+      Option.iter (Lla_sim.Engine.cancel t.engine) ticks.(i);
+      ticks.(i) <- None
+    in
+    Array.iteri (fun i _ -> cancel t.agent_ticks i) t.agent_ticks;
+    Array.iteri (fun i _ -> cancel t.controller_ticks i) t.controller_ticks
+  end
 
 let run t ~duration =
   if not t.started then start t;
   Lla_sim.Engine.run_until t.engine (Lla_sim.Engine.now t.engine +. duration)
+
+let transport t = t.transport
+
+let agent_endpoint t rid = t.agents.(Lla.Problem.resource_index t.problem rid).agent_endpoint
+
+let controller_endpoint t tid =
+  t.controllers.(Lla.Problem.task_index t.problem tid).controller_endpoint
 
 let latency t sid = t.lat.(Lla.Problem.subtask_index t.problem sid)
 

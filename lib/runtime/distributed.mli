@@ -12,15 +12,26 @@
       resource prices (Eq. 7), then sends [Latency] messages to the
       agents.
 
-    Messages incur a configurable one-way delay, so this exercises LLA
-    under the asynchrony a real deployment has. With zero delay and equal
-    periods the trajectory matches the synchronous {!Lla.Solver} engine up
-    to message ordering (tested). *)
+    Every control message is routed through an {!Lla_transport.Transport},
+    so the deployment can be exercised under jittered and heterogeneous
+    delays, message loss, duplication, reordering, link partitions and
+    actor crash/restart — not just the fixed one-way delay of
+    [config.message_delay]. With the default zero-fault constant-delay
+    transport the trajectory is identical to the pre-transport
+    implementation, and with zero delay and equal periods it matches the
+    synchronous {!Lla.Solver} engine up to message ordering (tested).
+
+    Actors whose transport endpoint is down skip their periodic rounds;
+    on restart they rebuild price state from the next received messages
+    (an agent restarts from [mu0] and the compiled initial latency view, a
+    controller from [mu0] views and zero path prices). *)
 
 open Lla_model
 
 type config = {
-  message_delay : float;  (** one-way latency of the control channel, ms. *)
+  message_delay : float;
+      (** one-way latency of the control channel, ms. Only used to build
+          the default transport; ignored when a transport is supplied. *)
   controller_period : float;  (** ms between controller allocations. *)
   resource_period : float;  (** ms between price recomputations. *)
   step_policy : Lla.Step_size.policy;
@@ -34,14 +45,32 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> Lla_sim.Engine.t -> Workload.t -> t
+val create : ?config:config -> ?transport:Lla_transport.Transport.t -> Lla_sim.Engine.t -> Workload.t -> t
+(** When [transport] is omitted, a zero-fault transport with a constant
+    [config.message_delay] is created on [engine] — the legacy behaviour.
+    A supplied transport must run on the same engine
+    (@raise Invalid_argument otherwise). *)
 
 val start : t -> unit
 (** Controllers announce initial latencies; agents and controllers begin
     their periodic ticks. *)
 
+val stop : t -> unit
+(** Cancel the periodic agent/controller ticks so the engine can drain:
+    after [stop], [Engine.run] terminates once in-flight messages have
+    been delivered and {!Lla_sim.Engine.pending} returns to the in-flight
+    count. No-op before {!start} or after a previous [stop]. *)
+
 val run : t -> duration:float -> unit
 (** Convenience: {!start} on first use, then advance the engine. *)
+
+val transport : t -> Lla_transport.Transport.t
+
+val agent_endpoint : t -> Ids.Resource_id.t -> Lla_transport.Transport.endpoint
+(** The price agent's transport endpoint — crash it, partition it, or give
+    its links a heterogeneous delay model. *)
+
+val controller_endpoint : t -> Ids.Task_id.t -> Lla_transport.Transport.endpoint
 
 val latency : t -> Ids.Subtask_id.t -> float
 
@@ -52,6 +81,8 @@ val mu : t -> Ids.Resource_id.t -> float
 val utility : t -> float
 
 val messages_sent : t -> int
+(** Control messages handed to the transport (send attempts, before any
+    fault injection; retransmissions not included). *)
 
 val price_rounds : t -> int
 (** Total agent ticks so far. *)

@@ -1,0 +1,319 @@
+module Engine = Lla_sim.Engine
+module Rng = Lla_stdx.Rng
+module Window = Lla_stdx.Percentile.Window
+
+type faults = {
+  drop : float;
+  duplicate : float;
+  reorder : float;
+  reorder_spread : float;
+}
+
+let no_faults = { drop = 0.; duplicate = 0.; reorder = 0.; reorder_spread = 0. }
+
+type retry = { timeout : float; backoff : float; max_attempts : int }
+
+type policy = {
+  retry : retry option;
+  last_write_wins : bool;
+}
+
+let fire_and_forget = { retry = None; last_write_wins = true }
+
+type config = {
+  delay : Delay_model.t;
+  faults : faults;
+  policy : policy;
+  seed : int;
+  delay_window : int;
+}
+
+let default_config =
+  {
+    delay = Delay_model.Constant 1.0;
+    faults = no_faults;
+    policy = fire_and_forget;
+    seed = 0;
+    delay_window = 1024;
+  }
+
+type endpoint = {
+  eid : int;
+  name : string;
+  mutable up : bool;
+  mutable crashes : int;
+  mutable restart_hooks : (unit -> unit) list;  (* reversed registration order *)
+}
+
+type counters = {
+  sent : int;
+  delivered : int;
+  dropped : int;
+  cut : int;
+  lost_down : int;
+  duplicated : int;
+  retried : int;
+  stale : int;
+}
+
+let zero_counters =
+  { sent = 0; delivered = 0; dropped = 0; cut = 0; lost_down = 0; duplicated = 0; retried = 0; stale = 0 }
+
+(* A directed (src, dst) link, created lazily on first send. *)
+type channel = {
+  src : endpoint;
+  dst : endpoint;
+  mutable link_delay : Delay_model.t option;  (* overrides the transport default *)
+  mutable next_seq : int;
+  applied : (int, int) Hashtbl.t;  (* message key -> newest applied seq *)
+  mutable c_sent : int;
+  mutable c_delivered : int;
+  mutable c_dropped : int;
+  mutable c_cut : int;
+  mutable c_lost_down : int;
+  mutable c_duplicated : int;
+  mutable c_retried : int;
+  mutable c_stale : int;
+  window : Window.t;
+}
+
+type partition_spec = {
+  p_start : float;
+  p_heal : float;
+  side_a : int list;  (* endpoint ids *)
+  side_b : int list;
+}
+
+type t = {
+  engine : Engine.t;
+  config : config;
+  rng : Rng.t;
+  mutable n_endpoints : int;
+  mutable endpoint_list : endpoint list;  (* reversed registration order *)
+  channels : (int * int, channel) Hashtbl.t;
+  mutable partitions : partition_spec list;
+  all_window : Window.t;
+}
+
+let create ?(config = default_config) engine =
+  {
+    engine;
+    config;
+    rng = Rng.create ~seed:config.seed;
+    n_endpoints = 0;
+    endpoint_list = [];
+    channels = Hashtbl.create 64;
+    partitions = [];
+    all_window = Window.create ~capacity:config.delay_window;
+  }
+
+let config t = t.config
+
+let engine t = t.engine
+
+let endpoint t ~name =
+  let e = { eid = t.n_endpoints; name; up = true; crashes = 0; restart_hooks = [] } in
+  t.n_endpoints <- t.n_endpoints + 1;
+  t.endpoint_list <- e :: t.endpoint_list;
+  e
+
+let endpoint_name e = e.name
+
+let endpoints t = List.rev t.endpoint_list
+
+let channel t src dst =
+  let key = (src.eid, dst.eid) in
+  match Hashtbl.find_opt t.channels key with
+  | Some ch -> ch
+  | None ->
+    let ch =
+      {
+        src;
+        dst;
+        link_delay = None;
+        next_seq = 0;
+        applied = Hashtbl.create 8;
+        c_sent = 0;
+        c_delivered = 0;
+        c_dropped = 0;
+        c_cut = 0;
+        c_lost_down = 0;
+        c_duplicated = 0;
+        c_retried = 0;
+        c_stale = 0;
+        window = Window.create ~capacity:t.config.delay_window;
+      }
+    in
+    Hashtbl.add t.channels key ch;
+    ch
+
+let set_link_delay t ~src ~dst model = (channel t src dst).link_delay <- Some model
+
+(* --- lifecycle ------------------------------------------------------- *)
+
+let is_up _t e = e.up
+
+let crash _t e =
+  if e.up then begin
+    e.up <- false;
+    e.crashes <- e.crashes + 1
+  end
+
+let restart _t e =
+  if not e.up then begin
+    e.up <- true;
+    List.iter (fun hook -> hook ()) (List.rev e.restart_hooks)
+  end
+
+let on_restart _t e hook = e.restart_hooks <- hook :: e.restart_hooks
+
+let schedule_outage t e ~at ~duration =
+  if duration < 0. then invalid_arg "Transport.schedule_outage: negative duration";
+  ignore (Engine.schedule t.engine ~at (fun _ -> crash t e));
+  ignore (Engine.schedule t.engine ~at:(at +. duration) (fun _ -> restart t e))
+
+let outages _t e = e.crashes
+
+(* --- partitions ------------------------------------------------------ *)
+
+let partition t ~at ~duration ~group_a ~group_b =
+  if duration < 0. then invalid_arg "Transport.partition: negative duration";
+  let spec =
+    {
+      p_start = at;
+      p_heal = at +. duration;
+      side_a = List.map (fun e -> e.eid) group_a;
+      side_b = List.map (fun e -> e.eid) group_b;
+    }
+  in
+  t.partitions <- spec :: t.partitions
+
+let partitioned t ~src ~dst =
+  let now = Engine.now t.engine in
+  List.exists
+    (fun p ->
+      now >= p.p_start && now < p.p_heal
+      && ((List.mem src.eid p.side_a && List.mem dst.eid p.side_b)
+         || (List.mem src.eid p.side_b && List.mem dst.eid p.side_a)))
+    t.partitions
+
+(* --- sending --------------------------------------------------------- *)
+
+(* Draw a Bernoulli trial only when the probability can succeed, so the
+   zero-fault configuration consumes no randomness. *)
+let hit t p = p > 0. && (p >= 1. || Rng.float t.rng < p)
+
+let deliver t ch ?key ~seq ~delay payload ~on_lost =
+  if not ch.dst.up then on_lost `Down
+  else begin
+    let stale =
+      match key with
+      | Some k when t.config.policy.last_write_wins -> (
+        match Hashtbl.find_opt ch.applied k with
+        | Some newest when newest >= seq -> true
+        | _ ->
+          Hashtbl.replace ch.applied k seq;
+          false)
+      | _ -> false
+    in
+    if stale then ch.c_stale <- ch.c_stale + 1
+    else begin
+      ch.c_delivered <- ch.c_delivered + 1;
+      Window.add ch.window delay;
+      Window.add t.all_window delay;
+      payload ()
+    end
+  end
+
+let rec attempt t ch ?key ~seq ~n payload =
+  let lost reason =
+    (match reason with
+    | `Drop -> ch.c_dropped <- ch.c_dropped + 1
+    | `Cut -> ch.c_cut <- ch.c_cut + 1
+    | `Down -> ch.c_lost_down <- ch.c_lost_down + 1);
+    match t.config.policy.retry with
+    | Some r when n + 1 < r.max_attempts && ch.src.up ->
+      ch.c_retried <- ch.c_retried + 1;
+      let wait = r.timeout *. (r.backoff ** float_of_int n) in
+      ignore (Engine.schedule_after t.engine ~delay:wait (fun _ -> attempt t ch ?key ~seq ~n:(n + 1) payload))
+    | _ -> ()
+  in
+  if not ch.src.up then ch.c_lost_down <- ch.c_lost_down + 1
+  else if partitioned t ~src:ch.src ~dst:ch.dst then lost `Cut
+  else if hit t t.config.faults.drop then lost `Drop
+  else begin
+    let model = Option.value ch.link_delay ~default:t.config.delay in
+    let schedule_copy () =
+      let delay = Delay_model.sample model t.rng in
+      let delay =
+        if hit t t.config.faults.reorder && t.config.faults.reorder_spread > 0. then
+          delay +. Rng.uniform t.rng ~lo:0. ~hi:t.config.faults.reorder_spread
+        else delay
+      in
+      ignore
+        (Engine.schedule_after t.engine ~delay (fun _ ->
+             deliver t ch ?key ~seq ~delay payload ~on_lost:lost))
+    in
+    schedule_copy ();
+    if hit t t.config.faults.duplicate then begin
+      ch.c_duplicated <- ch.c_duplicated + 1;
+      schedule_copy ()
+    end
+  end
+
+let send ?key t ~src ~dst payload =
+  let ch = channel t src dst in
+  ch.c_sent <- ch.c_sent + 1;
+  let seq = ch.next_seq in
+  ch.next_seq <- seq + 1;
+  attempt t ch ?key ~seq ~n:0 payload
+
+(* --- inspection ------------------------------------------------------ *)
+
+let counters_of ch =
+  {
+    sent = ch.c_sent;
+    delivered = ch.c_delivered;
+    dropped = ch.c_dropped;
+    cut = ch.c_cut;
+    lost_down = ch.c_lost_down;
+    duplicated = ch.c_duplicated;
+    retried = ch.c_retried;
+    stale = ch.c_stale;
+  }
+
+let add_counters a b =
+  {
+    sent = a.sent + b.sent;
+    delivered = a.delivered + b.delivered;
+    dropped = a.dropped + b.dropped;
+    cut = a.cut + b.cut;
+    lost_down = a.lost_down + b.lost_down;
+    duplicated = a.duplicated + b.duplicated;
+    retried = a.retried + b.retried;
+    stale = a.stale + b.stale;
+  }
+
+let totals t = Hashtbl.fold (fun _ ch acc -> add_counters acc (counters_of ch)) t.channels zero_counters
+
+let channel_counters t ~src ~dst =
+  match Hashtbl.find_opt t.channels (src.eid, dst.eid) with
+  | Some ch -> counters_of ch
+  | None -> zero_counters
+
+let channels t =
+  Hashtbl.fold (fun _ ch acc -> (ch.src, ch.dst, counters_of ch) :: acc) t.channels []
+  |> List.sort (fun (a, b, _) (c, d, _) ->
+         match Int.compare a.eid c.eid with 0 -> Int.compare b.eid d.eid | cmp -> cmp)
+
+let delay_percentile t ~p = Window.percentile t.all_window ~p
+
+let channel_delay_percentile t ~src ~dst ~p =
+  match Hashtbl.find_opt t.channels (src.eid, dst.eid) with
+  | Some ch -> Window.percentile ch.window ~p
+  | None -> None
+
+let pp_counters fmt c =
+  Format.fprintf fmt
+    "sent %d, delivered %d, dropped %d, cut %d, lost-down %d, duplicated %d, retried %d, stale %d"
+    c.sent c.delivered c.dropped c.cut c.lost_down c.duplicated c.retried c.stale

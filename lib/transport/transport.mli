@@ -1,0 +1,168 @@
+(** Fault-injecting message transport over the discrete-event engine.
+
+    The distributed LLA deployment (and any other actor system built on
+    {!Lla_sim.Engine}) sends its control messages through a [Transport.t]
+    instead of scheduling deliveries directly. The transport owns:
+
+    - {b delay models}: a default {!Delay_model.t} plus per-link
+      overrides, sampled from a seeded {!Lla_stdx.Rng} so runs are
+      deterministic and reproducible;
+    - {b fault injection}: probabilistic message drop, duplication and
+      reordering (extra random delay on a fraction of messages), plus
+      scheduled link {!partition}s with heal times;
+    - {b endpoint lifecycle}: endpoints can {!crash} and {!restart} (or be
+      given an outage schedule); messages to or from a down endpoint are
+      lost, and restart hooks let actors rebuild their state from the next
+      received messages;
+    - {b delivery policies}: optional retry-with-timeout/backoff on lost
+      attempts, and last-write-wins sequence numbering per message key so
+      stale reordered updates are discarded instead of applied;
+    - {b per-channel counters} (sent / delivered / dropped / cut /
+      lost-to-down-endpoints / duplicated / retried / stale) and delay
+      histograms via {!Lla_stdx.Percentile.Window}.
+
+    With the default zero-fault configuration and a [Constant] delay the
+    transport schedules exactly one engine event per [send], drawing
+    nothing from the RNG — a trajectory routed through it is bit-for-bit
+    identical to one using bare [Engine.schedule_after]. *)
+
+(** {1 Configuration} *)
+
+type faults = {
+  drop : float;  (** probability a delivery attempt is lost. *)
+  duplicate : float;  (** probability a message is delivered twice. *)
+  reorder : float;
+      (** probability a message is held back by an extra random delay,
+          letting later messages overtake it. *)
+  reorder_spread : float;  (** maximum extra delay (ms) for held-back messages. *)
+}
+
+val no_faults : faults
+
+type retry = {
+  timeout : float;  (** ms before the first retransmission. *)
+  backoff : float;  (** multiplier on the timeout per attempt (>= 1). *)
+  max_attempts : int;  (** total attempts, including the first. *)
+}
+
+type policy = {
+  retry : retry option;  (** [None] = fire and forget. *)
+  last_write_wins : bool;
+      (** when [true], a delivery whose per-key sequence number is not
+          newer than the last applied one is discarded as stale. Only
+          messages sent with [~key] participate. *)
+}
+
+val fire_and_forget : policy
+(** No retries, last-write-wins on. *)
+
+type config = {
+  delay : Delay_model.t;
+  faults : faults;
+  policy : policy;
+  seed : int;  (** seeds the transport's private RNG. *)
+  delay_window : int;  (** samples kept per delay histogram. *)
+}
+
+val default_config : config
+(** Constant 1 ms delay, no faults, {!fire_and_forget}, seed 0,
+    1024-sample histograms. *)
+
+(** {1 Transport and endpoints} *)
+
+type t
+
+type endpoint
+
+val create : ?config:config -> Lla_sim.Engine.t -> t
+
+val config : t -> config
+
+val engine : t -> Lla_sim.Engine.t
+
+val endpoint : t -> name:string -> endpoint
+(** Register a named endpoint (initially up). Names are for inspection
+    only and need not be unique. *)
+
+val endpoint_name : endpoint -> string
+
+val endpoints : t -> endpoint list
+(** In registration order. *)
+
+val set_link_delay : t -> src:endpoint -> dst:endpoint -> Delay_model.t -> unit
+(** Override the delay model of the directed [src -> dst] link
+    (heterogeneous links). *)
+
+(** {1 Sending} *)
+
+val send : ?key:int -> t -> src:endpoint -> dst:endpoint -> (unit -> unit) -> unit
+(** Route a message: the callback runs at delivery time unless the message
+    is dropped, cut by a partition, addressed to (or sent by) a down
+    endpoint, or discarded as stale. [key] identifies the logical variable
+    the message updates (e.g. a price's resource index) for last-write-wins
+    filtering; omit it to bypass staleness checks. *)
+
+(** {1 Endpoint lifecycle} *)
+
+val is_up : t -> endpoint -> bool
+
+val crash : t -> endpoint -> unit
+(** Take the endpoint down: it neither sends nor receives. Idempotent. *)
+
+val restart : t -> endpoint -> unit
+(** Bring the endpoint back up and run its restart hooks (registration
+    order). The transport replays nothing: actors are expected to rebuild
+    state from the next received messages. Idempotent. *)
+
+val on_restart : t -> endpoint -> (unit -> unit) -> unit
+
+val schedule_outage : t -> endpoint -> at:float -> duration:float -> unit
+(** Crash at absolute engine time [at], restart at [at +. duration]. *)
+
+val outages : t -> endpoint -> int
+(** Number of crashes so far. *)
+
+(** {1 Partitions} *)
+
+val partition : t -> at:float -> duration:float -> group_a:endpoint list -> group_b:endpoint list -> unit
+(** Cut every link between the two groups (both directions) during
+    [\[at, at +. duration)]; the partition heals automatically at the end
+    of the interval. Messages crossing a cut link are counted as [cut]
+    (and retried, when a retry policy is set — retries that land after the
+    heal succeed). *)
+
+val partitioned : t -> src:endpoint -> dst:endpoint -> bool
+(** Is the [src -> dst] link currently cut? *)
+
+(** {1 Inspection} *)
+
+type counters = {
+  sent : int;  (** [send] calls. *)
+  delivered : int;  (** payloads applied. *)
+  dropped : int;  (** attempts lost to the drop probability. *)
+  cut : int;  (** attempts lost to a partition. *)
+  lost_down : int;  (** attempts lost to a down endpoint. *)
+  duplicated : int;  (** extra copies injected. *)
+  retried : int;  (** retransmission attempts scheduled. *)
+  stale : int;  (** deliveries discarded by last-write-wins. *)
+}
+
+val zero_counters : counters
+
+val totals : t -> counters
+(** Sum over all channels. *)
+
+val channel_counters : t -> src:endpoint -> dst:endpoint -> counters
+(** {!zero_counters} when the channel has never carried a message. *)
+
+val channels : t -> (endpoint * endpoint * counters) list
+(** Every channel that has carried at least one message, in a
+    deterministic order. *)
+
+val delay_percentile : t -> p:float -> float option
+(** Percentile of recently delivered messages' delays (all channels);
+    [None] before the first delivery. *)
+
+val channel_delay_percentile : t -> src:endpoint -> dst:endpoint -> p:float -> float option
+
+val pp_counters : Format.formatter -> counters -> unit

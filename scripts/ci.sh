@@ -1,0 +1,6 @@
+#!/bin/sh
+# Minimal CI: build everything, then run the full test suite.
+set -eu
+cd "$(dirname "$0")/.."
+dune build
+dune runtest

@@ -1,0 +1,439 @@
+(* Tests for the fault-injecting transport and the distributed LLA
+   deployment on top of it: channel-level fault semantics, determinism,
+   equivalence of the zero-fault transport with the legacy fixed-delay
+   path, and convergence under loss, jitter, partitions and crashes. *)
+
+open Lla_model
+module Engine = Lla_sim.Engine
+module Transport = Lla_transport.Transport
+module Delay_model = Lla_transport.Delay_model
+module Distributed = Lla_runtime.Distributed
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (expected %g, got %g)" msg expected actual)
+    true
+    (Float.abs (expected -. actual) <= eps)
+
+let no_retry_no_lww = { Transport.retry = None; last_write_wins = false }
+
+let two_endpoints ?(config = Transport.default_config) () =
+  let engine = Engine.create () in
+  let transport = Transport.create ~config engine in
+  let a = Transport.endpoint transport ~name:"a" in
+  let b = Transport.endpoint transport ~name:"b" in
+  (engine, transport, a, b)
+
+(* ------------------------------------------------------------------ *)
+(* Channel semantics                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_constant_delivery_in_order () =
+  let engine, transport, a, b = two_endpoints () in
+  let received = ref [] in
+  for i = 1 to 5 do
+    Transport.send transport ~src:a ~dst:b (fun () -> received := i :: !received)
+  done;
+  Engine.run engine ();
+  Alcotest.(check (list int)) "in order" [ 1; 2; 3; 4; 5 ] (List.rev !received);
+  check_close "delivery at the constant delay" 1.0 (Engine.now engine);
+  let c = Transport.channel_counters transport ~src:a ~dst:b in
+  Alcotest.(check int) "sent" 5 c.Transport.sent;
+  Alcotest.(check int) "delivered" 5 c.Transport.delivered;
+  Alcotest.(check int) "nothing lost" 0
+    (c.Transport.dropped + c.Transport.cut + c.Transport.lost_down + c.Transport.stale)
+
+let test_drop_everything () =
+  let config =
+    { Transport.default_config with faults = { Transport.no_faults with drop = 1.0 } }
+  in
+  let engine, transport, a, b = two_endpoints ~config () in
+  let received = ref 0 in
+  for _ = 1 to 7 do
+    Transport.send transport ~src:a ~dst:b (fun () -> incr received)
+  done;
+  Engine.run engine ();
+  Alcotest.(check int) "nothing delivered" 0 !received;
+  let c = Transport.totals transport in
+  Alcotest.(check int) "all dropped" 7 c.Transport.dropped
+
+let test_duplicates_without_lww () =
+  let config =
+    {
+      Transport.default_config with
+      faults = { Transport.no_faults with duplicate = 1.0 };
+      policy = no_retry_no_lww;
+    }
+  in
+  let engine, transport, a, b = two_endpoints ~config () in
+  let received = ref 0 in
+  for _ = 1 to 6 do
+    Transport.send transport ~src:a ~dst:b (fun () -> incr received)
+  done;
+  Engine.run engine ();
+  Alcotest.(check int) "every message delivered twice" 12 !received;
+  let c = Transport.totals transport in
+  Alcotest.(check int) "duplicates counted" 6 c.Transport.duplicated
+
+let test_lww_discards_duplicates () =
+  let config =
+    { Transport.default_config with faults = { Transport.no_faults with duplicate = 1.0 } }
+  in
+  let engine, transport, a, b = two_endpoints ~config () in
+  let received = ref 0 in
+  for _ = 1 to 6 do
+    Transport.send transport ~key:0 ~src:a ~dst:b (fun () -> incr received)
+  done;
+  Engine.run engine ();
+  Alcotest.(check int) "one application per message" 6 !received;
+  let c = Transport.totals transport in
+  Alcotest.(check int) "stale copies discarded" 6 c.Transport.stale
+
+let test_reordering_and_lww_monotonicity () =
+  (* Every message gets a random extra delay, scrambling arrival order;
+     last-write-wins must keep the applied sequence monotonic. *)
+  let config =
+    {
+      Transport.default_config with
+      faults = { Transport.no_faults with reorder = 1.0; reorder_spread = 50. };
+      seed = 11;
+    }
+  in
+  let engine, transport, a, b = two_endpoints ~config () in
+  let applied = ref [] in
+  for i = 1 to 30 do
+    Transport.send transport ~key:0 ~src:a ~dst:b (fun () -> applied := i :: !applied)
+  done;
+  Engine.run engine ();
+  let applied = List.rev !applied in
+  let rec monotonic = function
+    | x :: (y :: _ as rest) -> x < y && monotonic rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "applied sequence strictly increasing" true (monotonic applied);
+  let c = Transport.totals transport in
+  Alcotest.(check int) "every message accounted for" 30
+    (c.Transport.delivered + c.Transport.stale);
+  Alcotest.(check bool) "reordering actually discarded stale updates" true (c.Transport.stale > 0)
+
+let test_retry_recovers_losses () =
+  let config =
+    {
+      Transport.default_config with
+      faults = { Transport.no_faults with drop = 0.5 };
+      policy =
+        {
+          Transport.retry = Some { Transport.timeout = 5.; backoff = 2.; max_attempts = 5 };
+          last_write_wins = false;
+        };
+      seed = 3;
+    }
+  in
+  let engine, transport, a, b = two_endpoints ~config () in
+  let received = ref 0 in
+  for _ = 1 to 40 do
+    Transport.send transport ~src:a ~dst:b (fun () -> incr received)
+  done;
+  Engine.run engine ();
+  let c = Transport.totals transport in
+  Alcotest.(check bool)
+    (Printf.sprintf "most messages delivered (%d/40, %d retries)" !received c.Transport.retried)
+    true
+    (!received >= 36 && c.Transport.retried > 0)
+
+let test_partition_cuts_and_heals () =
+  let engine, transport, a, b = two_endpoints () in
+  Transport.partition transport ~at:10. ~duration:10. ~group_a:[ a ] ~group_b:[ b ];
+  let received = ref [] in
+  let send_at t i =
+    ignore
+      (Engine.schedule engine ~at:t (fun _ ->
+           Transport.send transport ~src:a ~dst:b (fun () -> received := i :: !received)))
+  in
+  send_at 5. 1;
+  send_at 15. 2;
+  (* in the window: cut *)
+  send_at 25. 3;
+  Engine.run engine ();
+  Alcotest.(check (list int)) "message in the window lost" [ 1; 3 ] (List.rev !received);
+  let c = Transport.totals transport in
+  Alcotest.(check int) "cut counted" 1 c.Transport.cut
+
+let test_retry_rides_out_partition () =
+  let config =
+    {
+      Transport.default_config with
+      policy =
+        {
+          Transport.retry = Some { Transport.timeout = 6.; backoff = 1.; max_attempts = 4 };
+          last_write_wins = false;
+        };
+    }
+  in
+  let engine, transport, a, b = two_endpoints ~config () in
+  Transport.partition transport ~at:10. ~duration:10. ~group_a:[ a ] ~group_b:[ b ];
+  let received = ref 0 in
+  ignore
+    (Engine.schedule engine ~at:15. (fun _ ->
+         Transport.send transport ~src:a ~dst:b (fun () -> incr received)));
+  Engine.run engine ();
+  let c = Transport.totals transport in
+  Alcotest.(check int) "delivered after the heal" 1 !received;
+  Alcotest.(check bool) "first attempt was cut, then retried" true
+    (c.Transport.cut >= 1 && c.Transport.retried >= 1)
+
+let test_outage_and_restart_hook () =
+  let engine, transport, a, b = two_endpoints () in
+  let restarted = ref false in
+  Transport.on_restart transport b (fun () -> restarted := true);
+  Transport.schedule_outage transport b ~at:10. ~duration:10.;
+  let received = ref [] in
+  let send_at t i =
+    ignore
+      (Engine.schedule engine ~at:t (fun _ ->
+           Transport.send transport ~src:a ~dst:b (fun () -> received := i :: !received)))
+  in
+  send_at 5. 1;
+  send_at 12. 2;
+  (* arrives at 13 while b is down *)
+  send_at 22. 3;
+  Engine.run engine ();
+  Alcotest.(check (list int)) "message to the down endpoint lost" [ 1; 3 ] (List.rev !received);
+  Alcotest.(check bool) "restart hook ran" true !restarted;
+  Alcotest.(check int) "one outage" 1 (Transport.outages transport b);
+  let c = Transport.totals transport in
+  Alcotest.(check int) "lost to down endpoint" 1 c.Transport.lost_down
+
+let test_per_link_delay_override () =
+  let engine, transport, a, b = two_endpoints () in
+  let c = Transport.endpoint transport ~name:"c" in
+  Transport.set_link_delay transport ~src:a ~dst:c (Delay_model.constant 9.);
+  let times = ref [] in
+  Transport.send transport ~src:a ~dst:b (fun () -> times := ("b", Engine.now engine) :: !times);
+  Transport.send transport ~src:a ~dst:c (fun () -> times := ("c", Engine.now engine) :: !times);
+  Engine.run engine ();
+  check_close "default link" 1. (List.assoc "b" !times);
+  check_close "overridden link" 9. (List.assoc "c" !times);
+  Alcotest.(check int) "two channels inspected" 2 (List.length (Transport.channels transport));
+  match Transport.channel_delay_percentile transport ~src:a ~dst:c ~p:50. with
+  | Some d -> check_close "per-channel histogram" 9. d
+  | None -> Alcotest.fail "expected a delay histogram"
+
+let chaotic_config seed =
+  {
+    Transport.default_config with
+    delay = Delay_model.jittered ~base:2. ~jitter:0.75;
+    faults =
+      { Transport.drop = 0.2; duplicate = 0.1; reorder = 0.3; reorder_spread = 10. };
+    seed;
+  }
+
+let delivery_trace seed =
+  let engine, transport, a, b = two_endpoints ~config:(chaotic_config seed) () in
+  let trace = ref [] in
+  for i = 1 to 100 do
+    ignore
+      (Engine.schedule engine ~at:(float_of_int i) (fun _ ->
+           Transport.send transport ~key:0 ~src:a ~dst:b (fun () ->
+               trace := (i, Engine.now engine) :: !trace)))
+  done;
+  Engine.run engine ();
+  List.rev !trace
+
+let test_seeded_determinism () =
+  let t1 = delivery_trace 42 and t2 = delivery_trace 42 in
+  Alcotest.(check bool) "same seed, identical delivery trace" true (t1 = t2);
+  let t3 = delivery_trace 43 in
+  Alcotest.(check bool) "different seed, different trace" true (t1 <> t3)
+
+(* ------------------------------------------------------------------ *)
+(* Distributed deployment over the transport                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_distributed ?tconfig ?(horizon = 120_000.) ?prepare () =
+  let workload = Lla_workloads.Paper_sim.base () in
+  let engine = Engine.create () in
+  let transport =
+    Option.map (fun config -> Transport.create ~config engine) tconfig
+  in
+  let d = Distributed.create ?transport engine workload in
+  Option.iter (fun f -> f workload d) prepare;
+  Distributed.run d ~duration:horizon;
+  (workload, d)
+
+let final_state workload d =
+  ( Distributed.utility d,
+    List.map
+      (fun (s : Subtask.t) -> Distributed.latency d s.id)
+      (Workload.subtasks workload) )
+
+let test_zero_fault_transport_equals_legacy_path () =
+  (* The implicit transport built from config.message_delay and an explicit
+     zero-fault constant-delay transport must produce bit-for-bit the same
+     trajectory. *)
+  let _, d_legacy = run_distributed ~horizon:60_000. () in
+  let _, d_transport =
+    run_distributed ~tconfig:Transport.default_config ~horizon:60_000. ()
+  in
+  let workload = Lla_workloads.Paper_sim.base () in
+  let u1, lats1 = final_state workload d_legacy in
+  let u2, lats2 = final_state workload d_transport in
+  Alcotest.(check bool) "identical utility" true (Float.equal u1 u2);
+  Alcotest.(check bool) "identical latency vector" true
+    (List.for_all2 Float.equal lats1 lats2);
+  Alcotest.(check int) "identical message count" (Distributed.messages_sent d_legacy)
+    (Distributed.messages_sent d_transport)
+
+let lossy_config seed =
+  {
+    Transport.default_config with
+    delay = Delay_model.jittered ~base:1. ~jitter:0.5;
+    faults = { Transport.no_faults with drop = 0.1 };
+    seed;
+  }
+
+let test_distributed_chaos_deterministic () =
+  let workload = Lla_workloads.Paper_sim.base () in
+  let state seed =
+    let _, d = run_distributed ~tconfig:(lossy_config seed) ~horizon:30_000. () in
+    final_state workload d
+  in
+  let u1, lats1 = state 7 and u2, lats2 = state 7 in
+  Alcotest.(check bool) "same seed, identical final utility" true (Float.equal u1 u2);
+  Alcotest.(check bool) "same seed, identical latencies" true
+    (List.for_all2 Float.equal lats1 lats2)
+
+let test_converges_under_ten_percent_loss () =
+  (* The acceptance bound: 10% message loss and +/-50% delay jitter keep
+     the aggregate utility within 5% of the fault-free run. *)
+  let workload, d_ref = run_distributed ~tconfig:Transport.default_config () in
+  let reference, _ = final_state workload d_ref in
+  let _, d = run_distributed ~tconfig:(lossy_config 42) () in
+  let lossy = Distributed.utility d in
+  let gap = Float.abs (lossy -. reference) /. Float.abs reference in
+  Alcotest.(check bool)
+    (Printf.sprintf "within 5%% of fault-free (%.2f vs %.2f, gap %.2f%%)" lossy reference
+       (100. *. gap))
+    true (gap < 0.05);
+  let c = Transport.totals (Distributed.transport d) in
+  Alcotest.(check bool) "loss actually happened" true
+    (c.Transport.dropped > c.Transport.sent / 20)
+
+let test_partition_heal_recovery () =
+  (* Cut three price agents off from every controller mid-run (crashing
+     them for the duration); after the heal the deployment must re-converge
+     to the fault-free utility. *)
+  let workload, d_ref = run_distributed ~tconfig:Transport.default_config () in
+  let reference, _ = final_state workload d_ref in
+  let partitioned_resources w =
+    List.filteri (fun i _ -> i < 3) w.Workload.resources
+    |> List.map (fun (r : Resource.t) -> r.Resource.id)
+  in
+  let _, d =
+    run_distributed ~tconfig:Transport.default_config
+      ~prepare:(fun w d ->
+        let transport = Distributed.transport d in
+        let agents = List.map (Distributed.agent_endpoint d) (partitioned_resources w) in
+        let controllers =
+          List.map (fun (t : Task.t) -> Distributed.controller_endpoint d t.Task.id) w.Workload.tasks
+        in
+        Transport.partition transport ~at:40_000. ~duration:40_000. ~group_a:agents
+          ~group_b:controllers;
+        List.iter
+          (fun e -> Transport.schedule_outage transport e ~at:40_000. ~duration:40_000.)
+          agents)
+      ()
+  in
+  let final = Distributed.utility d in
+  let gap = Float.abs (final -. reference) /. Float.abs reference in
+  Alcotest.(check bool)
+    (Printf.sprintf "recovered after heal (%.2f vs %.2f, gap %.2f%%)" final reference
+       (100. *. gap))
+    true (gap < 0.05);
+  let c = Transport.totals (Distributed.transport d) in
+  Alcotest.(check bool) "partition cut traffic" true (c.Transport.cut > 1000);
+  let transport = Distributed.transport d in
+  let outages =
+    List.fold_left
+      (fun acc rid -> acc + Transport.outages transport (Distributed.agent_endpoint d rid))
+      0
+      (partitioned_resources workload)
+  in
+  Alcotest.(check int) "each partitioned agent crashed once" 3 outages
+
+let test_agent_crash_restart_reconverges () =
+  let workload, d_ref = run_distributed ~tconfig:Transport.default_config () in
+  let reference, _ = final_state workload d_ref in
+  let _, d =
+    run_distributed ~tconfig:Transport.default_config
+      ~prepare:(fun w d ->
+        let rid = (List.hd w.Workload.resources).Resource.id in
+        Transport.schedule_outage (Distributed.transport d) (Distributed.agent_endpoint d rid)
+          ~at:30_000. ~duration:10_000.)
+      ()
+  in
+  let final = Distributed.utility d in
+  let gap = Float.abs (final -. reference) /. Float.abs reference in
+  Alcotest.(check bool)
+    (Printf.sprintf "price state rebuilt after restart (gap %.2f%%)" (100. *. gap))
+    true (gap < 0.05)
+
+let test_stop_cancels_periodic_ticks () =
+  let workload = Lla_workloads.Paper_sim.base () in
+  let engine = Engine.create () in
+  let d = Distributed.create engine workload in
+  Distributed.run d ~duration:5_000.;
+  Alcotest.(check bool) "ticks keep the engine busy" true (Engine.pending engine > 0);
+  Distributed.stop d;
+  let rounds_at_stop = Distributed.price_rounds d in
+  (* Without stop this would never terminate: the periodic loops reschedule
+     forever. After stop only in-flight messages remain. *)
+  Engine.run engine ();
+  Alcotest.(check int) "engine drained" 0 (Engine.pending engine);
+  Alcotest.(check int) "no rounds after stop" rounds_at_stop (Distributed.price_rounds d)
+
+let test_chaos_experiment_smoke () =
+  (* The CLI-facing harness end to end, on a reduced budget. *)
+  let r = Lla_experiments.Chaos.run ~seed:1 ~horizon:30_000. ~drops:[ 0.1 ] ~jitters:[ 0.5 ] () in
+  (match r.Lla_experiments.Chaos.drop_points with
+  | [ p ] ->
+    Alcotest.(check bool) "drop point within 5%" true
+      (p.Lla_experiments.Chaos.utility_gap_percent < 5.)
+  | _ -> Alcotest.fail "expected one drop point");
+  Alcotest.(check bool) "partition run recovered" true
+    (r.Lla_experiments.Chaos.partition.Lla_experiments.Chaos.final_gap_percent < 5.);
+  Alcotest.(check bool) "report renders" true
+    (String.length (Lla_experiments.Chaos.report r) > 400)
+
+let () =
+  Alcotest.run "lla_transport"
+    [
+      ( "channel",
+        [
+          Alcotest.test_case "constant delay, in order" `Quick test_constant_delivery_in_order;
+          Alcotest.test_case "drop everything" `Quick test_drop_everything;
+          Alcotest.test_case "duplicates without lww" `Quick test_duplicates_without_lww;
+          Alcotest.test_case "lww discards duplicates" `Quick test_lww_discards_duplicates;
+          Alcotest.test_case "reordering + lww monotonicity" `Quick
+            test_reordering_and_lww_monotonicity;
+          Alcotest.test_case "retry recovers losses" `Quick test_retry_recovers_losses;
+          Alcotest.test_case "partition cuts and heals" `Quick test_partition_cuts_and_heals;
+          Alcotest.test_case "retry rides out a partition" `Quick test_retry_rides_out_partition;
+          Alcotest.test_case "outage and restart hook" `Quick test_outage_and_restart_hook;
+          Alcotest.test_case "per-link delay override" `Quick test_per_link_delay_override;
+          Alcotest.test_case "seeded determinism" `Quick test_seeded_determinism;
+        ] );
+      ( "distributed",
+        [
+          Alcotest.test_case "zero-fault transport = legacy path" `Slow
+            test_zero_fault_transport_equals_legacy_path;
+          Alcotest.test_case "chaos runs are deterministic" `Slow
+            test_distributed_chaos_deterministic;
+          Alcotest.test_case "converges under 10% loss" `Slow test_converges_under_ten_percent_loss;
+          Alcotest.test_case "partition + heal recovery" `Slow test_partition_heal_recovery;
+          Alcotest.test_case "agent crash/restart reconverges" `Slow
+            test_agent_crash_restart_reconverges;
+          Alcotest.test_case "stop cancels periodic ticks" `Quick test_stop_cancels_periodic_ticks;
+          Alcotest.test_case "chaos experiment smoke" `Slow test_chaos_experiment_smoke;
+        ] );
+    ]
