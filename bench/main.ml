@@ -2,7 +2,7 @@
    evaluation (Table 1, Figures 5-8), runs the ablation suite, and closes
    with Bechamel microbenchmarks of the implementation's hot paths.
 
-   Usage: main.exe [table1|fig5|fig6|fig7|fig8|ablation|chaos|micro|all]... *)
+   Usage: main.exe [table1|fig5|fig6|fig7|fig8|ablation|chaos|recovery|micro|all]... *)
 
 let run_table1 () = print_string (Lla_experiments.Table1.report (Lla_experiments.Table1.run ()))
 
@@ -28,6 +28,9 @@ let run_delay_sweep () =
   print_string (Lla_experiments.Delay_sweep.report (Lla_experiments.Delay_sweep.run ()))
 
 let run_chaos () = print_string (Lla_experiments.Chaos.report (Lla_experiments.Chaos.run ()))
+
+let run_recovery () =
+  print_string (Lla_experiments.Recovery.report (Lla_experiments.Recovery.run ()))
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
@@ -127,6 +130,7 @@ let experiments =
     ("variation", run_variation);
     ("delays", run_delay_sweep);
     ("chaos", run_chaos);
+    ("recovery", run_recovery);
     ("micro", run_micro);
   ]
 

@@ -225,6 +225,35 @@ let chaos_cmd =
           distributed deployment.")
     Term.(const run $ seed $ horizon $ csv_arg)
 
+let recovery_cmd =
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Seed for the transport RNG.")
+  in
+  let horizon =
+    Arg.(
+      value
+      & opt float 60.
+      & info [ "horizon" ] ~docv:"SECONDS" ~doc:"Simulated control time per scenario.")
+  in
+  let run seed horizon csv =
+    let result = Lla_experiments.Recovery.run ~seed ~horizon:(horizon *. 1000.) () in
+    print_string (Lla_experiments.Recovery.report result);
+    Option.iter
+      (fun path ->
+        let series = Lla_stdx.Series.create ~name:"protected-utility" () in
+        List.iter
+          (fun (x, y) -> Lla_stdx.Series.add series ~x ~y)
+          result.Lla_experiments.Recovery.protected_.Lla_experiments.Recovery.utility_series;
+        write_series_csv path [ ("protected-utility", series) ])
+      csv
+  in
+  Cmd.v
+    (Cmd.info "recovery"
+       ~doc:
+         "Run the recovery experiments (warm vs cold restart after a control-plane crash, \
+          safe-mode divergence containment, heartbeat failure detection).")
+    Term.(const run $ seed $ horizon $ csv_arg)
+
 let ablation_cmd =
   let run iterations =
     print_string (Lla_experiments.Ablation.report (Lla_experiments.Ablation.run ~iterations ()))
@@ -376,6 +405,7 @@ let () =
             fig8_cmd;
             ablation_cmd;
             chaos_cmd;
+            recovery_cmd;
             adaptation_cmd;
             variation_cmd;
             delays_cmd;

@@ -1,6 +1,9 @@
 open Lla_model
 
 let effective_bounds (problem : Problem.t) i ~offset =
+  (* A poisoned error-correction offset would turn both bounds NaN and the
+     clamp useless; treat it as "no correction". *)
+  let offset = if Float.is_finite offset then offset else 0. in
   let s = problem.subtasks.(i) in
   let critical_time = problem.tasks.(s.task).critical_time in
   let lo = Float.max 1e-9 (s.lat_lo +. offset) in
@@ -50,7 +53,21 @@ let reciprocal_share (s : Problem.subtask) =
      it by name (set by Share.instantiate). *)
   String.equal s.share.Share.name "reciprocal"
 
-let allocate_task (problem : Problem.t) ti ~mu ~lambda ~offsets ~sweeps ~lat =
+let tally = function Some g -> incr g | None -> ()
+
+(* Never write a non-finite latency: NaN prices or a poisoned aggregate
+   make the stationarity candidate NaN, which the clamp cannot fix
+   ([max nan x = nan]). Keep the previous finite value, or retreat to the
+   upper bound (maximum latency = minimum share, the conservative side)
+   when the old value is itself poisoned. *)
+let sanitize problem i ~offset ?guards ~old value =
+  if Float.is_finite value then value
+  else begin
+    tally guards;
+    if Float.is_finite old then old else snd (effective_bounds problem i ~offset)
+  end
+
+let allocate_task ?guards (problem : Problem.t) ti ~mu ~lambda ~offsets ~sweeps ~lat =
   let info = problem.tasks.(ti) in
   let closed_ok =
     match info.linear_slope with
@@ -63,11 +80,20 @@ let allocate_task (problem : Problem.t) ti ~mu ~lambda ~offsets ~sweeps ~lat =
       (fun i ->
         let s = problem.subtasks.(i) in
         let lsum = lambda_sum problem i ~lambda in
-        lat.(i) <- closed_form problem i ~mu_r:mu.(s.resource) ~lsum ~slope ~offset:offsets.(i))
+        let lat' = closed_form problem i ~mu_r:mu.(s.resource) ~lsum ~slope ~offset:offsets.(i) in
+        lat.(i) <- sanitize problem i ~offset:offsets.(i) ?guards ~old:lat.(i) lat')
       info.subtask_indices
   | _ ->
     (* Gauss–Seidel sweeps: the aggregate latency is kept incrementally as
-       coordinates move. *)
+       coordinates move, so a non-finite input latency must be repaired
+       first or it poisons every coordinate of the task. *)
+    Array.iter
+      (fun i ->
+        if not (Float.is_finite lat.(i)) then begin
+          tally guards;
+          lat.(i) <- snd (effective_bounds problem i ~offset:offsets.(i))
+        end)
+      info.subtask_indices;
     let sweeps = Stdlib.max 1 sweeps in
     let aggregate = ref (Problem.aggregate_latency problem ti ~lat) in
     for _ = 1 to sweeps do
@@ -80,12 +106,13 @@ let allocate_task (problem : Problem.t) ti ~mu ~lambda ~offsets ~sweeps ~lat =
             general problem i ~mu_r:mu.(s.resource) ~lsum ~offset:offsets.(i)
               ~rest_aggregate:rest ~utility:info.utility
           in
+          let lat' = sanitize problem i ~offset:offsets.(i) ?guards ~old:lat.(i) lat' in
           aggregate := rest +. (s.weight *. lat');
           lat.(i) <- lat')
         info.subtask_indices
     done
 
-let allocate problem ~mu ~lambda ~offsets ~sweeps ~lat =
+let allocate ?guards problem ~mu ~lambda ~offsets ~sweeps ~lat =
   for ti = 0 to Problem.n_tasks problem - 1 do
-    allocate_task problem ti ~mu ~lambda ~offsets ~sweeps ~lat
+    allocate_task ?guards problem ti ~mu ~lambda ~offsets ~sweeps ~lat
   done

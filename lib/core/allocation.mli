@@ -21,9 +21,10 @@
 
 val effective_bounds : Problem.t -> int -> offset:float -> float * float
 (** [(lo, hi)] for subtask [i] with its current error-correction offset.
-    Always [0 < lo <= hi]. *)
+    Always [0 < lo <= hi]. A non-finite offset is treated as 0. *)
 
 val allocate_task :
+  ?guards:int ref ->
   Problem.t ->
   int ->
   mu:float array ->
@@ -32,9 +33,15 @@ val allocate_task :
   sweeps:int ->
   lat:float array ->
   unit
-(** Recompute the latencies of task [i]'s subtasks in place. *)
+(** Recompute the latencies of task [i]'s subtasks in place.
+
+    Finite-value guard: a non-finite candidate (NaN prices, poisoned
+    aggregates) never reaches [lat] — the previous finite value is kept,
+    or the upper bound when the old value is itself non-finite. Each such
+    event increments [guards] when supplied. *)
 
 val allocate :
+  ?guards:int ref ->
   Problem.t ->
   mu:float array ->
   lambda:float array ->

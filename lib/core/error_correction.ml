@@ -3,6 +3,7 @@ type t = {
   window : Lla_stdx.Percentile.Window.t;
   error : Lla_stdx.Ewma.t;
   mutable rounds : int;
+  mutable skipped : int;
 }
 
 let create ?(alpha = 0.3) ?(percentile = 95.) ?(window = 256) () =
@@ -13,26 +14,44 @@ let create ?(alpha = 0.3) ?(percentile = 95.) ?(window = 256) () =
     window = Lla_stdx.Percentile.Window.create ~capacity:window;
     error = Lla_stdx.Ewma.create ~alpha;
     rounds = 0;
+    skipped = 0;
   }
 
-let observe t ~measured_latency = Lla_stdx.Percentile.Window.add t.window measured_latency
+(* A single NaN measurement admitted to the window would make every
+   subsequent percentile NaN and poison the EWMA offset forever (the
+   smoothing never forgets a NaN). Skip and count instead. *)
+let observe t ~measured_latency =
+  if Float.is_finite measured_latency then
+    Lla_stdx.Percentile.Window.add t.window measured_latency
+  else t.skipped <- t.skipped + 1
 
 let sample_count t = Lla_stdx.Percentile.Window.count t.window
+
+let skipped_samples t = t.skipped
 
 let offset t = Lla_stdx.Ewma.value t.error
 
 let corrections t = t.rounds
 
 let correct t ~predicted =
-  match Lla_stdx.Percentile.Window.percentile t.window ~p:t.percentile with
-  | None -> None
-  | Some measured ->
-    Lla_stdx.Ewma.add t.error (measured -. predicted);
-    Lla_stdx.Percentile.Window.clear t.window;
-    t.rounds <- t.rounds + 1;
-    Some (Lla_stdx.Ewma.value t.error)
+  if not (Float.is_finite predicted) then begin
+    (* A poisoned prediction would corrupt the smoothed error exactly like
+       a poisoned measurement; skip the round, keep the window. *)
+    t.skipped <- t.skipped + 1;
+    None
+  end
+  else begin
+    match Lla_stdx.Percentile.Window.percentile t.window ~p:t.percentile with
+    | None -> None
+    | Some measured ->
+      Lla_stdx.Ewma.add t.error (measured -. predicted);
+      Lla_stdx.Percentile.Window.clear t.window;
+      t.rounds <- t.rounds + 1;
+      Some (Lla_stdx.Ewma.value t.error)
+  end
 
 let reset t =
   Lla_stdx.Percentile.Window.clear t.window;
   Lla_stdx.Ewma.reset t.error;
-  t.rounds <- 0
+  t.rounds <- 0;
+  t.skipped <- 0

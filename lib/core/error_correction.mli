@@ -17,16 +17,23 @@ val create : ?alpha:float -> ?percentile:float -> ?window:int -> unit -> t
     samples), [window = 256] measured latencies per correction round. *)
 
 val observe : t -> measured_latency:float -> unit
-(** Record one measured job latency (ms). *)
+(** Record one measured job latency (ms). A non-finite measurement is
+    skipped (and counted in {!skipped_samples}) — one admitted NaN would
+    poison the smoothed offset forever. *)
 
 val sample_count : t -> int
 (** Measurements accumulated since the last {!correct}. *)
+
+val skipped_samples : t -> int
+(** Non-finite measurements (and correction rounds with a non-finite
+    prediction) discarded by the guards. *)
 
 val correct : t -> predicted:float -> float option
 (** Fold the window into the smoothed error given the model's current
     uncorrected prediction: error sample = percentile(window) - predicted.
     Returns the new offset and clears the window; [None] (and keeps state)
-    when no measurement arrived since the last round. *)
+    when no measurement arrived since the last round, or when [predicted]
+    is non-finite (counted in {!skipped_samples}; window kept). *)
 
 val offset : t -> float
 (** Current smoothed additive error (0 until the first correction). *)

@@ -3,33 +3,55 @@ type congestion = {
   paths : bool array;
   share_sums : float array;
   path_latencies : float array;
+  guards : int;
 }
 
+(* Dual ascent is defenceless against a poisoned iterate: one NaN latency
+   makes a share sum NaN, and [max 0 nan = nan] then keeps the price NaN
+   forever. Both update functions therefore never *write* a non-finite
+   value — a non-finite observation (or an externally poisoned price)
+   leaves the multiplier at its last finite value (healing an already
+   non-finite one to the projection at 0); {!update} counts these events
+   in [congestion.guards]. *)
 let update_resource (problem : Problem.t) r ~lat ~offsets ~gamma ~mu =
+  if not (Float.is_finite mu.(r)) then mu.(r) <- 0.;
   let used = Problem.share_sum problem r ~lat ~offsets in
-  let slack = problem.capacities.(r) -. used in
-  mu.(r) <- Float.max 0. (mu.(r) -. (gamma *. slack));
+  if Float.is_finite used then begin
+    let slack = problem.capacities.(r) -. used in
+    let next = Float.max 0. (mu.(r) -. (gamma *. slack)) in
+    if Float.is_finite next then mu.(r) <- next
+  end;
   used
 
 let update_path (problem : Problem.t) p ~lat ~gamma ~lambda =
+  if not (Float.is_finite lambda.(p)) then lambda.(p) <- 0.;
   let info = problem.paths.(p) in
   let latency = Problem.path_latency problem p ~lat in
-  let slack = 1. -. (latency /. info.critical_time) in
-  lambda.(p) <- Float.max 0. (lambda.(p) -. (gamma *. slack));
+  if Float.is_finite latency then begin
+    let slack = 1. -. (latency /. info.critical_time) in
+    let next = Float.max 0. (lambda.(p) -. (gamma *. slack)) in
+    if Float.is_finite next then lambda.(p) <- next
+  end;
   latency
 
 let update problem ~lat ~offsets ~steps ~mu ~lambda =
   let n_r = Problem.n_resources problem and n_p = Problem.n_paths problem in
   let share_sums = Array.make n_r 0. and path_latencies = Array.make n_p 0. in
   let resources = Array.make n_r false and paths = Array.make n_p false in
+  let guards = ref 0 in
   for r = 0 to n_r - 1 do
+    if not (Float.is_finite mu.(r)) then incr guards;
     let used = update_resource problem r ~lat ~offsets ~gamma:(Step_size.resource_gamma steps r) ~mu in
+    if not (Float.is_finite used) then incr guards;
     share_sums.(r) <- used;
+    (* A NaN comparison is false, so a guarded resource reads uncongested. *)
     resources.(r) <- used > problem.capacities.(r) +. 1e-12
   done;
   for p = 0 to n_p - 1 do
+    if not (Float.is_finite lambda.(p)) then incr guards;
     let latency = update_path problem p ~lat ~gamma:(Step_size.path_gamma steps p) ~lambda in
+    if not (Float.is_finite latency) then incr guards;
     path_latencies.(p) <- latency;
     paths.(p) <- latency > problem.paths.(p).critical_time +. 1e-12
   done;
-  { resources; paths; share_sums; path_latencies }
+  { resources; paths; share_sums; path_latencies; guards = !guards }

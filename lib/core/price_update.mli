@@ -16,15 +16,24 @@ type congestion = {
   paths : bool array;  (** indexed by global path index. *)
   share_sums : float array;  (** share sum per resource at this iteration. *)
   path_latencies : float array;  (** latency per path at this iteration. *)
+  guards : int;
+      (** non-finite observations (share sums, path latencies) or already
+          poisoned multipliers encountered — and neutralized — during this
+          step. A guarded multiplier keeps its last finite value (an
+          already non-finite one is healed to 0); NaN/∞ never propagates
+          into [mu] or [lambda]. *)
 }
 
 val update_resource :
   Problem.t -> int -> lat:float array -> offsets:float array -> gamma:float -> mu:float array ->
   float
-(** Update [mu.(r)] in place; returns the share sum observed. *)
+(** Update [mu.(r)] in place; returns the share sum observed. A
+    non-finite share sum leaves the price untouched; a non-finite incoming
+    [mu.(r)] is healed to 0 before the update. *)
 
 val update_path : Problem.t -> int -> lat:float array -> gamma:float -> lambda:float array -> float
-(** Update [lambda.(p)] in place; returns the path latency observed. *)
+(** Update [lambda.(p)] in place; returns the path latency observed. Same
+    finite-value guards as {!update_resource}. *)
 
 val update :
   Problem.t ->

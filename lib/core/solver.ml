@@ -37,6 +37,9 @@ type t = {
   offsets : float array;
   steps : Step_size.t;
   mutable iteration : int;
+  mutable guard_events : int;
+      (* non-finite iterate components neutralized by the allocation and
+         price-update guards; see {!guard_events}. *)
   utility_trace : Lla_stdx.Series.t;
   movement_trace : Lla_stdx.Series.t;
       (* max relative latency change per iteration: flat utilities can hide
@@ -67,6 +70,7 @@ let create ?(config = default_config) workload =
     offsets = Array.make n 0.;
     steps = Step_size.create problem config.step_policy;
     iteration = 0;
+    guard_events = 0;
     utility_trace = Lla_stdx.Series.create ~name:"utility" ();
     movement_trace = Lla_stdx.Series.create ~name:"movement" ();
     prev_lat = Array.copy lat;
@@ -83,12 +87,21 @@ let utility t = Problem.total_utility t.problem ~lat:t.lat
 
 let step t =
   Array.blit t.lat 0 t.prev_lat 0 (Array.length t.lat);
-  Allocation.allocate t.problem ~mu:t.mu ~lambda:t.lambda ~offsets:t.offsets
+  let guards = ref 0 in
+  Allocation.allocate ~guards t.problem ~mu:t.mu ~lambda:t.lambda ~offsets:t.offsets
     ~sweeps:t.config.sweeps ~lat:t.lat;
   let congestion =
     Price_update.update t.problem ~lat:t.lat ~offsets:t.offsets ~steps:t.steps ~mu:t.mu
       ~lambda:t.lambda
   in
+  let guards = !guards + congestion.Price_update.guards in
+  if guards > 0 then begin
+    if t.guard_events = 0 then
+      Log.warn (fun m ->
+          m "iteration %d: %d non-finite iterate component(s) guarded — check inputs" t.iteration
+            guards);
+    t.guard_events <- t.guard_events + guards
+  end;
   Step_size.observe t.steps ~congested_resources:congestion.Price_update.resources;
   t.iteration <- t.iteration + 1;
   Lla_stdx.Series.add t.utility_trace ~x:(float_of_int t.iteration) ~y:(utility t);
@@ -238,6 +251,8 @@ let set_arrival_rate t tid rate =
 let set_offset t id value = t.offsets.(Problem.subtask_index t.problem id) <- value
 
 let offset t id = t.offsets.(Problem.subtask_index t.problem id)
+
+let guard_events t = t.guard_events
 
 let lat_array t = t.lat
 

@@ -107,6 +107,14 @@ val set_arrival_rate : t -> Ids.Task_id.t -> float -> unit
 
 val offset : t -> Ids.Subtask_id.t -> float
 
+val guard_events : t -> int
+(** Cumulative count of non-finite iterate components (latencies, share
+    sums, multipliers) neutralized by the {!Allocation} and
+    {!Price_update} finite-value guards. 0 on healthy runs; a non-zero
+    value means some input (measurement, offset, injected price) was
+    poisoned and the solver clamped instead of diverging. The first
+    guarded iteration also emits a [Logs] warning. *)
+
 val lat_array : t -> float array
 (** The raw latency vector (indexed like [Problem.subtasks]); exposed for
     tests and benchmarks. Callers must not mutate it. *)

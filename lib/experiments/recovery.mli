@@ -1,0 +1,78 @@
+(** Recovery experiments: the resilience layer under crash and divergence.
+
+    Three scenarios exercise {!Lla_runtime.Distributed}'s resilience
+    layer the way the chaos experiments exercise the transport:
+
+    - {b warm vs cold recovery}: the whole control plane (every agent and
+      controller) crashes mid-run and restarts after a fixed outage, once
+      without checkpointing (cold [mu0] restart) and once with 100 ms
+      price-state checkpoints (warm restart). The enacted latency vector
+      survives either way; what differs is the price shock after the heal
+      — measured as the post-heal window in which the aggregate utility
+      strays more than 1% from its pre-crash value, in ms and in price
+      rounds;
+    - {b divergence containment}: the step size is fixed at a value that
+      makes the price iteration oscillate violently; the run is repeated
+      with and without the safe-mode watchdog, comparing the fraction of
+      samples at which the enacted assignment satisfies Eq. 3 and Eq. 4
+      and the worst constraint overruns;
+    - {b failure detection}: with the heartbeat detector on, one price
+      agent suffers a scheduled outage; the report shows the detection
+      delay, that the suspicion clears after the restart, and that no
+      healthy endpoint was ever suspected.
+
+    All randomness derives from [seed]; reproduce with
+    [lla_cli recovery --seed N]. *)
+
+type mode_stats = {
+  label : string;
+  recovery_ms : float option;
+      (** time from heal to the last sample with utility gap >= 1%;
+          [Some 0.] when the gap never opened; [None] when it never closed
+          within the observation window. *)
+  recovery_rounds : int option;  (** same point, in price rounds since heal. *)
+  max_gap_percent : float;  (** worst post-heal utility gap. *)
+  warm_restores : int;
+  cold_restarts : int;
+  checkpoint_saves : int;
+  checkpoint_restores : int;
+}
+
+type surge_stats = {
+  surge_label : string;
+  samples : int;
+  feasible_percent : float;
+      (** share of samples satisfying Eq. 3 and Eq. 4 (0.1% tolerance). *)
+  worst_share_ratio : float;  (** max over samples/resources of share/B_r. *)
+  worst_path_ratio : float;  (** max over samples/paths of latency/C. *)
+  safe_entries : int;
+  safe_exits : int;
+  fallback : string option;
+  utility_series : (float * float) list;  (** (time ms, utility), decimated. *)
+}
+
+type detection = {
+  timeout : float;  (** configured detector timeout, ms. *)
+  detected_in : float option;  (** crash-to-suspicion delay, ms. *)
+  cleared : bool;  (** suspicion flipped back to alive after the restart. *)
+  false_suspicions : int;  (** suspicions of endpoints that never crashed. *)
+}
+
+type result = {
+  seed : int;
+  crash_at : float;
+  outage : float;
+  reference_utility : float;  (** utility just before the crash. *)
+  cold : mode_stats;
+  warm : mode_stats;
+  unprotected : surge_stats;
+  protected_ : surge_stats;
+  detection : detection;
+}
+
+val run : ?seed:int -> ?horizon:float -> unit -> result
+(** Defaults: seed 42, 60 s horizon per scenario (the crash scenario uses
+    [horizon/2] before the crash and up to [horizon/2] of post-heal
+    observation). *)
+
+val report : result -> string

@@ -1,0 +1,102 @@
+type agent_state = {
+  price : float;
+  gamma : float;
+  lat_view : float array;
+}
+
+type controller_state = {
+  mu_view : float array;
+  congested_view : bool array;
+  lambda : float array;
+  gamma_p : float array;
+}
+
+type 'a slot = { state : 'a; at : float }
+
+type t = {
+  max_age : float;
+  agents : agent_state slot option array;
+  controllers : controller_state slot option array;
+  mutable saves : int;
+  mutable restores : int;
+  mutable rejected_saves : int;
+  mutable stale_restores : int;
+}
+
+let create ?(max_age = infinity) ~n_agents ~n_controllers () =
+  if max_age <= 0. then invalid_arg "Checkpoint.create: non-positive max_age";
+  if n_agents < 0 || n_controllers < 0 then invalid_arg "Checkpoint.create: negative size";
+  {
+    max_age;
+    agents = Array.make n_agents None;
+    controllers = Array.make n_controllers None;
+    saves = 0;
+    restores = 0;
+    rejected_saves = 0;
+    stale_restores = 0;
+  }
+
+let all_finite a = Array.for_all Float.is_finite a
+
+let copy_agent (s : agent_state) = { s with lat_view = Array.copy s.lat_view }
+
+let copy_controller (s : controller_state) =
+  {
+    mu_view = Array.copy s.mu_view;
+    congested_view = Array.copy s.congested_view;
+    lambda = Array.copy s.lambda;
+    gamma_p = Array.copy s.gamma_p;
+  }
+
+let agent_finite (s : agent_state) =
+  Float.is_finite s.price && Float.is_finite s.gamma && all_finite s.lat_view
+
+let controller_finite (s : controller_state) =
+  all_finite s.mu_view && all_finite s.lambda && all_finite s.gamma_p
+
+let save slots copy finite t i ~now state =
+  if finite state then begin
+    slots.(i) <- Some { state = copy state; at = now };
+    t.saves <- t.saves + 1;
+    true
+  end
+  else begin
+    t.rejected_saves <- t.rejected_saves + 1;
+    false
+  end
+
+let save_agent t i ~now state = save t.agents copy_agent agent_finite t i ~now state
+
+let save_controller t i ~now state =
+  save t.controllers copy_controller controller_finite t i ~now state
+
+let restore slots copy t i ~now =
+  match slots.(i) with
+  | None -> None
+  | Some { state; at } ->
+    if now -. at > t.max_age then begin
+      t.stale_restores <- t.stale_restores + 1;
+      None
+    end
+    else begin
+      t.restores <- t.restores + 1;
+      Some (copy state)
+    end
+
+let restore_agent t i ~now = restore t.agents copy_agent t i ~now
+
+let restore_controller t i ~now = restore t.controllers copy_controller t i ~now
+
+let last_save slots i = Option.map (fun { at; _ } -> at) slots.(i)
+
+let last_agent_save t i = last_save t.agents i
+
+let last_controller_save t i = last_save t.controllers i
+
+let saves t = t.saves
+
+let restores t = t.restores
+
+let rejected_saves t = t.rejected_saves
+
+let stale_restores t = t.stale_restores

@@ -1,0 +1,73 @@
+(** Price-state checkpointing for the distributed control plane.
+
+    PR 1's transport lets agents and controllers crash; the restart path
+    re-priced from scratch ([mu0 = 1], compiled initial latency views),
+    paying the full cold-convergence transient on every outage. This store
+    turns that into warm recovery: actors periodically snapshot their dual
+    state (a price agent: [mu_r], its adaptive step and its latency view;
+    a task controller: its price views, path multipliers and per-path
+    steps), and a restarted actor rebuilds from its last accepted snapshot
+    instead of from [mu0] — the same idea that makes delay/fault-tolerant
+    distributed allocation deployable (DTAC-style recovery from stale
+    state rather than cold restart).
+
+    Snapshot hygiene:
+    - a snapshot containing a non-finite value is {e refused at save time}
+      (counted in {!rejected_saves}), so a diverging actor can never
+      checkpoint its poisoned state and resurrect it after a crash;
+    - a snapshot older than [max_age] at restore time is considered stale
+      and discarded (counted in {!stale_restores}); the actor then falls
+      back to the cold-restart path.
+
+    The store is an in-memory simulation stand-in for a write-ahead
+    snapshot file; arrays are defensively copied both ways. *)
+
+type agent_state = {
+  price : float;  (** [mu_r]. *)
+  gamma : float;  (** current adaptive step size. *)
+  lat_view : float array;  (** last announced latency per local subtask slot. *)
+}
+
+type controller_state = {
+  mu_view : float array;  (** stale resource-price view, indexed by resource. *)
+  congested_view : bool array;
+  lambda : float array;  (** path multipliers, global path indexing. *)
+  gamma_p : float array;  (** per own-path step sizes. *)
+}
+
+type t
+
+val create : ?max_age:float -> n_agents:int -> n_controllers:int -> unit -> t
+(** [max_age] (ms, default [infinity]): snapshots older than this at
+    restore time are stale. @raise Invalid_argument on a non-positive
+    [max_age] or negative sizes. *)
+
+val save_agent : t -> int -> now:float -> agent_state -> bool
+(** Snapshot agent [r]'s state at time [now]. [false] when the state
+    contains a non-finite value — the previous snapshot (if any) is
+    kept. *)
+
+val save_controller : t -> int -> now:float -> controller_state -> bool
+
+val restore_agent : t -> int -> now:float -> agent_state option
+(** The latest accepted snapshot of agent [r], unless none exists or it is
+    older than [max_age]. Returned arrays are fresh copies. *)
+
+val restore_controller : t -> int -> now:float -> controller_state option
+
+val last_agent_save : t -> int -> float option
+(** Time of the latest accepted snapshot, for save-period gating. *)
+
+val last_controller_save : t -> int -> float option
+
+val saves : t -> int
+(** Accepted snapshots (agents + controllers). *)
+
+val restores : t -> int
+(** Successful restores. *)
+
+val rejected_saves : t -> int
+(** Snapshots refused because they contained a non-finite value. *)
+
+val stale_restores : t -> int
+(** Restore attempts that found only a stale snapshot. *)

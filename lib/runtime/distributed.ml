@@ -1,6 +1,10 @@
 module Transport = Lla_transport.Transport
 module Delay_model = Lla_transport.Delay_model
 
+let src = Logs.Src.create "lla.runtime" ~doc:"Distributed LLA runtime"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
 type config = {
   message_delay : float;
   controller_period : float;
@@ -18,6 +22,23 @@ let default_config =
     step_policy = Lla.Step_size.adaptive ~initial:1.0 ();
     mu0 = 1.0;
     sweeps = 2;
+  }
+
+type resilience = {
+  checkpoint_period : float option;
+  checkpoint_max_age : float;
+  health : Health.config option;
+  safe_mode : Safe_mode.config option;
+  watchdog_period : float;
+}
+
+let default_resilience =
+  {
+    checkpoint_period = Some 100.;
+    checkpoint_max_age = infinity;
+    health = Some Health.default_config;
+    safe_mode = Some Safe_mode.default_config;
+    watchdog_period = 10.;
   }
 
 (* Per-resource price agent: owns mu_r and its adaptive step size; sees
@@ -55,6 +76,17 @@ type t = {
   lat : float array;  (* controller-written latency vector *)
   agent_ticks : Lla_sim.Engine.event_id option array;
   controller_ticks : Lla_sim.Engine.event_id option array;
+  (* Resilience layer; all None/absent when created without ?resilience,
+     in which case the behaviour (and event schedule) is bit-for-bit the
+     legacy one. *)
+  resilience : resilience option;
+  checkpoint : Checkpoint.t option;
+  health : Health.t option;
+  safe_mode : Safe_mode.t option;
+  mutable watchdog_tick : Lla_sim.Engine.event_id option;
+  mutable warm_restores : int;
+  mutable cold_restarts : int;
+  mutable guards : int;
   mutable messages : int;
   mutable price_rounds : int;
   mutable allocation_rounds : int;
@@ -90,7 +122,48 @@ let reset_controller t (c : controller) =
   Array.iter (fun p -> c.lambda.(p) <- 0.) t.problem.tasks.(c.task).path_indices;
   Array.fill c.gamma_p 0 (Array.length c.gamma_p) (initial_gamma t.config.step_policy)
 
-let create ?(config = default_config) ?transport engine workload =
+(* Warm restart: rebuild from the last accepted checkpoint instead of from
+   mu0, skipping the cold-convergence transient. Falls back to the cold
+   reset when there is no snapshot, it is stale, or it does not match the
+   actor's shape. *)
+let restart_agent t (a : agent) =
+  let warm =
+    match t.checkpoint with
+    | None -> None
+    | Some cp -> Checkpoint.restore_agent cp a.resource ~now:(Lla_sim.Engine.now t.engine)
+  in
+  match warm with
+  | Some st when Array.length st.Checkpoint.lat_view = Array.length a.lat_view ->
+    a.price <- st.Checkpoint.price;
+    a.gamma <- st.Checkpoint.gamma;
+    Array.blit st.Checkpoint.lat_view 0 a.lat_view 0 (Array.length a.lat_view);
+    t.warm_restores <- t.warm_restores + 1
+  | _ ->
+    reset_agent t a;
+    t.cold_restarts <- t.cold_restarts + 1
+
+let restart_controller t (c : controller) =
+  let warm =
+    match t.checkpoint with
+    | None -> None
+    | Some cp -> Checkpoint.restore_controller cp c.task ~now:(Lla_sim.Engine.now t.engine)
+  in
+  match warm with
+  | Some st
+    when Array.length st.Checkpoint.mu_view = Array.length c.mu_view
+         && Array.length st.Checkpoint.congested_view = Array.length c.congested_view
+         && Array.length st.Checkpoint.lambda = Array.length c.lambda
+         && Array.length st.Checkpoint.gamma_p = Array.length c.gamma_p ->
+    Array.blit st.Checkpoint.mu_view 0 c.mu_view 0 (Array.length c.mu_view);
+    Array.blit st.Checkpoint.congested_view 0 c.congested_view 0 (Array.length c.congested_view);
+    Array.blit st.Checkpoint.lambda 0 c.lambda 0 (Array.length c.lambda);
+    Array.blit st.Checkpoint.gamma_p 0 c.gamma_p 0 (Array.length c.gamma_p);
+    t.warm_restores <- t.warm_restores + 1
+  | _ ->
+    reset_controller t c;
+    t.cold_restarts <- t.cold_restarts + 1
+
+let create ?(config = default_config) ?resilience ?transport engine workload =
   let transport =
     match transport with
     | Some tr ->
@@ -140,6 +213,28 @@ let create ?(config = default_config) ?transport engine workload =
             Transport.endpoint transport ~name:(Printf.sprintf "controller:%d" ti);
         })
   in
+  let checkpoint =
+    match resilience with
+    | Some { checkpoint_period = Some _; checkpoint_max_age; _ } ->
+      Some
+        (Checkpoint.create ~max_age:checkpoint_max_age ~n_agents:n_resources
+           ~n_controllers:(Array.length controllers) ())
+    | _ -> None
+  in
+  let health =
+    match resilience with
+    | Some { health = Some hc; _ } ->
+      let h = Health.create ~config:hc transport in
+      Array.iter (fun a -> Health.watch h a.agent_endpoint) agents;
+      Array.iter (fun c -> Health.watch h c.controller_endpoint) controllers;
+      Some h
+    | _ -> None
+  in
+  let safe_mode =
+    match resilience with
+    | Some { safe_mode = Some sc; _ } -> Some (Safe_mode.create ~config:sc problem)
+    | _ -> None
+  in
   let t =
     {
       config;
@@ -152,6 +247,14 @@ let create ?(config = default_config) ?transport engine workload =
       lat;
       agent_ticks = Array.make n_resources None;
       controller_ticks = Array.make (Array.length controllers) None;
+      resilience;
+      checkpoint;
+      health;
+      safe_mode;
+      watchdog_tick = None;
+      warm_restores = 0;
+      cold_restarts = 0;
+      guards = 0;
       messages = 0;
       price_rounds = 0;
       allocation_rounds = 0;
@@ -160,16 +263,20 @@ let create ?(config = default_config) ?transport engine workload =
     }
   in
   Array.iter
-    (fun a -> Transport.on_restart transport a.agent_endpoint (fun () -> reset_agent t a))
+    (fun a -> Transport.on_restart transport a.agent_endpoint (fun () -> restart_agent t a))
     agents;
   Array.iter
-    (fun c -> Transport.on_restart transport c.controller_endpoint (fun () -> reset_controller t c))
+    (fun c ->
+      Transport.on_restart transport c.controller_endpoint (fun () -> restart_controller t c))
     controllers;
   t
 
 let send ?key t ~src ~dst f =
   t.messages <- t.messages + 1;
   Transport.send ?key t.transport ~src ~dst f
+
+let in_safe_mode t =
+  match t.safe_mode with Some sm -> Safe_mode.in_safe_mode sm | None -> false
 
 (* Announce one subtask latency to the agent hosting it; keyed by the
    subtask index so last-write-wins discards reordered stale values. *)
@@ -181,6 +288,34 @@ let announce_latency t (c : controller) i =
       (* Locate the agent's slot for this subtask. *)
       Array.iteri (fun slot j -> if j = i then a.lat_view.(slot) <- value) a.local_subtasks)
 
+let checkpoint_due period ~now last =
+  match last with None -> true | Some at -> now -. at >= period -. 1e-9
+
+let maybe_checkpoint_agent t (a : agent) =
+  match (t.checkpoint, t.resilience) with
+  | Some cp, Some { checkpoint_period = Some period; _ } ->
+    let now = Lla_sim.Engine.now t.engine in
+    if checkpoint_due period ~now (Checkpoint.last_agent_save cp a.resource) then
+      ignore
+        (Checkpoint.save_agent cp a.resource ~now
+           { Checkpoint.price = a.price; gamma = a.gamma; lat_view = a.lat_view })
+  | _ -> ()
+
+let maybe_checkpoint_controller t (c : controller) =
+  match (t.checkpoint, t.resilience) with
+  | Some cp, Some { checkpoint_period = Some period; _ } ->
+    let now = Lla_sim.Engine.now t.engine in
+    if checkpoint_due period ~now (Checkpoint.last_controller_save cp c.task) then
+      ignore
+        (Checkpoint.save_controller cp c.task ~now
+           {
+             Checkpoint.mu_view = c.mu_view;
+             congested_view = c.congested_view;
+             lambda = c.lambda;
+             gamma_p = c.gamma_p;
+           })
+  | _ -> ()
+
 (* Agent tick: Eq. 8 from the announced latencies, then broadcast. *)
 let agent_tick t (a : agent) =
   t.price_rounds <- t.price_rounds + 1;
@@ -191,39 +326,93 @@ let agent_tick t (a : agent) =
         !used +. Lla.Problem.effective_share t.problem i ~lat:a.lat_view.(slot) ~offset:t.offsets.(i))
     a.local_subtasks;
   let cap = t.problem.capacities.(a.resource) in
-  let congested = !used > cap +. 1e-12 in
-  a.price <- Float.max 0. (a.price -. (a.gamma *. (cap -. !used)));
-  a.gamma <- adapt t.config.step_policy a.gamma ~congested;
-  let price = a.price in
-  List.iter
-    (fun ti ->
-      let c = t.controllers.(ti) in
-      send t ~key:a.resource ~src:a.agent_endpoint ~dst:c.controller_endpoint (fun () ->
-          c.mu_view.(a.resource) <- price;
-          c.congested_view.(a.resource) <- congested))
-    a.controllers
+  (* A poisoned latency announcement must not become a non-finite price:
+     skip the price update (keep broadcasting the last good price) and
+     count the event. *)
+  if not (Float.is_finite !used) then t.guards <- t.guards + 1
+  else begin
+    let congested = !used > cap +. 1e-12 in
+    a.price <- Float.max 0. (a.price -. (a.gamma *. (cap -. !used)));
+    a.gamma <- adapt t.config.step_policy a.gamma ~congested;
+    maybe_checkpoint_agent t a;
+    let price = a.price in
+    List.iter
+      (fun ti ->
+        let c = t.controllers.(ti) in
+        send t ~key:a.resource ~src:a.agent_endpoint ~dst:c.controller_endpoint (fun () ->
+            c.mu_view.(a.resource) <- price;
+            c.congested_view.(a.resource) <- congested))
+      a.controllers
+  end
 
 (* Controller tick: Eq. 9 for own paths, Eq. 7 for own subtasks, then
-   announce the new latencies to the agents hosting them. *)
+   announce the new latencies to the agents hosting them. In safe mode the
+   optimization is frozen: the controller only re-announces the enacted
+   (fallback) latencies so agents' views stay fresh — and so a restarted
+   agent's view is repaired — while the price iteration settles. *)
 let controller_tick t (c : controller) =
-  t.allocation_rounds <- t.allocation_rounds + 1;
   let info = t.problem.tasks.(c.task) in
-  Array.iteri
-    (fun local p ->
-      let path = t.problem.paths.(p) in
-      let latency =
-        Array.fold_left (fun acc i -> acc +. c.lat.(i)) 0. path.subtask_indices
-      in
-      let slack = 1. -. (latency /. path.critical_time) in
-      c.lambda.(p) <- Float.max 0. (c.lambda.(p) -. (c.gamma_p.(local) *. slack));
-      let any_congested =
-        Array.exists (fun r -> c.congested_view.(r)) path.path_resources
-      in
-      c.gamma_p.(local) <- adapt t.config.step_policy c.gamma_p.(local) ~congested:any_congested)
-    info.path_indices;
-  Lla.Allocation.allocate_task t.problem c.task ~mu:c.mu_view ~lambda:c.lambda ~offsets:t.offsets
-    ~sweeps:t.config.sweeps ~lat:c.lat;
-  Array.iter (fun i -> announce_latency t c i) info.subtask_indices
+  if in_safe_mode t then
+    Array.iter (fun i -> announce_latency t c i) info.subtask_indices
+  else begin
+    t.allocation_rounds <- t.allocation_rounds + 1;
+    Array.iteri
+      (fun local p ->
+        let path = t.problem.paths.(p) in
+        let latency =
+          Array.fold_left (fun acc i -> acc +. c.lat.(i)) 0. path.subtask_indices
+        in
+        let slack = 1. -. (latency /. path.critical_time) in
+        let next = Float.max 0. (c.lambda.(p) -. (c.gamma_p.(local) *. slack)) in
+        (* Same guard as Price_update.update_path: never store a poisoned
+           multiplier. *)
+        if Float.is_finite next then c.lambda.(p) <- next else t.guards <- t.guards + 1;
+        let any_congested =
+          Array.exists (fun r -> c.congested_view.(r)) path.path_resources
+        in
+        c.gamma_p.(local) <- adapt t.config.step_policy c.gamma_p.(local) ~congested:any_congested)
+      info.path_indices;
+    let guards = ref 0 in
+    Lla.Allocation.allocate_task t.problem c.task ~mu:c.mu_view ~lambda:c.lambda
+      ~offsets:t.offsets ~sweeps:t.config.sweeps ~guards ~lat:c.lat;
+    t.guards <- t.guards + !guards;
+    maybe_checkpoint_controller t c;
+    Array.iter (fun i -> announce_latency t c i) info.subtask_indices
+  end
+
+(* Safe-mode entry: enact the guaranteed-feasible fallback, heal any
+   poisoned price state, and restart the controllers' dual state so the
+   re-entered optimization begins from a clean point. *)
+let enter_safe_mode t sm ~reason =
+  Log.warn (fun m ->
+      m "safe mode entered at %.0f ms (%s): clamping to %s" (Lla_sim.Engine.now t.engine)
+        reason (Safe_mode.fallback_source sm));
+  Array.blit (Safe_mode.fallback sm) 0 t.lat 0 (Array.length t.lat);
+  let mu_cap = (Safe_mode.config sm).Safe_mode.mu_cap in
+  Array.iter
+    (fun a ->
+      if (not (Float.is_finite a.price)) || a.price > mu_cap then a.price <- t.config.mu0;
+      a.gamma <- initial_gamma t.config.step_policy;
+      (* Repair the agent's latency view in place: announcements from down
+         controllers may never arrive. *)
+      Array.iteri (fun slot i -> a.lat_view.(slot) <- t.lat.(i)) a.local_subtasks)
+    t.agents;
+  Array.iter (fun c -> reset_controller t c) t.controllers;
+  (* Re-announce so the (unlikely) in-flight stale latency messages are
+     superseded under last-write-wins. *)
+  Array.iter
+    (fun c ->
+      Array.iter (fun i -> announce_latency t c i) t.problem.tasks.(c.task).subtask_indices)
+    t.controllers
+
+let watchdog_observe t sm =
+  let now = Lla_sim.Engine.now t.engine in
+  let mu = Array.map (fun a -> a.price) t.agents in
+  match Safe_mode.observe sm ~now ~mu ~lat:t.lat ~offsets:t.offsets with
+  | Some (Safe_mode.Entered { reason }) -> enter_safe_mode t sm ~reason
+  | Some Safe_mode.Exited ->
+    Log.info (fun m -> m "safe mode exited at %.0f ms: prices settled, re-optimizing" now)
+  | None -> ()
 
 let start t =
   if t.started then invalid_arg "Distributed.start: already started";
@@ -256,7 +445,21 @@ let start t =
                controller_loop c
              end))
   in
-  Array.iter controller_loop t.controllers
+  Array.iter controller_loop t.controllers;
+  Option.iter Health.start t.health;
+  match (t.safe_mode, t.resilience) with
+  | Some sm, Some { watchdog_period; _ } ->
+    let rec watchdog_loop () =
+      t.watchdog_tick <-
+        Some
+          (Lla_sim.Engine.schedule_after t.engine ~delay:watchdog_period (fun _ ->
+               if not t.stopped then begin
+                 watchdog_observe t sm;
+                 watchdog_loop ()
+               end))
+    in
+    watchdog_loop ()
+  | _ -> ()
 
 let stop t =
   if t.started && not t.stopped then begin
@@ -266,7 +469,10 @@ let stop t =
       ticks.(i) <- None
     in
     Array.iteri (fun i _ -> cancel t.agent_ticks i) t.agent_ticks;
-    Array.iteri (fun i _ -> cancel t.controller_ticks i) t.controller_ticks
+    Array.iteri (fun i _ -> cancel t.controller_ticks i) t.controller_ticks;
+    Option.iter (Lla_sim.Engine.cancel t.engine) t.watchdog_tick;
+    t.watchdog_tick <- None;
+    Option.iter Health.stop t.health
   end
 
 let run t ~duration =
@@ -295,3 +501,21 @@ let messages_sent t = t.messages
 let price_rounds t = t.price_rounds
 
 let allocation_rounds t = t.allocation_rounds
+
+let health t = t.health
+
+let checkpoint_store t = t.checkpoint
+
+let safe_mode_state t = Option.map Safe_mode.state t.safe_mode
+
+let safe_entries t = match t.safe_mode with Some sm -> Safe_mode.entries sm | None -> 0
+
+let safe_exits t = match t.safe_mode with Some sm -> Safe_mode.exits sm | None -> 0
+
+let fallback_source t = Option.map Safe_mode.fallback_source t.safe_mode
+
+let warm_restores t = t.warm_restores
+
+let cold_restarts t = t.cold_restarts
+
+let guard_events t = t.guards

@@ -24,7 +24,31 @@
     Actors whose transport endpoint is down skip their periodic rounds;
     on restart they rebuild price state from the next received messages
     (an agent restarts from [mu0] and the compiled initial latency view, a
-    controller from [mu0] views and zero path prices). *)
+    controller from [mu0] views and zero path prices).
+
+    {2 Resilience layer}
+
+    Passing [?resilience] to {!create} activates up to three independent
+    mechanisms (each can be switched off in the record):
+
+    - {b failure detection} ({!Health}): every agent and controller
+      endpoint heartbeats through the transport to a detector endpoint;
+      crashed or partitioned actors are flagged within the configured
+      timeout;
+    - {b price-state checkpointing} ({!Checkpoint}): actors periodically
+      snapshot their dual state, and a restarted actor performs a {e warm}
+      restart from its last accepted snapshot instead of the cold
+      [mu0] reset — reconverging in a fraction of the rounds (tested);
+    - {b safe-mode degradation} ({!Safe_mode}): a watchdog observes prices
+      and enacted latencies every [watchdog_period] ms; on divergence it
+      clamps the latency vector to a guaranteed-feasible fallback, heals
+      poisoned prices, and freezes controller optimization (controllers
+      keep re-announcing the clamped latencies; agents keep pricing, which
+      lets prices settle) until the exit hysteresis re-enters
+      optimization.
+
+    When [?resilience] is omitted nothing is scheduled beyond the legacy
+    loops and the trajectory is bit-for-bit the pre-resilience one. *)
 
 open Lla_model
 
@@ -43,23 +67,46 @@ val default_config : config
 (** 1 ms delay, 10 ms periods, adaptive steps from 1.0, [mu0 = 1],
     2 sweeps. *)
 
+type resilience = {
+  checkpoint_period : float option;
+      (** ms between an actor's snapshots ([None] = no checkpointing;
+          restarts are cold). Saves piggyback on the actor's own tick, so
+          the effective period is rounded up to a multiple of it. *)
+  checkpoint_max_age : float;  (** staleness bound passed to {!Checkpoint.create}. *)
+  health : Health.config option;  (** [None] = no failure detector. *)
+  safe_mode : Safe_mode.config option;  (** [None] = no divergence watchdog. *)
+  watchdog_period : float;  (** ms between safe-mode observations. *)
+}
+
+val default_resilience : resilience
+(** Checkpoint every 100 ms with no staleness bound, default detector and
+    safe-mode configs, 10 ms watchdog. *)
+
 type t
 
-val create : ?config:config -> ?transport:Lla_transport.Transport.t -> Lla_sim.Engine.t -> Workload.t -> t
+val create :
+  ?config:config ->
+  ?resilience:resilience ->
+  ?transport:Lla_transport.Transport.t ->
+  Lla_sim.Engine.t ->
+  Workload.t ->
+  t
 (** When [transport] is omitted, a zero-fault transport with a constant
     [config.message_delay] is created on [engine] — the legacy behaviour.
     A supplied transport must run on the same engine
-    (@raise Invalid_argument otherwise). *)
+    (@raise Invalid_argument otherwise). [resilience] defaults to off. *)
 
 val start : t -> unit
 (** Controllers announce initial latencies; agents and controllers begin
-    their periodic ticks. *)
+    their periodic ticks (plus the detector and watchdog when
+    configured). *)
 
 val stop : t -> unit
-(** Cancel the periodic agent/controller ticks so the engine can drain:
-    after [stop], [Engine.run] terminates once in-flight messages have
-    been delivered and {!Lla_sim.Engine.pending} returns to the in-flight
-    count. No-op before {!start} or after a previous [stop]. *)
+(** Cancel the periodic agent/controller ticks — and the resilience
+    layer's detector and watchdog — so the engine can drain: after [stop],
+    [Engine.run] terminates once in-flight messages have been delivered
+    and {!Lla_sim.Engine.pending} returns to the in-flight count.
+    Idempotent: no-op before {!start} or after a previous [stop]. *)
 
 val run : t -> duration:float -> unit
 (** Convenience: {!start} on first use, then advance the engine. *)
@@ -85,7 +132,40 @@ val messages_sent : t -> int
     fault injection; retransmissions not included). *)
 
 val price_rounds : t -> int
-(** Total agent ticks so far. *)
+(** Total agent ticks so far (including safe-mode ticks). *)
 
 val allocation_rounds : t -> int
-(** Total controller ticks so far. *)
+(** Total optimizing controller ticks so far (safe-mode re-announcement
+    ticks are not counted). *)
+
+(** {2 Resilience inspection} *)
+
+val health : t -> Health.t option
+(** The failure detector, when the resilience layer runs one. *)
+
+val checkpoint_store : t -> Checkpoint.t option
+
+val safe_mode_state : t -> Safe_mode.state option
+(** [None] when no watchdog is configured. *)
+
+val in_safe_mode : t -> bool
+(** [false] when no watchdog is configured. *)
+
+val safe_entries : t -> int
+
+val safe_exits : t -> int
+
+val fallback_source : t -> string option
+(** Which fallback the watchdog would clamp to (see
+    {!Safe_mode.fallback_source}). *)
+
+val warm_restores : t -> int
+(** Actor restarts recovered from a checkpoint. *)
+
+val cold_restarts : t -> int
+(** Actor restarts that fell back to the [mu0] reset (no, stale, or
+    mismatched snapshot — or checkpointing disabled). *)
+
+val guard_events : t -> int
+(** Non-finite values neutralized in the distributed iteration (agent
+    share sums, path multipliers, and {!Lla.Allocation} guards). *)

@@ -1,0 +1,272 @@
+type config = {
+  mu_cap : float;
+  infeasibility_tolerance : float;
+  violation_rounds : int;
+  oscillation_window : int;
+  oscillation_threshold : float;
+  min_reversals : int;
+  warmup_rounds : int;
+  reentry_grace_rounds : int;
+  settle_threshold : float;
+  settle_rounds : int;
+  min_safe_time : float;
+}
+
+let default_config =
+  {
+    mu_cap = 1e6;
+    infeasibility_tolerance = 0.05;
+    violation_rounds = 10;
+    oscillation_window = 32;
+    oscillation_threshold = 0.2;
+    min_reversals = 8;
+    warmup_rounds = 500;
+    reentry_grace_rounds = 50;
+    settle_threshold = 0.02;
+    settle_rounds = 10;
+    min_safe_time = 1_000.;
+  }
+
+type state = Optimizing | Safe of { since : float; reason : string }
+
+type event =
+  | Entered of { reason : string }
+  | Exited
+
+type t = {
+  config : config;
+  problem : Lla.Problem.t;
+  fallback : float array;
+  fallback_source : string;
+  fallback_guaranteed : bool;
+  mutable state : state;
+  mutable grace : int;  (* detector-silence observations remaining *)
+  mutable violation_streak : int;
+  window : float array;  (* utility ring buffer *)
+  mutable window_len : int;
+  mutable window_pos : int;
+  prev_mu : float array;
+  mutable settled_streak : int;
+  mutable entries : int;
+  mutable exits : int;
+}
+
+let of_assignment (problem : Lla.Problem.t) assignment =
+  Array.map (fun (s : Lla.Problem.subtask) -> assignment s.Lla.Problem.sid) problem.subtasks
+
+(* The fallback must hold Eq. 3 and Eq. 4 on THIS workload, not in general:
+   the slicing heuristics guarantee deadlines by construction but can
+   oversubscribe a tight resource, in which case an offline solver run is
+   the next candidate. Selection happens once, at create time — safe mode
+   must not depend on online state that may itself be poisoned. *)
+let select_fallback (problem : Lla.Problem.t) =
+  let workload = problem.Lla.Problem.workload in
+  let feasible_slice kind =
+    let a = Lla_baseline.Slicing.get kind workload in
+    if
+      Lla_baseline.Slicing.respects_resources workload a
+      && Lla_baseline.Slicing.respects_deadlines workload a
+    then Some (of_assignment problem a, Lla_baseline.Slicing.name_of kind, true)
+    else None
+  in
+  let rec first_slice = function
+    | [] -> None
+    | kind :: rest ->
+      (match feasible_slice kind with Some r -> Some r | None -> first_slice rest)
+  in
+  match first_slice [ `Proportional; `Laxity; `Equal ] with
+  | Some r -> r
+  | None ->
+    let solver = Lla.Solver.create workload in
+    ignore (Lla.Solver.run_until_converged solver ~max_iterations:4000);
+    if Lla.Solver.feasible solver then
+      (Array.copy (Lla.Solver.lat_array solver), "offline-solver", true)
+    else
+      ( of_assignment problem (Lla_baseline.Slicing.proportional_slice workload),
+        "proportional-best-effort",
+        false )
+
+let create ?(config = default_config) problem =
+  if config.violation_rounds <= 0 || config.settle_rounds <= 0 then
+    invalid_arg "Safe_mode.create: non-positive round count";
+  if config.oscillation_window < 4 then
+    invalid_arg "Safe_mode.create: oscillation_window < 4";
+  let fallback, fallback_source, fallback_guaranteed = select_fallback problem in
+  {
+    config;
+    problem;
+    fallback;
+    fallback_source;
+    fallback_guaranteed;
+    state = Optimizing;
+    grace = config.warmup_rounds;
+    violation_streak = 0;
+    window = Array.make config.oscillation_window 0.;
+    window_len = 0;
+    window_pos = 0;
+    (* infinity: the first observation can never look settled. *)
+    prev_mu = Array.make (Lla.Problem.n_resources problem) infinity;
+    settled_streak = 0;
+    entries = 0;
+    exits = 0;
+  }
+
+let config t = t.config
+
+let state t = t.state
+
+let in_safe_mode t = match t.state with Safe _ -> true | Optimizing -> false
+
+let fallback t = Array.copy t.fallback
+
+let fallback_source t = t.fallback_source
+
+let fallback_guaranteed t = t.fallback_guaranteed
+
+let entries t = t.entries
+
+let exits t = t.exits
+
+let push_utility t u =
+  t.window.(t.window_pos) <- u;
+  t.window_pos <- (t.window_pos + 1) mod Array.length t.window;
+  if t.window_len < Array.length t.window then t.window_len <- t.window_len + 1
+
+let reset_optimizing_detectors t =
+  t.violation_streak <- 0;
+  t.window_len <- 0;
+  t.window_pos <- 0
+
+(* Chronological fold over the ring buffer. *)
+let fold_window t f init =
+  let n = Array.length t.window in
+  let start = (t.window_pos - t.window_len + n) mod n in
+  let acc = ref init in
+  for k = 0 to t.window_len - 1 do
+    acc := f !acc t.window.((start + k) mod n)
+  done;
+  !acc
+
+let oscillating t =
+  t.window_len = Array.length t.window
+  &&
+  let lo, hi, sum =
+    fold_window t
+      (fun (lo, hi, sum) u -> (Float.min lo u, Float.max hi u, sum +. u))
+      (infinity, neg_infinity, 0.)
+  in
+  let mean = sum /. float_of_int t.window_len in
+  let spread = (hi -. lo) /. Float.max 1. (Float.abs mean) in
+  spread > t.config.oscillation_threshold
+  &&
+  (* Count direction reversals of the utility trajectory: a monotone
+     transient has a large spread but ~no reversals. *)
+  let _, _, reversals =
+    fold_window t
+      (fun (prev, dir, count) u ->
+        match prev with
+        | None -> (Some u, 0, count)
+        | Some p ->
+          let d = compare u p in
+          if d = 0 then (Some u, dir, count)
+          else if dir <> 0 && d <> dir then (Some u, d, count + 1)
+          else (Some u, d, count))
+      (None, 0, 0)
+  in
+  reversals >= t.config.min_reversals
+
+let violating t ~lat ~offsets =
+  let p = t.problem in
+  let tol = 1. +. t.config.infeasibility_tolerance in
+  let resource_violated =
+    let n = Lla.Problem.n_resources p in
+    let rec loop r =
+      r < n
+      && (Lla.Problem.share_sum p r ~lat ~offsets > p.Lla.Problem.capacities.(r) *. tol
+         || loop (r + 1))
+    in
+    loop 0
+  in
+  resource_violated
+  ||
+  let n = Lla.Problem.n_paths p in
+  let rec loop i =
+    i < n
+    &&
+    let path = p.Lla.Problem.paths.(i) in
+    Lla.Problem.path_latency p i ~lat > path.Lla.Problem.critical_time *. tol || loop (i + 1)
+  in
+  loop 0
+
+let enter t ~now ~reason =
+  t.state <- Safe { since = now; reason };
+  t.entries <- t.entries + 1;
+  t.settled_streak <- 0;
+  Some (Entered { reason })
+
+let observe_optimizing t ~now ~mu ~lat ~offsets =
+  (* The streak and oscillation detectors only arm after the grace period:
+     a cold start on a tight workload is legitimately infeasible for
+     seconds while prices find the constraint surface (measured: >5%
+     streaks of ~2 s on the paper workload), and clamping a converging
+     transient would make safe mode a steady-state oscillator. The
+     non-finite / price-cap trip below stays armed throughout. *)
+  let silent = t.grace > 0 in
+  if silent then t.grace <- t.grace - 1;
+  let price_blown =
+    Array.exists (fun m -> (not (Float.is_finite m)) || m > t.config.mu_cap) mu
+  in
+  let utility = Lla.Problem.total_utility t.problem ~lat in
+  if price_blown || not (Float.is_finite utility) then
+    enter t ~now
+      ~reason:(if price_blown then "price divergence" else "non-finite utility")
+  else begin
+    push_utility t utility;
+    if (not silent) && violating t ~lat ~offsets then
+      t.violation_streak <- t.violation_streak + 1
+    else t.violation_streak <- 0;
+    if t.violation_streak >= t.config.violation_rounds then
+      enter t ~now ~reason:"sustained infeasibility"
+    else if (not silent) && oscillating t then enter t ~now ~reason:"utility oscillation"
+    else None
+  end
+
+let observe_safe t ~now ~since ~mu =
+  (* Settled = no resource price moved more than settle_threshold relative
+     since the previous observation. Non-finite prices never settle. *)
+  let n = Array.length mu in
+  let settled = ref true in
+  for r = 0 to n - 1 do
+    let m = mu.(r) and p = t.prev_mu.(r) in
+    if
+      (not (Float.is_finite m))
+      || not (Float.abs (m -. p) <= t.config.settle_threshold *. Float.max 1. (Float.abs p))
+    then settled := false
+  done;
+  if !settled then t.settled_streak <- t.settled_streak + 1 else t.settled_streak <- 0;
+  if
+    t.settled_streak >= t.config.settle_rounds
+    && now -. since >= t.config.min_safe_time
+  then begin
+    t.state <- Optimizing;
+    t.exits <- t.exits + 1;
+    t.grace <- t.config.reentry_grace_rounds;
+    reset_optimizing_detectors t;
+    Some Exited
+  end
+  else None
+
+let observe t ~now ~mu ~lat ~offsets =
+  if Array.length mu <> Array.length t.prev_mu then
+    invalid_arg "Safe_mode.observe: mu length mismatch";
+  let event =
+    match t.state with
+    | Optimizing ->
+      let e = observe_optimizing t ~now ~mu ~lat ~offsets in
+      (match e with Some (Entered _) -> reset_optimizing_detectors t | _ -> ());
+      e
+    | Safe { since; _ } -> observe_safe t ~now ~since ~mu
+  in
+  (* Track prices across observations for the settle detector. *)
+  Array.blit mu 0 t.prev_mu 0 (Array.length mu);
+  event

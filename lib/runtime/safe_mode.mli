@@ -1,0 +1,118 @@
+(** Safe-mode degradation: a divergence watchdog with a guaranteed
+    fallback assignment.
+
+    The LLA iteration is only guaranteed to converge for vanishing step
+    sizes; with aggressive fixed steps, poisoned measurements or injected
+    prices it can oscillate or blow up, and while it does the enacted
+    latencies may oversubscribe resources (Eq. 3) or blow deadlines
+    (Eq. 4). This watchdog monitors the trajectory and, when it looks
+    divergent, clamps the system to a precomputed fallback assignment that
+    satisfies both constraint families — trading optimality for safety,
+    exactly the role the deadline-slicing baselines play in the paper's §7
+    comparison. Once prices settle it re-enters optimization, with
+    hysteresis so the system cannot flap between the two regimes.
+
+    {2 Trip conditions (any one trips, checked in this order)}
+
+    - a non-finite or [mu_cap]-exceeding resource price, or a non-finite
+      total utility — unconditional, even during warmup;
+    - sustained infeasibility: [violation_rounds] consecutive observations
+      with some resource share sum above [B_r (1 + tol)] or some path
+      above [C (1 + tol)];
+    - utility oscillation: over a full [oscillation_window] of
+      observations, relative spread above [oscillation_threshold] {e and}
+      at least [min_reversals] direction reversals (a monotone transient
+      has spread but no reversals).
+
+    The infeasibility and oscillation detectors are silent for the first
+    [warmup_rounds] observations after {!create}: a cold start on a
+    workload whose resources sit at congestion is legitimately infeasible
+    for seconds while prices find the constraint surface, and the initial
+    utility climb is not oscillation. After a safe-mode exit only the
+    shorter [reentry_grace_rounds] silence applies — the system resumes
+    from a feasible point with settled prices, so renewed divergence
+    deserves a fast re-clamp. The non-finite / price-cap trip is armed
+    from the first observation.
+
+    {2 Exit condition (hysteresis)}
+
+    At least [min_safe_time] ms in safe mode {e and} [settle_rounds]
+    consecutive observations in which no resource price moved by more than
+    [settle_threshold] relative. On exit the detectors fall silent for
+    [reentry_grace_rounds] observations before re-arming.
+
+    {2 Fallback selection (at {!create})}
+
+    First feasible of the {!Lla_baseline.Slicing} heuristics (proportional,
+    laxity, equal — deadline-safe by construction, resource feasibility
+    checked); if none fits, an offline {!Lla.Solver} run; if even that
+    fails to produce a feasible point, the proportional slice is kept as
+    best effort and {!fallback_guaranteed} is [false]. *)
+
+type config = {
+  mu_cap : float;  (** resource price above this is treated as divergence. *)
+  infeasibility_tolerance : float;
+      (** relative slack on Eq. 3/4 before an observation counts as a
+          violation. *)
+  violation_rounds : int;  (** consecutive violating observations to trip. *)
+  oscillation_window : int;  (** utility samples in the oscillation detector. *)
+  oscillation_threshold : float;  (** relative utility spread to trip. *)
+  min_reversals : int;
+      (** minimum direction reversals within the window to call the spread
+          an oscillation rather than a transient. *)
+  warmup_rounds : int;
+      (** observations after {!create} during which the infeasibility and
+          oscillation detectors are silent (default 500 = 5 s at the
+          default 10 ms watchdog period). *)
+  reentry_grace_rounds : int;
+      (** detector-silence observations after a safe-mode exit (default
+          50 = 0.5 s): shorter than [warmup_rounds] because the system
+          re-enters optimization from a feasible, settled point. *)
+  settle_threshold : float;
+      (** max relative per-price movement for an observation to count as
+          settled. *)
+  settle_rounds : int;  (** consecutive settled observations to exit. *)
+  min_safe_time : float;  (** minimum dwell (ms) in safe mode. *)
+}
+
+val default_config : config
+
+type state = Optimizing | Safe of { since : float; reason : string }
+
+type event =
+  | Entered of { reason : string }
+  | Exited
+
+type t
+
+val create : ?config:config -> Lla.Problem.t -> t
+(** Precomputes the fallback assignment for the problem (see above). *)
+
+val config : t -> config
+
+val observe : t -> now:float -> mu:float array -> lat:float array -> offsets:float array -> event option
+(** Feed one watchdog observation of the running system's resource prices
+    and enacted latencies. Returns [Some (Entered _)] when this
+    observation trips safe mode, [Some Exited] when it completes the exit
+    hysteresis, [None] otherwise. The caller is responsible for acting on
+    the transition (clamping to {!fallback} / resuming optimization). *)
+
+val state : t -> state
+
+val in_safe_mode : t -> bool
+
+val fallback : t -> float array
+(** A fresh copy of the fallback latency assignment, indexed like
+    [Problem.subtasks]. *)
+
+val fallback_source : t -> string
+(** Which candidate won: a slicing baseline name, ["offline-solver"], or
+    ["proportional-best-effort"]. *)
+
+val fallback_guaranteed : t -> bool
+(** [true] when the fallback verifiably satisfies Eq. 3 and Eq. 4. *)
+
+val entries : t -> int
+(** Times safe mode was entered. *)
+
+val exits : t -> int

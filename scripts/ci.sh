@@ -1,6 +1,21 @@
 #!/bin/sh
-# Minimal CI: build everything, then run the full test suite.
+# Minimal CI: build everything, check hygiene, then run the full test suite.
 set -eu
 cd "$(dirname "$0")/.."
 dune build
+
+# Documentation / warning hygiene gate. When odoc is installed the doc
+# build catches malformed doc comments; otherwise a forced rebuild must be
+# completely silent — any compiler warning fails the run.
+if command -v odoc >/dev/null 2>&1; then
+  dune build @doc
+else
+  warnings=$(dune build --force 2>&1)
+  if [ -n "$warnings" ]; then
+    printf '%s\n' "$warnings"
+    echo "ci: forced rebuild emitted warnings (see above)" >&2
+    exit 1
+  fi
+fi
+
 dune runtest

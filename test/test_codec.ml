@@ -264,6 +264,62 @@ let test_admission_retire_frees_capacity () =
   | Lla.Admission.Admitted _ -> ()
   | Lla.Admission.Rejected { reason } -> Alcotest.fail ("expected admission after retire: " ^ reason)
 
+let test_admission_retire_readmit_cycle () =
+  (* Churn: fill the controller, retire a member, admit a strictly heavier
+     replacement into the freed headroom, and check the re-solved utility
+     is consistent — with the decision's own report, with a fresh offline
+     solve of the accepted workload, and directionally with the heavier
+     execution demand. *)
+  let controller = Lla.Admission.create ~probe_iterations:1500 ~resources:admission_resources () in
+  List.iter
+    (fun id ->
+      ignore
+        (Lla.Admission.try_admit controller
+           (chain_task ~id ~exec:5. ~period:200. ~critical_time:100.)))
+    [ 1; 2; 3 ];
+  let before =
+    match Lla.Admission.utility controller with
+    | Some u -> u
+    | None -> Alcotest.fail "expected a utility for the full set"
+  in
+  Alcotest.(check bool) "retire" true (Lla.Admission.retire controller (Ids.Task_id.make 2));
+  (* Two 5 ms tasks + one 6.5 ms task need 0.1 + 0.1 + 0.13 = 0.33 <= 0.35
+     per resource: heavier than the retiree but still feasible. *)
+  let decision_utility =
+    match
+      Lla.Admission.try_admit controller
+        (chain_task ~id:4 ~exec:6.5 ~period:200. ~critical_time:100.)
+    with
+    | Lla.Admission.Admitted { utility; _ } -> utility
+    | Lla.Admission.Rejected { reason } ->
+      Alcotest.fail ("heavier replacement should fit: " ^ reason)
+  in
+  Alcotest.(check int) "set size restored" 3 (List.length (Lla.Admission.admitted controller));
+  let after =
+    match Lla.Admission.utility controller with
+    | Some u -> u
+    | None -> Alcotest.fail "expected a utility after re-admission"
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "decision utility matches re-solve (%.3f ~ %.3f)" decision_utility after)
+    true
+    (Float.abs (decision_utility -. after) /. Float.max 1. (Float.abs after) < 0.02);
+  Alcotest.(check bool)
+    (Printf.sprintf "heavier set earns less utility (%.2f < %.2f)" after before)
+    true (after < before);
+  (* The controller's utility must agree with an independent solve of the
+     workload it reports. *)
+  match Lla.Admission.workload controller with
+  | None -> Alcotest.fail "expected a workload"
+  | Some w ->
+    let solver = Lla.Solver.create w in
+    ignore (Lla.Solver.run_until_converged solver ~max_iterations:4000);
+    let fresh = Lla.Solver.utility solver in
+    Alcotest.(check bool)
+      (Printf.sprintf "fresh solve agrees (%.3f ~ %.3f)" fresh after)
+      true
+      (Float.abs (fresh -. after) /. Float.max 1. (Float.abs fresh) < 0.02)
+
 let test_admission_empty () =
   let controller = Lla.Admission.create ~resources:admission_resources () in
   Alcotest.(check int) "empty" 0 (List.length (Lla.Admission.admitted controller));
@@ -294,6 +350,8 @@ let () =
           Alcotest.test_case "rejection keeps state" `Slow test_admission_rejection_keeps_state;
           Alcotest.test_case "id collision" `Quick test_admission_id_collision;
           Alcotest.test_case "retire frees capacity" `Slow test_admission_retire_frees_capacity;
+          Alcotest.test_case "retire/re-admit cycle re-solves" `Slow
+            test_admission_retire_readmit_cycle;
           Alcotest.test_case "empty controller" `Quick test_admission_empty;
         ] );
     ]

@@ -273,6 +273,61 @@ let test_price_update_congestion_flags () =
   Alcotest.(check bool) "r1 not congested" false congestion.Lla.Price_update.resources.(1);
   Alcotest.(check bool) "path over critical time" true congestion.Lla.Price_update.paths.(0)
 
+let test_price_update_guards_nonfinite_lat () =
+  (* A poisoned latency must never reach the multipliers: the share sum /
+     path latency it produces is non-finite, the prices keep their last
+     finite values, and every neutralized observation is counted. *)
+  let w = tiny_workload ~availability:0.5 ~critical_time:40. () in
+  let p = Lla.Problem.compile w in
+  let steps = Lla.Step_size.create p (Lla.Step_size.fixed 1.) in
+  let mu = [| 1.5; 2.5 |] and lambda = [| 0.75 |] in
+  let congestion =
+    Lla.Price_update.update p ~lat:[| Float.nan; 10. |] ~offsets:(Array.make 2 0.) ~steps ~mu
+      ~lambda
+  in
+  check_close "guarded mu untouched" 1.5 mu.(0);
+  Alcotest.(check bool) "other mu still updates" true (Float.is_finite mu.(1));
+  Alcotest.(check bool) "lambda stays finite" true (Float.is_finite lambda.(0));
+  check_close "guarded lambda untouched" 0.75 lambda.(0);
+  Alcotest.(check bool)
+    (Printf.sprintf "guards counted (%d)" congestion.Lla.Price_update.guards)
+    true
+    (congestion.Lla.Price_update.guards >= 2)
+
+let test_price_update_heals_poisoned_mu () =
+  (* An already non-finite multiplier is healed to 0 before the gradient
+     step, so one poisoned price cannot stick forever. *)
+  let w = tiny_workload ~availability:0.5 () in
+  let p = Lla.Problem.compile w in
+  let mu = [| Float.nan; 1. |] in
+  let lat = [| 5.; 7.5 |] (* both shares 0.8 > B = 0.5: prices rise *) in
+  ignore (Lla.Price_update.update_resource p 0 ~lat ~offsets:(Array.make 2 0.) ~gamma:1. ~mu);
+  Alcotest.(check bool) "healed to finite" true (Float.is_finite mu.(0));
+  check_close "healed from 0 then stepped" 0.3 mu.(0);
+  let lambda = [| Float.infinity |] in
+  ignore (Lla.Price_update.update_path p 0 ~lat:[| 25.; 25. |] ~gamma:1. ~lambda);
+  Alcotest.(check bool) "lambda healed to finite" true (Float.is_finite lambda.(0))
+
+let test_allocation_guards_nonfinite_mu () =
+  (* NaN prices must not poison the enacted latencies: the previous finite
+     latency is kept and the guard counter advances. *)
+  let w = tiny_workload ~critical_time:500. () in
+  let p = Lla.Problem.compile w in
+  let lat = [| 9.; 11. |] in
+  let guards = ref 0 in
+  Lla.Allocation.allocate p ~guards ~mu:[| Float.nan; Float.nan |]
+    ~lambda:(Array.make (Lla.Problem.n_paths p) 0.1)
+    ~offsets:(Array.make 2 0.) ~sweeps:1 ~lat;
+  check_close "lat 0 kept" 9. lat.(0);
+  check_close "lat 1 kept" 11. lat.(1);
+  Alcotest.(check bool) (Printf.sprintf "guards counted (%d)" !guards) true (!guards >= 2);
+  (* A non-finite previous latency falls back to the upper bound instead. *)
+  let lat = [| Float.nan; 11. |] in
+  Lla.Allocation.allocate p ~guards ~mu:[| Float.nan; Float.nan |]
+    ~lambda:(Array.make (Lla.Problem.n_paths p) 0.1)
+    ~offsets:(Array.make 2 0.) ~sweeps:1 ~lat;
+  Alcotest.(check bool) "poisoned lat replaced by finite bound" true (Float.is_finite lat.(0))
+
 (* ------------------------------------------------------------------ *)
 (* Step sizes                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -545,6 +600,27 @@ let test_error_correction_reset () =
   check_close "offset cleared" 0. (Lla.Error_correction.offset c);
   Alcotest.(check int) "rounds cleared" 0 (Lla.Error_correction.corrections c)
 
+let test_error_correction_skips_nonfinite () =
+  let c = Lla.Error_correction.create ~alpha:1.0 ~percentile:100. () in
+  Lla.Error_correction.observe c ~measured_latency:4.;
+  Lla.Error_correction.observe c ~measured_latency:Float.nan;
+  Lla.Error_correction.observe c ~measured_latency:Float.infinity;
+  Lla.Error_correction.observe c ~measured_latency:6.;
+  Alcotest.(check int) "non-finite samples skipped" 2 (Lla.Error_correction.skipped_samples c);
+  Alcotest.(check int) "only finite samples admitted" 2 (Lla.Error_correction.sample_count c);
+  (* A non-finite prediction aborts the round but keeps the window. *)
+  Alcotest.(check (option (float 0.)))
+    "non-finite prediction refused" None
+    (Lla.Error_correction.correct c ~predicted:Float.nan);
+  Alcotest.(check int) "refusal counted" 3 (Lla.Error_correction.skipped_samples c);
+  Alcotest.(check int) "window kept" 2 (Lla.Error_correction.sample_count c);
+  check_close "offset untouched" 0. (Lla.Error_correction.offset c);
+  (* The kept window still supports a normal correction round. *)
+  (match Lla.Error_correction.correct c ~predicted:10. with
+  | Some error -> check_close "corrects from finite window" (-4.) error
+  | None -> Alcotest.fail "expected a correction");
+  Alcotest.(check int) "round completed" 1 (Lla.Error_correction.corrections c)
+
 let test_solver_offsets_affect_shares () =
   let w = Lla_workloads.Prototype.workload () in
   let solver = Lla.Solver.create w in
@@ -790,6 +866,7 @@ let () =
             test_allocation_general_matches_closed_form;
           Alcotest.test_case "offsets shift latencies" `Quick test_allocation_offset_shifts_latency;
           Alcotest.test_case "effective bounds" `Quick test_allocation_effective_bounds;
+          Alcotest.test_case "non-finite prices guarded" `Quick test_allocation_guards_nonfinite_mu;
         ] );
       ( "prices",
         [
@@ -797,6 +874,10 @@ let () =
             test_price_update_directions;
           Alcotest.test_case "path price directions (Eq. 9)" `Quick test_path_price_directions;
           Alcotest.test_case "congestion flags" `Quick test_price_update_congestion_flags;
+          Alcotest.test_case "non-finite latency guarded" `Quick
+            test_price_update_guards_nonfinite_lat;
+          Alcotest.test_case "poisoned multiplier healed" `Quick
+            test_price_update_heals_poisoned_mu;
         ] );
       ( "step-size",
         [
@@ -848,6 +929,8 @@ let () =
           Alcotest.test_case "exponential smoothing" `Quick test_error_correction_smoothing;
           Alcotest.test_case "percentile selection" `Quick test_error_correction_percentile;
           Alcotest.test_case "reset" `Quick test_error_correction_reset;
+          Alcotest.test_case "non-finite samples skipped" `Quick
+            test_error_correction_skips_nonfinite;
           Alcotest.test_case "offsets reproduce Fig. 8 share shift" `Slow
             test_solver_offsets_affect_shares;
         ] );

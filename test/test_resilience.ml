@@ -1,0 +1,414 @@
+(* Tests for the resilience layer: checkpoint store, heartbeat failure
+   detection, safe-mode degradation, and their integration in the
+   distributed deployment (warm vs cold recovery, divergence containment). *)
+
+module Transport = Lla_transport.Transport
+module Distributed = Lla_runtime.Distributed
+module Health = Lla_runtime.Health
+module Checkpoint = Lla_runtime.Checkpoint
+module Safe_mode = Lla_runtime.Safe_mode
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint store                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let agent_state ?(price = 12.5) ?(gamma = 2.) ?(lat = [| 10.; 20. |]) () =
+  { Checkpoint.price; gamma; lat_view = lat }
+
+let test_checkpoint_roundtrip () =
+  let cp = Checkpoint.create ~n_agents:2 ~n_controllers:1 () in
+  Alcotest.(check bool) "accepted" true
+    (Checkpoint.save_agent cp 0 ~now:100. (agent_state ()));
+  (match Checkpoint.restore_agent cp 0 ~now:200. with
+  | None -> Alcotest.fail "snapshot lost"
+  | Some st ->
+    Alcotest.(check (float 0.)) "price" 12.5 st.Checkpoint.price;
+    Alcotest.(check (float 0.)) "gamma" 2. st.Checkpoint.gamma;
+    (* Restored arrays are copies: mutating one must not corrupt the store. *)
+    st.Checkpoint.lat_view.(0) <- nan);
+  (match Checkpoint.restore_agent cp 0 ~now:200. with
+  | None -> Alcotest.fail "snapshot lost after aliased mutation"
+  | Some st -> Alcotest.(check (float 0.)) "isolated" 10. st.Checkpoint.lat_view.(0));
+  Alcotest.(check (option (float 0.))) "save time" (Some 100.) (Checkpoint.last_agent_save cp 0);
+  Alcotest.(check int) "saves" 1 (Checkpoint.saves cp);
+  Alcotest.(check int) "restores" 2 (Checkpoint.restores cp)
+
+let test_checkpoint_rejects_non_finite () =
+  let cp = Checkpoint.create ~n_agents:1 ~n_controllers:1 () in
+  Alcotest.(check bool) "good snapshot in" true
+    (Checkpoint.save_agent cp 0 ~now:50. (agent_state ~price:3. ()));
+  Alcotest.(check bool) "nan price refused" false
+    (Checkpoint.save_agent cp 0 ~now:60. (agent_state ~price:nan ()));
+  Alcotest.(check bool) "inf latency refused" false
+    (Checkpoint.save_agent cp 0 ~now:70. (agent_state ~lat:[| 1.; infinity |] ()));
+  Alcotest.(check int) "rejections counted" 2 (Checkpoint.rejected_saves cp);
+  (* The poisoned snapshots must not have clobbered the good one. *)
+  (match Checkpoint.restore_agent cp 0 ~now:80. with
+  | Some st -> Alcotest.(check (float 0.)) "previous snapshot kept" 3. st.Checkpoint.price
+  | None -> Alcotest.fail "good snapshot lost");
+  let ctl =
+    {
+      Checkpoint.mu_view = [| 1.; nan |];
+      congested_view = [| false; false |];
+      lambda = [| 0. |];
+      gamma_p = [| 1. |];
+    }
+  in
+  Alcotest.(check bool) "controller nan refused" false
+    (Checkpoint.save_controller cp 0 ~now:90. ctl)
+
+let test_checkpoint_staleness () =
+  let cp = Checkpoint.create ~max_age:500. ~n_agents:1 ~n_controllers:0 () in
+  ignore (Checkpoint.save_agent cp 0 ~now:1_000. (agent_state ()));
+  Alcotest.(check bool) "fresh restores" true
+    (Checkpoint.restore_agent cp 0 ~now:1_400. <> None);
+  Alcotest.(check bool) "stale discarded" true
+    (Checkpoint.restore_agent cp 0 ~now:1_600. = None);
+  Alcotest.(check int) "staleness counted" 1 (Checkpoint.stale_restores cp)
+
+(* ------------------------------------------------------------------ *)
+(* Heartbeat failure detection                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Acceptance (c): the detector flags a crashed endpoint within the
+   configured timeout (+ one heartbeat and one sweep of slack) and never
+   flags a healthy endpoint under a zero-fault transport. *)
+let test_health_detects_crash () =
+  let engine = Lla_sim.Engine.create () in
+  let transport = Transport.create engine in
+  let victim = Transport.endpoint transport ~name:"victim" in
+  let healthy = Transport.endpoint transport ~name:"healthy" in
+  let h = Health.create transport in
+  Health.watch h victim;
+  Health.watch h healthy;
+  let transitions = ref [] in
+  Health.on_transition h (fun e status ~now ->
+      transitions := (Transport.endpoint_name e, status, now) :: !transitions);
+  Health.start h;
+  let crash_at = 1_000. and outage = 2_000. in
+  Transport.schedule_outage transport victim ~at:crash_at ~duration:outage;
+  (* Give every watch its own beat-keeping chance, then stop and drain. *)
+  Lla_sim.Engine.run_until engine 6_000.;
+  Health.stop h;
+  Lla_sim.Engine.run engine ();
+  let cfg = Health.config h in
+  let bound = cfg.Health.timeout +. cfg.Health.heartbeat_period +. cfg.Health.check_period +. 10. in
+  (match
+     List.rev !transitions
+     |> List.find_opt (fun (n, s, _) -> n = "victim" && s = Health.Suspect)
+   with
+  | None -> Alcotest.fail "crashed endpoint never suspected"
+  | Some (_, _, at) ->
+    Alcotest.(check bool)
+      (Printf.sprintf "suspected within %.0f ms (took %.0f)" bound (at -. crash_at))
+      true
+      (at -. crash_at <= bound));
+  (match
+     List.rev !transitions
+     |> List.find_opt (fun (n, s, _) -> n = "victim" && s = Health.Alive)
+   with
+  | None -> Alcotest.fail "suspicion never cleared after restart"
+  | Some (_, _, at) ->
+    Alcotest.(check bool) "cleared after the restart" true (at >= crash_at +. outage));
+  Alcotest.(check bool) "healthy endpoint never suspected" true
+    (not (List.exists (fun (n, s, _) -> n = "healthy" && s = Health.Suspect) !transitions));
+  Alcotest.(check int) "exactly one suspicion" 1 (Health.suspicions h);
+  Alcotest.(check int) "exactly one recovery" 1 (Health.recoveries h);
+  Alcotest.(check bool) "heartbeats flowed" true (Health.heartbeats_received h > 50)
+
+let test_health_quiet_without_faults () =
+  let engine = Lla_sim.Engine.create () in
+  let transport = Transport.create engine in
+  let h = Health.create transport in
+  for i = 0 to 4 do
+    Health.watch h (Transport.endpoint transport ~name:(Printf.sprintf "e%d" i))
+  done;
+  Health.start h;
+  Lla_sim.Engine.run_until engine 30_000.;
+  Alcotest.(check int) "no false suspicions" 0 (Health.suspicions h);
+  Alcotest.(check (list string)) "no suspects" []
+    (List.map Transport.endpoint_name (Health.suspects h));
+  Health.stop h;
+  Health.stop h;
+  (* idempotent *)
+  Lla_sim.Engine.run engine ()
+
+(* ------------------------------------------------------------------ *)
+(* Safe-mode state machine                                             *)
+(* ------------------------------------------------------------------ *)
+
+let quick_safe_config =
+  {
+    Safe_mode.default_config with
+    Safe_mode.violation_rounds = 3;
+    warmup_rounds = 10;
+    oscillation_window = 8;
+    min_reversals = 4;
+    settle_rounds = 3;
+    min_safe_time = 100.;
+  }
+
+let base_problem () = Lla.Problem.compile (Lla_workloads.Paper_sim.base ())
+
+let test_safe_mode_trips_on_non_finite () =
+  let problem = base_problem () in
+  let sm = Safe_mode.create ~config:quick_safe_config problem in
+  let n_r = Lla.Problem.n_resources problem in
+  let lat = Safe_mode.fallback sm in
+  let offsets = Array.make (Lla.Problem.n_subtasks problem) 0. in
+  let mu = Array.make n_r 1. in
+  Alcotest.(check bool) "healthy observation passes" true
+    (Safe_mode.observe sm ~now:0. ~mu ~lat ~offsets = None);
+  mu.(0) <- nan;
+  (match Safe_mode.observe sm ~now:10. ~mu ~lat ~offsets with
+  | Some (Safe_mode.Entered { reason }) ->
+    Alcotest.(check string) "reason" "price divergence" reason
+  | _ -> Alcotest.fail "non-finite price did not trip safe mode");
+  Alcotest.(check bool) "in safe mode" true (Safe_mode.in_safe_mode sm);
+  (* Exit hysteresis: settled finite prices, but only once the dwell time
+     has passed AND the settle streak is long enough. *)
+  mu.(0) <- 1.;
+  let exited = ref None in
+  for i = 1 to 10 do
+    match Safe_mode.observe sm ~now:(10. +. (20. *. float_of_int i)) ~mu ~lat ~offsets with
+    | Some Safe_mode.Exited when !exited = None -> exited := Some i
+    | _ -> ()
+  done;
+  (match !exited with
+  | None -> Alcotest.fail "settled prices never exited safe mode"
+  | Some i ->
+    (* needs >= settle_rounds observations and >= min_safe_time dwell *)
+    Alcotest.(check bool) "hysteresis respected" true (i >= 3));
+  Alcotest.(check int) "one entry" 1 (Safe_mode.entries sm);
+  Alcotest.(check int) "one exit" 1 (Safe_mode.exits sm)
+
+let test_safe_mode_oscillation_after_warmup_only () =
+  let problem = base_problem () in
+  let sm = Safe_mode.create ~config:quick_safe_config problem in
+  let offsets = Array.make (Lla.Problem.n_subtasks problem) 0. in
+  let mu = Array.make (Lla.Problem.n_resources problem) 1. in
+  let calm = Safe_mode.fallback sm in
+  (* A second feasible assignment far enough from the fallback that
+     alternating the two swings the utility by well over the threshold. *)
+  let swing = Array.map (fun l -> l *. 0.3) calm in
+  let tripped_at = ref None in
+  (for i = 1 to 60 do
+     if !tripped_at = None then begin
+       let lat = if i mod 2 = 0 then calm else swing in
+       match Safe_mode.observe sm ~now:(float_of_int i) ~mu ~lat ~offsets with
+       | Some (Safe_mode.Entered { reason }) ->
+         Alcotest.(check string) "reason" "utility oscillation" reason;
+         tripped_at := Some i
+       | Some Safe_mode.Exited -> Alcotest.fail "unexpected exit"
+       | None -> ()
+     end
+   done);
+  match !tripped_at with
+  | None -> Alcotest.fail "oscillation never detected"
+  | Some i ->
+    Alcotest.(check bool)
+      (Printf.sprintf "silent during warmup (tripped at %d)" i)
+      true
+      (i > quick_safe_config.Safe_mode.warmup_rounds)
+
+let test_safe_mode_fallback_feasible () =
+  let problem =
+    Lla.Problem.compile
+      (Lla_workloads.Paper_sim.scaled ~copies:1 ~critical_time_factor:1.5 ())
+  in
+  let sm = Safe_mode.create problem in
+  Alcotest.(check bool) "guaranteed" true (Safe_mode.fallback_guaranteed sm);
+  let lat = Safe_mode.fallback sm in
+  let offsets = Array.make (Lla.Problem.n_subtasks problem) 0. in
+  for r = 0 to Lla.Problem.n_resources problem - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "resource %d within capacity" r)
+      true
+      (Lla.Problem.share_sum problem r ~lat ~offsets
+      <= problem.Lla.Problem.capacities.(r) +. 1e-9)
+  done;
+  for p = 0 to Lla.Problem.n_paths problem - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "path %d within critical time" p)
+      true
+      (Lla.Problem.path_latency problem p ~lat
+      <= problem.Lla.Problem.paths.(p).Lla.Problem.critical_time +. 1e-9)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Integration: warm vs cold recovery                                  *)
+(* ------------------------------------------------------------------ *)
+
+let crash_all ~checkpoint () =
+  let workload = Lla_workloads.Paper_sim.base () in
+  let engine = Lla_sim.Engine.create () in
+  let transport = Transport.create engine in
+  let resilience =
+    {
+      Distributed.default_resilience with
+      Distributed.health = None;
+      safe_mode = None;
+      checkpoint_period = (if checkpoint then Some 100. else None);
+    }
+  in
+  let d = Distributed.create ~resilience ~transport engine workload in
+  Distributed.run d ~duration:20_000.;
+  let reference = Distributed.utility d in
+  let endpoints =
+    List.map
+      (fun (r : Lla_model.Resource.t) -> Distributed.agent_endpoint d r.id)
+      workload.Lla_model.Workload.resources
+    @ List.map
+        (fun (task : Lla_model.Task.t) -> Distributed.controller_endpoint d task.id)
+        workload.Lla_model.Workload.tasks
+  in
+  let now = Lla_sim.Engine.now engine in
+  List.iter
+    (fun e -> Transport.schedule_outage transport e ~at:(now +. 1.) ~duration:500.)
+    endpoints;
+  Distributed.run d ~duration:501.;
+  let rounds_at_heal = Distributed.price_rounds d in
+  let last_bad_rounds = ref 0 in
+  let elapsed = ref 0. in
+  while !elapsed < 20_000. -. 1e-9 do
+    Distributed.run d ~duration:10.;
+    elapsed := !elapsed +. 10.;
+    let gap = Float.abs (Distributed.utility d -. reference) /. Float.abs reference in
+    if gap >= 0.01 then last_bad_rounds := Distributed.price_rounds d - rounds_at_heal
+  done;
+  let final_gap = Float.abs (Distributed.utility d -. reference) /. Float.abs reference in
+  (final_gap, !last_bad_rounds, Distributed.warm_restores d, Distributed.cold_restarts d)
+
+(* Acceptance (a): on the same seeded crash schedule, a checkpoint restart
+   reconverges in strictly fewer price rounds than a cold restart. *)
+let test_warm_beats_cold_recovery () =
+  let cold_gap, cold_rounds, cold_warms, cold_colds = crash_all ~checkpoint:false () in
+  let warm_gap, warm_rounds, warm_warms, warm_colds = crash_all ~checkpoint:true () in
+  Alcotest.(check bool) "cold run recovered" true (cold_gap < 0.01);
+  Alcotest.(check bool) "warm run recovered" true (warm_gap < 0.01);
+  Alcotest.(check bool) "cold restart actually pays a transient" true (cold_rounds > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "warm reconverges in strictly fewer price rounds (%d < %d)" warm_rounds
+       cold_rounds)
+    true (warm_rounds < cold_rounds);
+  Alcotest.(check int) "no warm restores without checkpoints" 0 cold_warms;
+  Alcotest.(check bool) "all restarts cold without checkpoints" true (cold_colds >= 11);
+  Alcotest.(check bool) "all restarts warm with checkpoints" true (warm_warms >= 11);
+  Alcotest.(check int) "no cold restarts with checkpoints" 0 warm_colds
+
+(* ------------------------------------------------------------------ *)
+(* Integration: safe-mode containment of a forced divergence           *)
+(* ------------------------------------------------------------------ *)
+
+(* Acceptance (b): during an induced price divergence (fixed gamma = 64)
+   safe mode keeps every enacted resource share sum within B_r and every
+   path within its critical time, and the system re-enters optimization
+   once prices settle. *)
+let test_safe_mode_contains_divergence () =
+  let workload = Lla_workloads.Paper_sim.scaled ~copies:1 ~critical_time_factor:1.5 () in
+  let problem = Lla.Problem.compile workload in
+  let engine = Lla_sim.Engine.create () in
+  let transport = Transport.create engine in
+  let config =
+    { Distributed.default_config with Distributed.step_policy = Lla.Step_size.fixed 64. }
+  in
+  let resilience =
+    {
+      Distributed.default_resilience with
+      Distributed.health = None;
+      checkpoint_period = None;
+    }
+  in
+  let d = Distributed.create ~config ~resilience ~transport engine workload in
+  let n_sub = Lla.Problem.n_subtasks problem in
+  let lat = Array.make n_sub 0. in
+  let offsets = Array.make n_sub 0. in
+  let safe_samples = ref 0 in
+  let elapsed = ref 0. in
+  while !elapsed < 20_000. -. 1e-9 do
+    Distributed.run d ~duration:50.;
+    elapsed := !elapsed +. 50.;
+    if Distributed.in_safe_mode d then begin
+      incr safe_samples;
+      for i = 0 to n_sub - 1 do
+        lat.(i) <- Distributed.latency d problem.Lla.Problem.subtasks.(i).Lla.Problem.sid
+      done;
+      for r = 0 to Lla.Problem.n_resources problem - 1 do
+        Alcotest.(check bool)
+          (Printf.sprintf "share sum on r%d within B_r at %.0f ms" r !elapsed)
+          true
+          (Lla.Problem.share_sum problem r ~lat ~offsets
+          <= problem.Lla.Problem.capacities.(r) +. 1e-9)
+      done;
+      for p = 0 to Lla.Problem.n_paths problem - 1 do
+        Alcotest.(check bool)
+          (Printf.sprintf "path %d within critical time at %.0f ms" p !elapsed)
+          true
+          (Lla.Problem.path_latency problem p ~lat
+          <= problem.Lla.Problem.paths.(p).Lla.Problem.critical_time +. 1e-9)
+      done
+    end
+  done;
+  Alcotest.(check bool) "divergence was detected" true (Distributed.safe_entries d >= 1);
+  Alcotest.(check bool) "safe mode actually held" true (!safe_samples > 10);
+  Alcotest.(check bool) "re-entered optimization after prices settled" true
+    (Distributed.safe_exits d >= 1)
+
+(* A healthy adaptive run must never trip the watchdog: the resilience
+   layer defaults to observing, not interfering. *)
+let test_safe_mode_quiet_on_healthy_run () =
+  let workload = Lla_workloads.Paper_sim.base () in
+  let engine = Lla_sim.Engine.create () in
+  let transport = Transport.create engine in
+  let resilience =
+    {
+      Distributed.default_resilience with
+      Distributed.health = None;
+      checkpoint_period = None;
+    }
+  in
+  let d = Distributed.create ~resilience ~transport engine workload in
+  Distributed.run d ~duration:60_000.;
+  Alcotest.(check int) "no safe-mode entries" 0 (Distributed.safe_entries d);
+  Alcotest.(check bool) "still optimizing" false (Distributed.in_safe_mode d);
+  (* And the trajectory still reaches the synchronous optimum. *)
+  let solver = Lla.Solver.create workload in
+  ignore (Lla.Solver.run_until_converged solver ~max_iterations:3000);
+  let gap =
+    Float.abs (Distributed.utility d -. Lla.Solver.utility solver)
+    /. Float.abs (Lla.Solver.utility solver)
+  in
+  Alcotest.(check bool) "utility gap < 2%" true (gap < 0.02)
+
+let () =
+  Alcotest.run "lla_resilience"
+    [
+      ( "checkpoint",
+        [
+          Alcotest.test_case "save/restore roundtrip" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "non-finite snapshots refused" `Quick
+            test_checkpoint_rejects_non_finite;
+          Alcotest.test_case "stale snapshots discarded" `Quick test_checkpoint_staleness;
+        ] );
+      ( "health",
+        [
+          Alcotest.test_case "detects crash within timeout" `Quick test_health_detects_crash;
+          Alcotest.test_case "quiet under zero faults" `Quick test_health_quiet_without_faults;
+        ] );
+      ( "safe-mode",
+        [
+          Alcotest.test_case "trips on non-finite price, exits with hysteresis" `Quick
+            test_safe_mode_trips_on_non_finite;
+          Alcotest.test_case "oscillation detector respects warmup" `Quick
+            test_safe_mode_oscillation_after_warmup_only;
+          Alcotest.test_case "fallback is feasible" `Quick test_safe_mode_fallback_feasible;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "warm restart beats cold restart" `Slow test_warm_beats_cold_recovery;
+          Alcotest.test_case "safe mode contains forced divergence" `Slow
+            test_safe_mode_contains_divergence;
+          Alcotest.test_case "watchdog quiet on a healthy run" `Slow
+            test_safe_mode_quiet_on_healthy_run;
+        ] );
+    ]

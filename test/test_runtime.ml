@@ -358,6 +358,29 @@ let test_distributed_with_large_delay_still_converges () =
   let violations = Workload.constraint_violations workload ~latency ~tolerance:0.05 in
   Alcotest.(check (list string)) "stale prices tolerated" [] violations
 
+(* stop must be safe to call at any time, any number of times — including
+   before start and with the resilience layer's detector and watchdog
+   scheduled — and must leave the engine drainable. *)
+let test_distributed_stop_idempotent () =
+  let workload = Lla_workloads.Paper_sim.base () in
+  let engine = Lla_sim.Engine.create () in
+  let distributed =
+    Lla_runtime.Distributed.create
+      ~resilience:Lla_runtime.Distributed.default_resilience engine workload
+  in
+  Lla_runtime.Distributed.stop distributed;
+  (* no-op before start *)
+  Lla_runtime.Distributed.run distributed ~duration:1_000.;
+  let rounds = Lla_runtime.Distributed.price_rounds distributed in
+  Lla_runtime.Distributed.stop distributed;
+  Lla_runtime.Distributed.stop distributed;
+  (* second stop: no-op *)
+  Lla_sim.Engine.run engine ();
+  (* engine drains: no periodic loop survived *)
+  Alcotest.(check int) "no ticks after stop" rounds
+    (Lla_runtime.Distributed.price_rounds distributed);
+  Alcotest.(check int) "nothing pending" 0 (Lla_sim.Engine.pending engine)
+
 let () =
   Alcotest.run "lla_runtime"
     [
@@ -397,6 +420,7 @@ let () =
             test_distributed_matches_synchronous;
           Alcotest.test_case "respects constraints" `Slow test_distributed_respects_constraints;
           Alcotest.test_case "control traffic" `Quick test_distributed_exchanges_messages;
+          Alcotest.test_case "stop is idempotent" `Quick test_distributed_stop_idempotent;
           Alcotest.test_case "tolerates large delays" `Slow
             test_distributed_with_large_delay_still_converges;
         ] );
