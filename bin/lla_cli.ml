@@ -384,6 +384,89 @@ let emulate_cmd =
     (Cmd.info "emulate" ~doc:"Emulate a workload on the simulated cluster with the optimizer.")
     Term.(const run $ workload_arg $ duration $ scheduler $ csv_arg)
 
+let trace_cmd =
+  let experiment =
+    let doc =
+      "Scenario to trace: 'fig5' (synchronous solver on the base workload), 'distributed' \
+       (message-passing deployment, zero faults), or 'chaos' (distributed with 5% message \
+       loss, an agent outage and the resilience layer on)."
+    in
+    Arg.(value & pos 0 string "distributed" & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the trace (one JSON object per line) to $(docv) instead of stdout.")
+  in
+  let duration =
+    Arg.(
+      value
+      & opt float 10.
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Simulated control time (distributed and chaos scenarios).")
+  in
+  let run experiment out iterations duration =
+    let obs = Lla_obs.create ~trace_io:true () in
+    let oc = match out with Some path -> open_out path | None -> stdout in
+    (* Stream every record through a sink as it is emitted: the dump is
+       complete even when the run outlives the trace ring buffer. *)
+    Lla_obs.Trace.attach obs.Lla_obs.trace (fun r ->
+        output_string oc (Lla_obs.Trace.record_to_string r);
+        output_char oc '\n');
+    (match experiment with
+    | "fig5" | "solver" ->
+      let solver = Lla.Solver.create ~obs (Lla_workloads.Paper_sim.base ()) in
+      Lla.Solver.run solver ~iterations
+    | "distributed" ->
+      let engine = Lla_sim.Engine.create () in
+      let d = Lla_runtime.Distributed.create ~obs engine (Lla_workloads.Paper_sim.base ()) in
+      Lla_runtime.Distributed.run d ~duration:(duration *. 1000.);
+      Lla_runtime.Distributed.stop d
+    | "chaos" ->
+      let module Transport = Lla_transport.Transport in
+      let workload = Lla_workloads.Paper_sim.base () in
+      let engine = Lla_sim.Engine.create () in
+      let transport =
+        Transport.create ~obs engine
+          ~config:
+            {
+              Transport.default_config with
+              faults = { Transport.no_faults with drop = 0.05 };
+              seed = 42;
+            }
+      in
+      let d =
+        Lla_runtime.Distributed.create ~obs ~transport
+          ~resilience:Lla_runtime.Distributed.default_resilience engine workload
+      in
+      let victim_id = (List.hd workload.Lla_model.Workload.resources).Lla_model.Resource.id in
+      let victim = Lla_runtime.Distributed.agent_endpoint d victim_id in
+      let horizon = duration *. 1000. in
+      Transport.schedule_outage transport victim ~at:(horizon /. 3.)
+        ~duration:(horizon /. 10.);
+      Lla_runtime.Distributed.run d ~duration:horizon;
+      Lla_runtime.Distributed.stop d
+    | other ->
+      or_exit (Error (`Msg (Printf.sprintf "unknown trace experiment %S" other))));
+    (match out with
+    | Some path ->
+      close_out oc;
+      Printf.printf "wrote %d trace records to %s\n"
+        (Lla_obs.Trace.emitted obs.Lla_obs.trace)
+        path
+    | None -> flush oc);
+    (* Metrics snapshot after the run, Prometheus text exposition. *)
+    print_string (Lla_obs.Metrics.expose obs.Lla_obs.metrics)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a scenario with observability on and dump the structured trace (JSONL) plus a \
+          metrics snapshot.")
+    Term.(const run $ experiment $ out $ iterations_arg $ duration)
+
 let default =
   Term.(
     ret
@@ -409,6 +492,7 @@ let () =
             adaptation_cmd;
             variation_cmd;
             delays_cmd;
+            trace_cmd;
             solve_cmd;
             export_cmd;
             probe_cmd;

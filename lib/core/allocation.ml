@@ -53,21 +53,26 @@ let reciprocal_share (s : Problem.subtask) =
      it by name (set by Share.instantiate). *)
   String.equal s.share.Share.name "reciprocal"
 
-let tally = function Some g -> incr g | None -> ()
+let tally ?obs ~at ~site = function
+  | Some g ->
+    incr g;
+    Lla_obs.emit_opt obs ~at (Lla_obs.Trace.Guard_fired { site })
+  | None -> Lla_obs.emit_opt obs ~at (Lla_obs.Trace.Guard_fired { site })
 
 (* Never write a non-finite latency: NaN prices or a poisoned aggregate
    make the stationarity candidate NaN, which the clamp cannot fix
    ([max nan x = nan]). Keep the previous finite value, or retreat to the
    upper bound (maximum latency = minimum share, the conservative side)
    when the old value is itself poisoned. *)
-let sanitize problem i ~offset ?guards ~old value =
+let sanitize problem i ~offset ?obs ~at ?guards ~old value =
   if Float.is_finite value then value
   else begin
-    tally guards;
+    tally ?obs ~at ~site:"allocation.candidate" guards;
     if Float.is_finite old then old else snd (effective_bounds problem i ~offset)
   end
 
-let allocate_task ?guards (problem : Problem.t) ti ~mu ~lambda ~offsets ~sweeps ~lat =
+let allocate_task ?obs ?(at = 0.) ?guards (problem : Problem.t) ti ~mu ~lambda ~offsets ~sweeps
+    ~lat =
   let info = problem.tasks.(ti) in
   let closed_ok =
     match info.linear_slope with
@@ -81,7 +86,7 @@ let allocate_task ?guards (problem : Problem.t) ti ~mu ~lambda ~offsets ~sweeps 
         let s = problem.subtasks.(i) in
         let lsum = lambda_sum problem i ~lambda in
         let lat' = closed_form problem i ~mu_r:mu.(s.resource) ~lsum ~slope ~offset:offsets.(i) in
-        lat.(i) <- sanitize problem i ~offset:offsets.(i) ?guards ~old:lat.(i) lat')
+        lat.(i) <- sanitize problem i ~offset:offsets.(i) ?obs ~at ?guards ~old:lat.(i) lat')
       info.subtask_indices
   | _ ->
     (* Gauss–Seidel sweeps: the aggregate latency is kept incrementally as
@@ -90,7 +95,7 @@ let allocate_task ?guards (problem : Problem.t) ti ~mu ~lambda ~offsets ~sweeps 
     Array.iter
       (fun i ->
         if not (Float.is_finite lat.(i)) then begin
-          tally guards;
+          tally ?obs ~at ~site:"allocation.input" guards;
           lat.(i) <- snd (effective_bounds problem i ~offset:offsets.(i))
         end)
       info.subtask_indices;
@@ -106,13 +111,13 @@ let allocate_task ?guards (problem : Problem.t) ti ~mu ~lambda ~offsets ~sweeps 
             general problem i ~mu_r:mu.(s.resource) ~lsum ~offset:offsets.(i)
               ~rest_aggregate:rest ~utility:info.utility
           in
-          let lat' = sanitize problem i ~offset:offsets.(i) ?guards ~old:lat.(i) lat' in
+          let lat' = sanitize problem i ~offset:offsets.(i) ?obs ~at ?guards ~old:lat.(i) lat' in
           aggregate := rest +. (s.weight *. lat');
           lat.(i) <- lat')
         info.subtask_indices
     done
 
-let allocate ?guards problem ~mu ~lambda ~offsets ~sweeps ~lat =
+let allocate ?obs ?at ?guards problem ~mu ~lambda ~offsets ~sweeps ~lat =
   for ti = 0 to Problem.n_tasks problem - 1 do
-    allocate_task ?guards problem ti ~mu ~lambda ~offsets ~sweeps ~lat
+    allocate_task ?obs ?at ?guards problem ti ~mu ~lambda ~offsets ~sweeps ~lat
   done

@@ -24,6 +24,8 @@ val effective_bounds : Problem.t -> int -> offset:float -> float * float
     Always [0 < lo <= hi]. A non-finite offset is treated as 0. *)
 
 val allocate_task :
+  ?obs:Lla_obs.t ->
+  ?at:float ->
   ?guards:int ref ->
   Problem.t ->
   int ->
@@ -38,9 +40,13 @@ val allocate_task :
     Finite-value guard: a non-finite candidate (NaN prices, poisoned
     aggregates) never reaches [lat] — the previous finite value is kept,
     or the upper bound when the old value is itself non-finite. Each such
-    event increments [guards] when supplied. *)
+    event increments [guards] when supplied, and emits an
+    {!Lla_obs.Trace.Guard_fired} record (stamped [at], default 0) when
+    [obs] is supplied. *)
 
 val allocate :
+  ?obs:Lla_obs.t ->
+  ?at:float ->
   ?guards:int ref ->
   Problem.t ->
   mu:float array ->

@@ -2,17 +2,21 @@ type t = {
   percentile : float;
   window : Lla_stdx.Percentile.Window.t;
   error : Lla_stdx.Ewma.t;
+  obs : Lla_obs.t option;
+  name : string;
   mutable rounds : int;
   mutable skipped : int;
 }
 
-let create ?(alpha = 0.3) ?(percentile = 95.) ?(window = 256) () =
+let create ?obs ?(name = "corrector") ?(alpha = 0.3) ?(percentile = 95.) ?(window = 256) () =
   if percentile <= 0. || percentile > 100. then
     invalid_arg "Error_correction.create: percentile outside (0, 100]";
   {
     percentile;
     window = Lla_stdx.Percentile.Window.create ~capacity:window;
     error = Lla_stdx.Ewma.create ~alpha;
+    obs;
+    name;
     rounds = 0;
     skipped = 0;
   }
@@ -20,10 +24,13 @@ let create ?(alpha = 0.3) ?(percentile = 95.) ?(window = 256) () =
 (* A single NaN measurement admitted to the window would make every
    subsequent percentile NaN and poison the EWMA offset forever (the
    smoothing never forgets a NaN). Skip and count instead. *)
-let observe t ~measured_latency =
+let observe ?(at = 0.) t ~measured_latency =
   if Float.is_finite measured_latency then
     Lla_stdx.Percentile.Window.add t.window measured_latency
-  else t.skipped <- t.skipped + 1
+  else begin
+    t.skipped <- t.skipped + 1;
+    Lla_obs.emit_opt t.obs ~at (Lla_obs.Trace.Guard_fired { site = t.name ^ ".observe" })
+  end
 
 let sample_count t = Lla_stdx.Percentile.Window.count t.window
 
@@ -33,11 +40,12 @@ let offset t = Lla_stdx.Ewma.value t.error
 
 let corrections t = t.rounds
 
-let correct t ~predicted =
+let correct ?(at = 0.) t ~predicted =
   if not (Float.is_finite predicted) then begin
     (* A poisoned prediction would corrupt the smoothed error exactly like
        a poisoned measurement; skip the round, keep the window. *)
     t.skipped <- t.skipped + 1;
+    Lla_obs.emit_opt t.obs ~at (Lla_obs.Trace.Guard_fired { site = t.name ^ ".correct" });
     None
   end
   else begin
@@ -47,7 +55,10 @@ let correct t ~predicted =
       Lla_stdx.Ewma.add t.error (measured -. predicted);
       Lla_stdx.Percentile.Window.clear t.window;
       t.rounds <- t.rounds + 1;
-      Some (Lla_stdx.Ewma.value t.error)
+      let offset = Lla_stdx.Ewma.value t.error in
+      Lla_obs.emit_opt t.obs ~at
+        (Lla_obs.Trace.Correction_applied { subtask = t.name; offset });
+      Some offset
   end
 
 let reset t =

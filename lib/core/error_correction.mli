@@ -11,15 +11,21 @@
 
 type t
 
-val create : ?alpha:float -> ?percentile:float -> ?window:int -> unit -> t
+val create :
+  ?obs:Lla_obs.t -> ?name:string -> ?alpha:float -> ?percentile:float -> ?window:int -> unit -> t
 (** Defaults: [alpha = 0.3] (smoothing weight of a new error sample),
     [percentile = 95] (the paper uses "greater than 90th percentile"
-    samples), [window = 256] measured latencies per correction round. *)
+    samples), [window = 256] measured latencies per correction round.
+    When [obs] is supplied the corrector emits
+    {!Lla_obs.Trace.Correction_applied} on every completed round and
+    [Guard_fired] for every skipped non-finite sample/prediction, tagged
+    with [name] (default ["corrector"]). *)
 
-val observe : t -> measured_latency:float -> unit
+val observe : ?at:float -> t -> measured_latency:float -> unit
 (** Record one measured job latency (ms). A non-finite measurement is
     skipped (and counted in {!skipped_samples}) — one admitted NaN would
-    poison the smoothed offset forever. *)
+    poison the smoothed offset forever. [at] stamps the trace record when
+    [obs] is active (default 0). *)
 
 val sample_count : t -> int
 (** Measurements accumulated since the last {!correct}. *)
@@ -28,7 +34,7 @@ val skipped_samples : t -> int
 (** Non-finite measurements (and correction rounds with a non-finite
     prediction) discarded by the guards. *)
 
-val correct : t -> predicted:float -> float option
+val correct : ?at:float -> t -> predicted:float -> float option
 (** Fold the window into the smoothed error given the model's current
     uncorrected prediction: error sample = percentile(window) - predicted.
     Returns the new offset and clears the window; [None] (and keeps state)

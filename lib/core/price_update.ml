@@ -34,24 +34,55 @@ let update_path (problem : Problem.t) p ~lat ~gamma ~lambda =
   end;
   latency
 
-let update problem ~lat ~offsets ~steps ~mu ~lambda =
+let update ?obs ?(at = 0.) problem ~lat ~offsets ~steps ~mu ~lambda =
   let n_r = Problem.n_resources problem and n_p = Problem.n_paths problem in
   let share_sums = Array.make n_r 0. and path_latencies = Array.make n_p 0. in
   let resources = Array.make n_r false and paths = Array.make n_p false in
   let guards = ref 0 in
+  let guard site =
+    incr guards;
+    Lla_obs.emit_opt obs ~at (Lla_obs.Trace.Guard_fired { site })
+  in
   for r = 0 to n_r - 1 do
-    if not (Float.is_finite mu.(r)) then incr guards;
-    let used = update_resource problem r ~lat ~offsets ~gamma:(Step_size.resource_gamma steps r) ~mu in
-    if not (Float.is_finite used) then incr guards;
+    if not (Float.is_finite mu.(r)) then guard "price_update.mu";
+    let gamma = Step_size.resource_gamma steps r in
+    let used = update_resource problem r ~lat ~offsets ~gamma ~mu in
+    if not (Float.is_finite used) then guard "price_update.share_sum";
     share_sums.(r) <- used;
     (* A NaN comparison is false, so a guarded resource reads uncongested. *)
-    resources.(r) <- used > problem.capacities.(r) +. 1e-12
+    resources.(r) <- used > problem.capacities.(r) +. 1e-12;
+    (match obs with
+    | None -> ()
+    | Some o ->
+      Lla_obs.emit o ~at
+        (Lla_obs.Trace.Price_updated
+           {
+             resource = r;
+             mu = mu.(r);
+             step = gamma;
+             share_sum = used;
+             capacity = problem.capacities.(r);
+             congested = resources.(r);
+           }))
   done;
   for p = 0 to n_p - 1 do
-    if not (Float.is_finite lambda.(p)) then incr guards;
-    let latency = update_path problem p ~lat ~gamma:(Step_size.path_gamma steps p) ~lambda in
-    if not (Float.is_finite latency) then incr guards;
+    if not (Float.is_finite lambda.(p)) then guard "price_update.lambda";
+    let gamma = Step_size.path_gamma steps p in
+    let latency = update_path problem p ~lat ~gamma ~lambda in
+    if not (Float.is_finite latency) then guard "price_update.path_latency";
     path_latencies.(p) <- latency;
-    paths.(p) <- latency > problem.paths.(p).critical_time +. 1e-12
+    paths.(p) <- latency > problem.paths.(p).critical_time +. 1e-12;
+    (match obs with
+    | None -> ()
+    | Some o ->
+      Lla_obs.emit o ~at
+        (Lla_obs.Trace.Path_price_updated
+           {
+             path = p;
+             lambda = lambda.(p);
+             step = gamma;
+             latency;
+             critical_time = problem.paths.(p).critical_time;
+           }))
   done;
   { resources; paths; share_sums; path_latencies; guards = !guards }

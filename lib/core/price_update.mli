@@ -36,6 +36,8 @@ val update_path : Problem.t -> int -> lat:float array -> gamma:float -> lambda:f
     finite-value guards as {!update_resource}. *)
 
 val update :
+  ?obs:Lla_obs.t ->
+  ?at:float ->
   Problem.t ->
   lat:float array ->
   offsets:float array ->
@@ -43,4 +45,9 @@ val update :
   mu:float array ->
   lambda:float array ->
   congestion
-(** One full price-computation step across all resources and paths. *)
+(** One full price-computation step across all resources and paths. When
+    [obs] is supplied, emits one {!Lla_obs.Trace.Price_updated} per
+    resource and one {!Lla_obs.Trace.Path_price_updated} per path (plus
+    [Guard_fired] for each guarded component), stamped [at] (default 0 —
+    the synchronous solver passes its iteration number). Pure bookkeeping:
+    the numerical result is identical with and without [obs]. *)

@@ -205,11 +205,11 @@ let aggregate_latency t i ~lat =
     (fun acc si -> acc +. (t.subtasks.(si).weight *. lat.(si)))
     0. info.subtask_indices
 
+let task_utility t i ~lat = t.tasks.(i).utility.Lla_model.Utility.f (aggregate_latency t i ~lat)
+
 let total_utility t ~lat =
   let acc = ref 0. in
-  Array.iteri
-    (fun i info -> acc := !acc +. info.utility.Lla_model.Utility.f (aggregate_latency t i ~lat))
-    t.tasks;
+  Array.iteri (fun i _ -> acc := !acc +. task_utility t i ~lat) t.tasks;
   !acc
 
 (* The error-correction offset shifts the model's latency prediction:

@@ -83,6 +83,10 @@ val task_index : t -> Ids.Task_id.t -> int
 val aggregate_latency : t -> int -> lat:float array -> float
 (** Weighted aggregate latency of task [i] under assignment [lat]. *)
 
+val task_utility : t -> int -> lat:float array -> float
+(** Utility of task [i] alone under assignment [lat];
+    {!total_utility} is the sum of these. *)
+
 val total_utility : t -> lat:float array -> float
 
 val share_sum : t -> int -> lat:float array -> offsets:float array -> float

@@ -28,6 +28,12 @@ let default_config =
     record_shares = false;
   }
 
+type obs_meters = {
+  iterations_c : Lla_obs.Metrics.counter;
+  guards_c : Lla_obs.Metrics.counter;
+  utility_g : Lla_obs.Metrics.gauge;
+}
+
 type t = {
   problem : Problem.t;
   config : config;
@@ -36,6 +42,8 @@ type t = {
   lambda : float array;
   offsets : float array;
   steps : Step_size.t;
+  obs : Lla_obs.t option;
+  meters : obs_meters option;
   mutable iteration : int;
   mutable guard_events : int;
       (* non-finite iterate components neutralized by the allocation and
@@ -49,7 +57,7 @@ type t = {
   share_traces : Lla_stdx.Series.t array;
 }
 
-let create ?(config = default_config) workload =
+let create ?obs ?(config = default_config) workload =
   let problem = Problem.compile workload in
   let n = Problem.n_subtasks problem in
   let lat = Array.init n (fun i -> problem.subtasks.(i).lat_hi) in
@@ -61,6 +69,22 @@ let create ?(config = default_config) workload =
             ())
     else [||]
   in
+  let meters =
+    Option.map
+      (fun (o : Lla_obs.t) ->
+        {
+          iterations_c =
+            Lla_obs.Metrics.counter o.Lla_obs.metrics "lla_solver_iterations_total"
+              ~help:"Synchronous solver iterations executed.";
+          guards_c =
+            Lla_obs.Metrics.counter o.Lla_obs.metrics "lla_solver_guard_events_total"
+              ~help:"Non-finite iterate components neutralized by the solver guards.";
+          utility_g =
+            Lla_obs.Metrics.gauge o.Lla_obs.metrics "lla_solver_utility"
+              ~help:"Total utility of the current allocation.";
+        })
+      obs
+  in
   {
     problem;
     config;
@@ -69,6 +93,8 @@ let create ?(config = default_config) workload =
     lambda = Array.make (Problem.n_paths problem) config.lambda0;
     offsets = Array.make n 0.;
     steps = Step_size.create problem config.step_policy;
+    obs;
+    meters;
     iteration = 0;
     guard_events = 0;
     utility_trace = Lla_stdx.Series.create ~name:"utility" ();
@@ -87,12 +113,14 @@ let utility t = Problem.total_utility t.problem ~lat:t.lat
 
 let step t =
   Array.blit t.lat 0 t.prev_lat 0 (Array.length t.lat);
+  (* Trace time axis = iteration number, matching the utility series' x. *)
+  let at = float_of_int (t.iteration + 1) in
   let guards = ref 0 in
-  Allocation.allocate ~guards t.problem ~mu:t.mu ~lambda:t.lambda ~offsets:t.offsets
-    ~sweeps:t.config.sweeps ~lat:t.lat;
+  Allocation.allocate ?obs:t.obs ~at ~guards t.problem ~mu:t.mu ~lambda:t.lambda
+    ~offsets:t.offsets ~sweeps:t.config.sweeps ~lat:t.lat;
   let congestion =
-    Price_update.update t.problem ~lat:t.lat ~offsets:t.offsets ~steps:t.steps ~mu:t.mu
-      ~lambda:t.lambda
+    Price_update.update ?obs:t.obs ~at t.problem ~lat:t.lat ~offsets:t.offsets ~steps:t.steps
+      ~mu:t.mu ~lambda:t.lambda
   in
   let guards = !guards + congestion.Price_update.guards in
   if guards > 0 then begin
@@ -111,6 +139,16 @@ let step t =
       movement := Float.max !movement (Float.abs (lat -. t.prev_lat.(i)) /. Float.max lat 1e-9))
     t.lat;
   Lla_stdx.Series.add t.movement_trace ~x:(float_of_int t.iteration) ~y:!movement;
+  (match (t.obs, t.meters) with
+  | Some o, Some m ->
+    let u = utility t in
+    Lla_obs.emit o ~at
+      (Lla_obs.Trace.Iteration
+         { iteration = t.iteration; utility = u; movement = !movement; guards });
+    Lla_obs.Metrics.incr m.iterations_c;
+    Lla_obs.Metrics.add m.guards_c guards;
+    Lla_obs.Metrics.set m.utility_g u
+  | _ -> ());
   if t.iteration mod 100 = 0 then
     Log.debug (fun m ->
         m "iteration %d: utility %.3f, movement %.2e, congested %d/%d resources" t.iteration

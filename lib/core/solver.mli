@@ -30,7 +30,13 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> Workload.t -> t
+val create : ?obs:Lla_obs.t -> ?config:config -> Workload.t -> t
+(** [obs] opts the solver into the observability layer: every step emits
+    one {!Lla_obs.Trace.Iteration} record plus per-resource/per-path price
+    records (via {!Price_update.update}) stamped with the iteration
+    number, and maintains [lla_solver_*] registry metrics. Omitting it
+    (the default) skips all emission — the trajectory is identical either
+    way. *)
 
 val problem : t -> Problem.t
 

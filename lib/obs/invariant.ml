@@ -1,0 +1,50 @@
+type violation = { seq : int; at : float; what : string }
+
+let pp_violation fmt v = Format.fprintf fmt "[seq %d, t=%.3f] %s" v.seq v.at v.what
+
+let check_constraints ?(tolerance = 0.) ~from records =
+  let violations = ref [] in
+  let flag (r : Trace.record) what = violations := { seq = r.seq; at = r.at; what } :: !violations in
+  List.iter
+    (fun (r : Trace.record) ->
+      if r.at >= from then
+        match r.event with
+        | Trace.Price_updated { resource; share_sum; capacity; _ } ->
+          if not (Float.is_finite share_sum) then
+            flag r (Printf.sprintf "resource %d: non-finite share sum" resource)
+          else if share_sum > capacity *. (1. +. tolerance) then
+            flag r
+              (Printf.sprintf "resource %d: Eq. 3 violated, share sum %.6f > B=%.6f (tol %.3f)"
+                 resource share_sum capacity tolerance)
+        | Trace.Path_price_updated { path; latency; critical_time; _ } ->
+          if not (Float.is_finite latency) then
+            flag r (Printf.sprintf "path %d: non-finite latency" path)
+          else if latency > critical_time *. (1. +. tolerance) then
+            flag r
+              (Printf.sprintf "path %d: Eq. 4 violated, latency %.4f > C=%.4f (tol %.3f)" path
+                 latency critical_time tolerance)
+        | _ -> ())
+    records;
+  List.rev !violations
+
+let safe_entries_preceded_by_trip records =
+  (* Walk in sequence order; a trip arms one entry, an entry consumes it. *)
+  let armed = ref false in
+  let ok = ref true in
+  List.iter
+    (fun (r : Trace.record) ->
+      match r.event with
+      | Trace.Watchdog_trip _ -> armed := true
+      | Trace.Safe_mode_entered _ ->
+        if !armed then armed := false else ok := false
+      | _ -> ())
+    records;
+  !ok
+
+let monotone records =
+  let rec go = function
+    | (a : Trace.record) :: (b : Trace.record) :: rest ->
+      a.seq < b.seq && a.at <= b.at && go (b :: rest)
+    | _ -> true
+  in
+  go records

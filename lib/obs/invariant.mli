@@ -1,0 +1,32 @@
+(** Trace replay oracles: assertable properties over a recorded event
+    stream.
+
+    The price events deliberately carry their constraint operands
+    ({!Trace.Price_updated} has the Eq. 3 share sum and capacity,
+    {!Trace.Path_price_updated} the Eq. 4 path latency and critical time),
+    so a trace is self-contained: these checkers need no access to the
+    problem that produced it. They are pure functions over {!Trace.record}
+    lists — the test suite replays traces from live runs and from
+    hand-built streams through the same code. *)
+
+type violation = { seq : int; at : float; what : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check_constraints : ?tolerance:float -> from:float -> Trace.record list -> violation list
+(** Replay the stream and collect every [Price_updated] with
+    [share_sum > capacity * (1 + tolerance)] (Eq. 3) and every
+    [Path_price_updated] with [latency > critical_time * (1 + tolerance)]
+    (Eq. 4) among records with [at >= from] — the converged suffix of a
+    run, with the transient before [from] exempt. Non-finite share sums or
+    latencies are violations regardless of tolerance (default [0.]). *)
+
+val safe_entries_preceded_by_trip : Trace.record list -> bool
+(** Every [Safe_mode_entered] record is preceded (in sequence order) by a
+    [Watchdog_trip] with no other [Safe_mode_entered] in between — i.e.
+    entries only ever happen because the watchdog tripped. Vacuously true
+    for a stream without entries. *)
+
+val monotone : Trace.record list -> bool
+(** Sequence numbers strictly increase and times never decrease — the
+    well-formedness every other replay assumes. *)

@@ -1,0 +1,18 @@
+module Metrics = Metrics
+module Trace = Trace
+module Invariant = Invariant
+module Jsonl = Jsonl
+
+type t = {
+  metrics : Metrics.t;
+  trace : Trace.t;
+  trace_io : bool;
+}
+
+let create ?trace_capacity ?(trace_io = false) () =
+  { metrics = Metrics.create (); trace = Trace.create ?capacity:trace_capacity (); trace_io }
+
+let emit t ~at event = Trace.emit t.trace ~at event
+
+let emit_opt obs ~at event =
+  match obs with None -> () | Some t -> Trace.emit t.trace ~at event

@@ -1,0 +1,48 @@
+(** [Lla_obs] — observability for the LLA control plane.
+
+    A zero-dependency metrics registry ({!Metrics}) plus a structured
+    iteration-trace layer ({!Trace}) with replayable invariants
+    ({!Invariant}) and a line-oriented JSON codec ({!Jsonl}).
+
+    The instrumented layers ({!Lla.Solver}, {!Lla_transport.Transport},
+    {!Lla_runtime.Distributed}, ...) take an optional [?obs] handle of
+    type {!t}; when it is omitted they skip every emission, and the
+    trajectory (and discrete-event schedule) is bit-for-bit the
+    uninstrumented one — observation must never perturb the observed
+    system. Emission itself schedules nothing and draws no randomness, so
+    the enabled and disabled trajectories also coincide (both properties
+    are held by golden-trace tests). *)
+
+module Metrics = Metrics
+module Trace = Trace
+module Invariant = Invariant
+module Jsonl = Jsonl
+
+type t = {
+  metrics : Metrics.t;
+  trace : Trace.t;
+  trace_io : bool;
+}
+(** One handle bundles the registry and the tracer so call sites thread a
+    single [?obs] argument. [trace_io] opts into per-message happy-path
+    transport records (see {!create}). *)
+
+val create : ?trace_capacity:int -> ?trace_io:bool -> unit -> t
+(** Fresh registry + ring buffer (default capacity 4096 records).
+
+    [trace_io] (default [false]) additionally records every
+    [Transport_send] and [Transport_delivered] — the two happy-path,
+    per-message event classes that dominate trace volume on a healthy
+    deployment (~10x everything else combined). Message {e failures}
+    (drops, cuts, down-endpoint losses, stale discards) are always
+    traced; the aggregate send/delivery counts and the delay histogram
+    are always in the metrics registry. Turn it on for message-level
+    forensics dumps, leave it off for always-on tracing. *)
+
+val emit : t -> at:float -> Trace.event -> unit
+(** [Trace.emit] on the handle's tracer. *)
+
+val emit_opt : t option -> at:float -> Trace.event -> unit
+(** The hot-path form: a no-op on [None]. Call sites should avoid even
+    constructing the event when the handle is [None]; this helper is for
+    sites where the operands are already at hand. *)

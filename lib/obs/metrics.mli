@@ -1,0 +1,78 @@
+(** Metrics registry: named, labeled counters, gauges and histograms with
+    O(1) hot-path updates.
+
+    A metric instance is identified by its name plus its (sorted) label
+    set; registering the same identity twice returns the {e same} instance,
+    so independent components can share a counter without coordination.
+    Updates touch only the instance record — no table lookups — which is
+    what lets the runtime replace its ad-hoc [mutable int] counters with
+    registry-backed ones at identical cost.
+
+    {!expose} renders the whole registry in the Prometheus text
+    exposition format (families in registration order, instances in label
+    order; histograms with cumulative [_bucket{le=...}], [_sum] and
+    [_count] series). *)
+
+type t
+(** A registry. *)
+
+type counter
+
+type gauge
+
+type histogram
+
+val create : unit -> t
+
+val counter : t -> ?help:string -> ?labels:(string * string) list -> string -> counter
+(** Find-or-create. @raise Invalid_argument when the name is already
+    registered as a different metric kind. *)
+
+val gauge : t -> ?help:string -> ?labels:(string * string) list -> string -> gauge
+
+val histogram :
+  t -> ?help:string -> ?labels:(string * string) list -> ?buckets:float array -> string -> histogram
+(** [buckets] are the upper bounds of the cumulative buckets (an implicit
+    [+Inf] bucket is always appended); they must be strictly increasing.
+    Default: {!default_buckets}. @raise Invalid_argument on an empty or
+    non-increasing layout, or when a second registration of the same
+    identity passes a different layout. *)
+
+val default_buckets : float array
+(** A latency-flavoured layout in ms:
+    [0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000]. *)
+
+(** {2 Hot-path updates (O(1); histogram observe is O(buckets))} *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+(** @raise Invalid_argument on a negative increment (counters are
+    monotone). *)
+
+val set : gauge -> float -> unit
+
+val observe : histogram -> float -> unit
+
+(** {2 Reads} *)
+
+val value : counter -> int
+
+val gauge_value : gauge -> float
+
+val histogram_count : histogram -> int
+
+val histogram_sum : histogram -> float
+
+val bucket_counts : histogram -> (float * int) list
+(** Cumulative counts per upper bound, ending with [(infinity, count)]. *)
+
+val find_counter : t -> ?labels:(string * string) list -> string -> counter option
+(** Lookup without creating (tests, expositions of foreign components). *)
+
+val find_gauge : t -> ?labels:(string * string) list -> string -> gauge option
+
+val find_histogram : t -> ?labels:(string * string) list -> string -> histogram option
+
+val expose : t -> string
+(** Prometheus text exposition of every registered metric. *)

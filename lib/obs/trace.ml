@@ -1,0 +1,322 @@
+type event =
+  | Iteration of { iteration : int; utility : float; movement : float; guards : int }
+  | Allocation_solved of { task : int; utility : float }
+  | Price_updated of {
+      resource : int;
+      mu : float;
+      step : float;
+      share_sum : float;
+      capacity : float;
+      congested : bool;
+    }
+  | Path_price_updated of {
+      path : int;
+      lambda : float;
+      step : float;
+      latency : float;
+      critical_time : float;
+    }
+  | Guard_fired of { site : string }
+  | Correction_applied of { subtask : string; offset : float }
+  | Watchdog_trip of { reason : string }
+  | Safe_mode_entered of { reason : string; fallback : string }
+  | Safe_mode_exited
+  | Checkpoint_saved of { actor : string }
+  | Checkpoint_rejected of { actor : string }
+  | Checkpoint_restored of { actor : string; warm : bool }
+  | Transport_send of { src : string; dst : string }
+  | Transport_dropped of { src : string; dst : string; reason : string }
+  | Transport_delivered of { src : string; dst : string; delay : float }
+  | Health_transition of { endpoint : string; alive : bool }
+  | Note of { name : string; value : float }
+
+type record = { seq : int; at : float; event : event }
+
+(* The ring stores events column-wise — a tag array plus unboxed
+   float/int columns and string columns for each operand — rather than
+   as [event] values. A retained ring of heap-allocated payloads
+   (variant blocks with boxed floats) keeps a window of young blocks
+   permanently live, so every overwrite cycle promotes them to the
+   major heap; at realistic emission rates that promotion dominated the
+   entire observability budget. Flattened, an emit is a handful of
+   scalar array stores and allocates nothing; [event] values (and
+   {!record}s) are synthesized lazily on read and for sinks. *)
+type t = {
+  capacity : int;
+  tags : int array;  (* constructor index, declaration order *)
+  ats : float array;
+  fa : float array;  (* float operands, per-constructor layout below *)
+  fb : float array;
+  fc : float array;
+  fd : float array;
+  ia : int array;  (* int/bool operands *)
+  ib : int array;
+  sa : string array;  (* string operands; shared, never copied *)
+  sb : string array;
+  sc : string array;
+  mutable pos : int;  (* next write slot *)
+  mutable len : int;  (* valid entries *)
+  mutable emitted : int;
+  mutable sinks : (record -> unit) list;  (* attach order *)
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: non-positive capacity";
+  {
+    capacity;
+    tags = Array.make capacity 0;
+    ats = Array.make capacity 0.;
+    fa = Array.make capacity 0.;
+    fb = Array.make capacity 0.;
+    fc = Array.make capacity 0.;
+    fd = Array.make capacity 0.;
+    ia = Array.make capacity 0;
+    ib = Array.make capacity 0;
+    sa = Array.make capacity "";
+    sb = Array.make capacity "";
+    sc = Array.make capacity "";
+    pos = 0;
+    len = 0;
+    emitted = 0;
+    sinks = [];
+  }
+
+(* Column layout: only the slots a constructor uses are written on emit
+   and read back on decode; the rest keep stale values. *)
+let store t i = function
+  | Iteration { iteration; utility; movement; guards } ->
+    t.tags.(i) <- 0;
+    t.ia.(i) <- iteration;
+    t.ib.(i) <- guards;
+    t.fa.(i) <- utility;
+    t.fb.(i) <- movement
+  | Allocation_solved { task; utility } ->
+    t.tags.(i) <- 1;
+    t.ia.(i) <- task;
+    t.fa.(i) <- utility
+  | Price_updated { resource; mu; step; share_sum; capacity; congested } ->
+    t.tags.(i) <- 2;
+    t.ia.(i) <- resource;
+    t.ib.(i) <- Bool.to_int congested;
+    t.fa.(i) <- mu;
+    t.fb.(i) <- step;
+    t.fc.(i) <- share_sum;
+    t.fd.(i) <- capacity
+  | Path_price_updated { path; lambda; step; latency; critical_time } ->
+    t.tags.(i) <- 3;
+    t.ia.(i) <- path;
+    t.fa.(i) <- lambda;
+    t.fb.(i) <- step;
+    t.fc.(i) <- latency;
+    t.fd.(i) <- critical_time
+  | Guard_fired { site } ->
+    t.tags.(i) <- 4;
+    t.sa.(i) <- site
+  | Correction_applied { subtask; offset } ->
+    t.tags.(i) <- 5;
+    t.sa.(i) <- subtask;
+    t.fa.(i) <- offset
+  | Watchdog_trip { reason } ->
+    t.tags.(i) <- 6;
+    t.sa.(i) <- reason
+  | Safe_mode_entered { reason; fallback } ->
+    t.tags.(i) <- 7;
+    t.sa.(i) <- reason;
+    t.sb.(i) <- fallback
+  | Safe_mode_exited -> t.tags.(i) <- 8
+  | Checkpoint_saved { actor } ->
+    t.tags.(i) <- 9;
+    t.sa.(i) <- actor
+  | Checkpoint_rejected { actor } ->
+    t.tags.(i) <- 10;
+    t.sa.(i) <- actor
+  | Checkpoint_restored { actor; warm } ->
+    t.tags.(i) <- 11;
+    t.sa.(i) <- actor;
+    t.ia.(i) <- Bool.to_int warm
+  | Transport_send { src; dst } ->
+    t.tags.(i) <- 12;
+    t.sa.(i) <- src;
+    t.sb.(i) <- dst
+  | Transport_dropped { src; dst; reason } ->
+    t.tags.(i) <- 13;
+    t.sa.(i) <- src;
+    t.sb.(i) <- dst;
+    t.sc.(i) <- reason
+  | Transport_delivered { src; dst; delay } ->
+    t.tags.(i) <- 14;
+    t.sa.(i) <- src;
+    t.sb.(i) <- dst;
+    t.fa.(i) <- delay
+  | Health_transition { endpoint; alive } ->
+    t.tags.(i) <- 15;
+    t.sa.(i) <- endpoint;
+    t.ia.(i) <- Bool.to_int alive
+  | Note { name; value } ->
+    t.tags.(i) <- 16;
+    t.sa.(i) <- name;
+    t.fa.(i) <- value
+
+let load t i =
+  match t.tags.(i) with
+  | 0 ->
+    Iteration
+      { iteration = t.ia.(i); utility = t.fa.(i); movement = t.fb.(i); guards = t.ib.(i) }
+  | 1 -> Allocation_solved { task = t.ia.(i); utility = t.fa.(i) }
+  | 2 ->
+    Price_updated
+      {
+        resource = t.ia.(i);
+        mu = t.fa.(i);
+        step = t.fb.(i);
+        share_sum = t.fc.(i);
+        capacity = t.fd.(i);
+        congested = t.ib.(i) <> 0;
+      }
+  | 3 ->
+    Path_price_updated
+      {
+        path = t.ia.(i);
+        lambda = t.fa.(i);
+        step = t.fb.(i);
+        latency = t.fc.(i);
+        critical_time = t.fd.(i);
+      }
+  | 4 -> Guard_fired { site = t.sa.(i) }
+  | 5 -> Correction_applied { subtask = t.sa.(i); offset = t.fa.(i) }
+  | 6 -> Watchdog_trip { reason = t.sa.(i) }
+  | 7 -> Safe_mode_entered { reason = t.sa.(i); fallback = t.sb.(i) }
+  | 8 -> Safe_mode_exited
+  | 9 -> Checkpoint_saved { actor = t.sa.(i) }
+  | 10 -> Checkpoint_rejected { actor = t.sa.(i) }
+  | 11 -> Checkpoint_restored { actor = t.sa.(i); warm = t.ia.(i) <> 0 }
+  | 12 -> Transport_send { src = t.sa.(i); dst = t.sb.(i) }
+  | 13 -> Transport_dropped { src = t.sa.(i); dst = t.sb.(i); reason = t.sc.(i) }
+  | 14 -> Transport_delivered { src = t.sa.(i); dst = t.sb.(i); delay = t.fa.(i) }
+  | 15 -> Health_transition { endpoint = t.sa.(i); alive = t.ia.(i) <> 0 }
+  | _ -> Note { name = t.sa.(i); value = t.fa.(i) }
+
+let emit t ~at event =
+  (match t.sinks with
+  | [] -> ()
+  | sinks ->
+    let r = { seq = t.emitted; at; event } in
+    List.iter (fun sink -> sink r) sinks);
+  t.ats.(t.pos) <- at;
+  store t t.pos event;
+  t.pos <- (t.pos + 1) mod t.capacity;
+  if t.len < t.capacity then t.len <- t.len + 1;
+  t.emitted <- t.emitted + 1
+
+(* Appending keeps the list in attach order so the hot path never
+   reverses; attaching is rare. *)
+let attach t sink = t.sinks <- t.sinks @ [ sink ]
+
+let records t =
+  let start = (t.pos - t.len + t.capacity) mod t.capacity in
+  let first_seq = t.emitted - t.len in
+  let acc = ref [] in
+  for k = t.len - 1 downto 0 do
+    let i = (start + k) mod t.capacity in
+    acc := { seq = first_seq + k; at = t.ats.(i); event = load t i } :: !acc
+  done;
+  !acc
+
+let emitted t = t.emitted
+
+let dropped t = t.emitted - t.len
+
+let clear t =
+  (* Release the string references; scalar columns can stay stale. *)
+  Array.fill t.sa 0 t.capacity "";
+  Array.fill t.sb 0 t.capacity "";
+  Array.fill t.sc 0 t.capacity "";
+  t.pos <- 0;
+  t.len <- 0;
+  t.emitted <- 0
+
+let event_name = function
+  | Iteration _ -> "iteration"
+  | Allocation_solved _ -> "allocation_solved"
+  | Price_updated _ -> "price_updated"
+  | Path_price_updated _ -> "path_price_updated"
+  | Guard_fired _ -> "guard_fired"
+  | Correction_applied _ -> "correction_applied"
+  | Watchdog_trip _ -> "watchdog_trip"
+  | Safe_mode_entered _ -> "safe_mode_entered"
+  | Safe_mode_exited -> "safe_mode_exited"
+  | Checkpoint_saved _ -> "checkpoint_saved"
+  | Checkpoint_rejected _ -> "checkpoint_rejected"
+  | Checkpoint_restored _ -> "checkpoint_restored"
+  | Transport_send _ -> "transport_send"
+  | Transport_dropped _ -> "transport_dropped"
+  | Transport_delivered _ -> "transport_delivered"
+  | Health_transition _ -> "health_transition"
+  | Note _ -> "note"
+
+let event_fields = function
+  | Iteration { iteration; utility; movement; guards } ->
+    [
+      ("iteration", Jsonl.Num (float_of_int iteration));
+      ("utility", Jsonl.Num utility);
+      ("movement", Jsonl.Num movement);
+      ("guards", Jsonl.Num (float_of_int guards));
+    ]
+  | Allocation_solved { task; utility } ->
+    [ ("task", Jsonl.Num (float_of_int task)); ("utility", Jsonl.Num utility) ]
+  | Price_updated { resource; mu; step; share_sum; capacity; congested } ->
+    [
+      ("resource", Jsonl.Num (float_of_int resource));
+      ("mu", Jsonl.Num mu);
+      ("step", Jsonl.Num step);
+      ("share_sum", Jsonl.Num share_sum);
+      ("capacity", Jsonl.Num capacity);
+      ("congested", Jsonl.Bool congested);
+    ]
+  | Path_price_updated { path; lambda; step; latency; critical_time } ->
+    [
+      ("path", Jsonl.Num (float_of_int path));
+      ("lambda", Jsonl.Num lambda);
+      ("step", Jsonl.Num step);
+      ("latency", Jsonl.Num latency);
+      ("critical_time", Jsonl.Num critical_time);
+    ]
+  | Guard_fired { site } -> [ ("site", Jsonl.Str site) ]
+  | Correction_applied { subtask; offset } ->
+    [ ("subtask", Jsonl.Str subtask); ("offset", Jsonl.Num offset) ]
+  | Watchdog_trip { reason } -> [ ("reason", Jsonl.Str reason) ]
+  | Safe_mode_entered { reason; fallback } ->
+    [ ("reason", Jsonl.Str reason); ("fallback", Jsonl.Str fallback) ]
+  | Safe_mode_exited -> []
+  | Checkpoint_saved { actor } -> [ ("actor", Jsonl.Str actor) ]
+  | Checkpoint_rejected { actor } -> [ ("actor", Jsonl.Str actor) ]
+  | Checkpoint_restored { actor; warm } ->
+    [ ("actor", Jsonl.Str actor); ("warm", Jsonl.Bool warm) ]
+  | Transport_send { src; dst } -> [ ("src", Jsonl.Str src); ("dst", Jsonl.Str dst) ]
+  | Transport_dropped { src; dst; reason } ->
+    [ ("src", Jsonl.Str src); ("dst", Jsonl.Str dst); ("reason", Jsonl.Str reason) ]
+  | Transport_delivered { src; dst; delay } ->
+    [ ("src", Jsonl.Str src); ("dst", Jsonl.Str dst); ("delay", Jsonl.Num delay) ]
+  | Health_transition { endpoint; alive } ->
+    [ ("endpoint", Jsonl.Str endpoint); ("alive", Jsonl.Bool alive) ]
+  | Note { name; value } -> [ ("name", Jsonl.Str name); ("value", Jsonl.Num value) ]
+
+let record_to_json r =
+  Jsonl.Obj
+    (("seq", Jsonl.Num (float_of_int r.seq))
+    :: ("at", Jsonl.Num r.at)
+    :: ("type", Jsonl.Str (event_name r.event))
+    :: event_fields r.event)
+
+let record_to_string r = Jsonl.to_string (record_to_json r)
+
+let write_jsonl t oc =
+  List.iter
+    (fun r ->
+      output_string oc (record_to_string r);
+      output_char oc '\n')
+    (records t)
+
+let memory_sink () =
+  let acc = ref [] in
+  ((fun r -> acc := r :: !acc), fun () -> List.rev !acc)

@@ -1,3 +1,5 @@
+module Jsonl = Lla_obs.Jsonl
+
 type agent_state = {
   price : float;
   gamma : float;
@@ -15,6 +17,7 @@ type 'a slot = { state : 'a; at : float }
 
 type t = {
   max_age : float;
+  obs : Lla_obs.t option;
   agents : agent_state slot option array;
   controllers : controller_state slot option array;
   mutable saves : int;
@@ -23,11 +26,12 @@ type t = {
   mutable stale_restores : int;
 }
 
-let create ?(max_age = infinity) ~n_agents ~n_controllers () =
+let create ?obs ?(max_age = infinity) ~n_agents ~n_controllers () =
   if max_age <= 0. then invalid_arg "Checkpoint.create: non-positive max_age";
   if n_agents < 0 || n_controllers < 0 then invalid_arg "Checkpoint.create: negative size";
   {
     max_age;
+    obs;
     agents = Array.make n_agents None;
     controllers = Array.make n_controllers None;
     saves = 0;
@@ -54,21 +58,27 @@ let agent_finite (s : agent_state) =
 let controller_finite (s : controller_state) =
   all_finite s.mu_view && all_finite s.lambda && all_finite s.gamma_p
 
-let save slots copy finite t i ~now state =
+let actor_name prefix i = Printf.sprintf "%s:%d" prefix i
+
+let save slots copy finite prefix t i ~now state =
   if finite state then begin
     slots.(i) <- Some { state = copy state; at = now };
     t.saves <- t.saves + 1;
+    Lla_obs.emit_opt t.obs ~at:now
+      (Lla_obs.Trace.Checkpoint_saved { actor = actor_name prefix i });
     true
   end
   else begin
     t.rejected_saves <- t.rejected_saves + 1;
+    Lla_obs.emit_opt t.obs ~at:now
+      (Lla_obs.Trace.Checkpoint_rejected { actor = actor_name prefix i });
     false
   end
 
-let save_agent t i ~now state = save t.agents copy_agent agent_finite t i ~now state
+let save_agent t i ~now state = save t.agents copy_agent agent_finite "agent" t i ~now state
 
 let save_controller t i ~now state =
-  save t.controllers copy_controller controller_finite t i ~now state
+  save t.controllers copy_controller controller_finite "controller" t i ~now state
 
 let restore slots copy t i ~now =
   match slots.(i) with
@@ -100,3 +110,113 @@ let restores t = t.restores
 let rejected_saves t = t.rejected_saves
 
 let stale_restores t = t.stale_restores
+
+(* --- JSONL codec ------------------------------------------------------ *)
+
+let floats a = Jsonl.Arr (List.map (fun x -> Jsonl.Num x) (Array.to_list a))
+
+let bools a = Jsonl.Arr (List.map (fun b -> Jsonl.Bool b) (Array.to_list a))
+
+let agent_line i { state; at } =
+  Jsonl.to_string
+    (Jsonl.Obj
+       [
+         ("kind", Jsonl.Str "agent");
+         ("index", Jsonl.Num (float_of_int i));
+         ("at", Jsonl.Num at);
+         ("price", Jsonl.Num state.price);
+         ("gamma", Jsonl.Num state.gamma);
+         ("lat_view", floats state.lat_view);
+       ])
+
+let controller_line i { state; at } =
+  Jsonl.to_string
+    (Jsonl.Obj
+       [
+         ("kind", Jsonl.Str "controller");
+         ("index", Jsonl.Num (float_of_int i));
+         ("at", Jsonl.Num at);
+         ("mu_view", floats state.mu_view);
+         ("congested_view", bools state.congested_view);
+         ("lambda", floats state.lambda);
+         ("gamma_p", floats state.gamma_p);
+       ])
+
+let to_jsonl t =
+  let lines = ref [] in
+  Array.iteri
+    (fun i slot -> Option.iter (fun s -> lines := controller_line i s :: !lines) slot)
+    t.controllers;
+  (* Prepend agents so the final order is agents then controllers. *)
+  for i = Array.length t.agents - 1 downto 0 do
+    Option.iter (fun s -> lines := agent_line i s :: !lines) t.agents.(i)
+  done;
+  !lines
+
+let float_field name json =
+  match Option.bind (Jsonl.member name json) Jsonl.num with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or non-numeric field %S" name)
+
+let float_array_field name json =
+  match Option.bind (Jsonl.member name json) Jsonl.arr with
+  | None -> Error (Printf.sprintf "missing or non-array field %S" name)
+  | Some items -> (
+    let rec collect acc = function
+      | [] -> Ok (Array.of_list (List.rev acc))
+      | item :: rest -> (
+        match Jsonl.num item with
+        | Some v -> collect (v :: acc) rest
+        | None -> Error (Printf.sprintf "non-numeric element in %S" name))
+    in
+    collect [] items)
+
+let bool_array_field name json =
+  match Option.bind (Jsonl.member name json) Jsonl.arr with
+  | None -> Error (Printf.sprintf "missing or non-array field %S" name)
+  | Some items -> (
+    let rec collect acc = function
+      | [] -> Ok (Array.of_list (List.rev acc))
+      | item :: rest -> (
+        match Jsonl.bool item with
+        | Some v -> collect (v :: acc) rest
+        | None -> Error (Printf.sprintf "non-boolean element in %S" name))
+    in
+    collect [] items)
+
+let ( let* ) = Result.bind
+
+let load_line t json =
+  let* index = float_field "index" json in
+  let i = int_of_float index in
+  let* at = float_field "at" json in
+  match Option.bind (Jsonl.member "kind" json) Jsonl.str with
+  | Some "agent" ->
+    if i < 0 || i >= Array.length t.agents then Error "agent index out of range"
+    else
+      let* price = float_field "price" json in
+      let* gamma = float_field "gamma" json in
+      let* lat_view = float_array_field "lat_view" json in
+      Ok (save_agent t i ~now:at { price; gamma; lat_view })
+  | Some "controller" ->
+    if i < 0 || i >= Array.length t.controllers then Error "controller index out of range"
+    else
+      let* mu_view = float_array_field "mu_view" json in
+      let* congested_view = bool_array_field "congested_view" json in
+      let* lambda = float_array_field "lambda" json in
+      let* gamma_p = float_array_field "gamma_p" json in
+      Ok (save_controller t i ~now:at { mu_view; congested_view; lambda; gamma_p })
+  | _ -> Error "missing or unknown \"kind\""
+
+let load_jsonl t lines =
+  let rec go n accepted = function
+    | [] -> Ok accepted
+    | line :: rest -> (
+      match Jsonl.parse line with
+      | Error e -> Error (Printf.sprintf "line %d: %s" n e)
+      | Ok json -> (
+        match load_line t json with
+        | Error e -> Error (Printf.sprintf "line %d: %s" n e)
+        | Ok accepted_one -> go (n + 1) (if accepted_one then accepted + 1 else accepted) rest))
+  in
+  go 1 0 lines

@@ -20,7 +20,10 @@
       back to the cold-restart path.
 
     The store is an in-memory simulation stand-in for a write-ahead
-    snapshot file; arrays are defensively copied both ways. *)
+    snapshot file; arrays are defensively copied both ways. The
+    {!to_jsonl} / {!load_jsonl} codec is that file's format: one JSON
+    object per saved slot, loaded back through the normal save path so
+    the non-finite refusal applies to deserialized snapshots too. *)
 
 type agent_state = {
   price : float;  (** [mu_r]. *)
@@ -37,10 +40,13 @@ type controller_state = {
 
 type t
 
-val create : ?max_age:float -> n_agents:int -> n_controllers:int -> unit -> t
+val create : ?obs:Lla_obs.t -> ?max_age:float -> n_agents:int -> n_controllers:int -> unit -> t
 (** [max_age] (ms, default [infinity]): snapshots older than this at
-    restore time are stale. @raise Invalid_argument on a non-positive
-    [max_age] or negative sizes. *)
+    restore time are stale. [obs] makes every save emit a
+    {!Lla_obs.Trace.Checkpoint_saved} or [Checkpoint_rejected] record
+    (actor ["agent:<i>"] / ["controller:<i>"], stamped with the save
+    time). @raise Invalid_argument on a non-positive [max_age] or
+    negative sizes. *)
 
 val save_agent : t -> int -> now:float -> agent_state -> bool
 (** Snapshot agent [r]'s state at time [now]. [false] when the state
@@ -71,3 +77,23 @@ val rejected_saves : t -> int
 
 val stale_restores : t -> int
 (** Restore attempts that found only a stale snapshot. *)
+
+(** {1 JSONL codec}
+
+    Serialization for the snapshot store: {!to_jsonl} renders every
+    currently saved slot as one compact JSON line; {!load_jsonl} parses
+    the lines back and routes each snapshot through {!save_agent} /
+    {!save_controller}, so a line carrying a non-finite value is refused
+    exactly like a live save (counted in {!rejected_saves}) and a
+    restored store ages snapshots from their recorded save times. *)
+
+val to_jsonl : t -> string list
+(** One line per saved slot, agents (by index) then controllers. Empty
+    slots produce no line. *)
+
+val load_jsonl : t -> string list -> (int, string) result
+(** Load lines produced by {!to_jsonl} into this store: [Ok n] is the
+    number of snapshots accepted (refused non-finite lines are not
+    errors — they are the refusal path working). [Error _] reports the
+    first malformed line (bad JSON, unknown [kind], out-of-range index,
+    wrong field type) with its 1-based line number. *)

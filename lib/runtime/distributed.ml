@@ -65,6 +65,19 @@ type controller = {
   controller_endpoint : Transport.endpoint;
 }
 
+(* Runtime counters, registry-backed: with [?obs] they land in the shared
+   registry (visible in the Prometheus exposition); without it they live
+   in a private registry. Either way an update is one mutable-field
+   write, same cost as the ad-hoc ints they replaced. *)
+type meters = {
+  m_messages : Lla_obs.Metrics.counter;
+  m_price_rounds : Lla_obs.Metrics.counter;
+  m_allocation_rounds : Lla_obs.Metrics.counter;
+  m_guards : Lla_obs.Metrics.counter;
+  m_warm_restores : Lla_obs.Metrics.counter;
+  m_cold_restarts : Lla_obs.Metrics.counter;
+}
+
 type t = {
   config : config;
   engine : Lla_sim.Engine.t;
@@ -83,13 +96,10 @@ type t = {
   checkpoint : Checkpoint.t option;
   health : Health.t option;
   safe_mode : Safe_mode.t option;
+  obs : Lla_obs.t option;
+  registry : Lla_obs.Metrics.t;
+  meters : meters;
   mutable watchdog_tick : Lla_sim.Engine.event_id option;
-  mutable warm_restores : int;
-  mutable cold_restarts : int;
-  mutable guards : int;
-  mutable messages : int;
-  mutable price_rounds : int;
-  mutable allocation_rounds : int;
   mutable started : bool;
   mutable stopped : bool;
 }
@@ -126,21 +136,28 @@ let reset_controller t (c : controller) =
    mu0, skipping the cold-convergence transient. Falls back to the cold
    reset when there is no snapshot, it is stale, or it does not match the
    actor's shape. *)
+let note_restore t ~actor ~warm =
+  if warm then Lla_obs.Metrics.incr t.meters.m_warm_restores
+  else Lla_obs.Metrics.incr t.meters.m_cold_restarts;
+  Lla_obs.emit_opt t.obs ~at:(Lla_sim.Engine.now t.engine)
+    (Lla_obs.Trace.Checkpoint_restored { actor; warm })
+
 let restart_agent t (a : agent) =
   let warm =
     match t.checkpoint with
     | None -> None
     | Some cp -> Checkpoint.restore_agent cp a.resource ~now:(Lla_sim.Engine.now t.engine)
   in
+  let actor = Printf.sprintf "agent:%d" a.resource in
   match warm with
   | Some st when Array.length st.Checkpoint.lat_view = Array.length a.lat_view ->
     a.price <- st.Checkpoint.price;
     a.gamma <- st.Checkpoint.gamma;
     Array.blit st.Checkpoint.lat_view 0 a.lat_view 0 (Array.length a.lat_view);
-    t.warm_restores <- t.warm_restores + 1
+    note_restore t ~actor ~warm:true
   | _ ->
     reset_agent t a;
-    t.cold_restarts <- t.cold_restarts + 1
+    note_restore t ~actor ~warm:false
 
 let restart_controller t (c : controller) =
   let warm =
@@ -148,6 +165,7 @@ let restart_controller t (c : controller) =
     | None -> None
     | Some cp -> Checkpoint.restore_controller cp c.task ~now:(Lla_sim.Engine.now t.engine)
   in
+  let actor = Printf.sprintf "controller:%d" c.task in
   match warm with
   | Some st
     when Array.length st.Checkpoint.mu_view = Array.length c.mu_view
@@ -158,12 +176,12 @@ let restart_controller t (c : controller) =
     Array.blit st.Checkpoint.congested_view 0 c.congested_view 0 (Array.length c.congested_view);
     Array.blit st.Checkpoint.lambda 0 c.lambda 0 (Array.length c.lambda);
     Array.blit st.Checkpoint.gamma_p 0 c.gamma_p 0 (Array.length c.gamma_p);
-    t.warm_restores <- t.warm_restores + 1
+    note_restore t ~actor ~warm:true
   | _ ->
     reset_controller t c;
-    t.cold_restarts <- t.cold_restarts + 1
+    note_restore t ~actor ~warm:false
 
-let create ?(config = default_config) ?resilience ?transport engine workload =
+let create ?obs ?(config = default_config) ?resilience ?transport engine workload =
   let transport =
     match transport with
     | Some tr ->
@@ -171,7 +189,7 @@ let create ?(config = default_config) ?resilience ?transport engine workload =
         invalid_arg "Distributed.create: transport runs on a different engine";
       tr
     | None ->
-      Transport.create engine
+      Transport.create ?obs engine
         ~config:
           { Transport.default_config with delay = Delay_model.constant config.message_delay }
   in
@@ -217,14 +235,14 @@ let create ?(config = default_config) ?resilience ?transport engine workload =
     match resilience with
     | Some { checkpoint_period = Some _; checkpoint_max_age; _ } ->
       Some
-        (Checkpoint.create ~max_age:checkpoint_max_age ~n_agents:n_resources
+        (Checkpoint.create ?obs ~max_age:checkpoint_max_age ~n_agents:n_resources
            ~n_controllers:(Array.length controllers) ())
     | _ -> None
   in
   let health =
     match resilience with
     | Some { health = Some hc; _ } ->
-      let h = Health.create ~config:hc transport in
+      let h = Health.create ?obs ~config:hc transport in
       Array.iter (fun a -> Health.watch h a.agent_endpoint) agents;
       Array.iter (fun c -> Health.watch h c.controller_endpoint) controllers;
       Some h
@@ -232,8 +250,23 @@ let create ?(config = default_config) ?resilience ?transport engine workload =
   in
   let safe_mode =
     match resilience with
-    | Some { safe_mode = Some sc; _ } -> Some (Safe_mode.create ~config:sc problem)
+    | Some { safe_mode = Some sc; _ } -> Some (Safe_mode.create ?obs ~config:sc problem)
     | _ -> None
+  in
+  let registry =
+    match obs with Some o -> o.Lla_obs.metrics | None -> Lla_obs.Metrics.create ()
+  in
+  let meter name help = Lla_obs.Metrics.counter registry name ~help in
+  let meters =
+    {
+      m_messages = meter "lla_runtime_messages_total" "Control-plane messages handed to the transport.";
+      m_price_rounds = meter "lla_runtime_price_rounds_total" "Agent price-update rounds executed (Eq. 8).";
+      m_allocation_rounds =
+        meter "lla_runtime_allocation_rounds_total" "Controller allocation rounds executed (Eq. 7/9).";
+      m_guards = meter "lla_runtime_guard_events_total" "Non-finite values neutralized by the runtime guards.";
+      m_warm_restores = meter "lla_runtime_warm_restores_total" "Actor restarts recovered from a checkpoint.";
+      m_cold_restarts = meter "lla_runtime_cold_restarts_total" "Actor restarts reset to the cold mu0 state.";
+    }
   in
   let t =
     {
@@ -251,13 +284,10 @@ let create ?(config = default_config) ?resilience ?transport engine workload =
       checkpoint;
       health;
       safe_mode;
+      obs;
+      registry;
+      meters;
       watchdog_tick = None;
-      warm_restores = 0;
-      cold_restarts = 0;
-      guards = 0;
-      messages = 0;
-      price_rounds = 0;
-      allocation_rounds = 0;
       started = false;
       stopped = false;
     }
@@ -272,7 +302,7 @@ let create ?(config = default_config) ?resilience ?transport engine workload =
   t
 
 let send ?key t ~src ~dst f =
-  t.messages <- t.messages + 1;
+  Lla_obs.Metrics.incr t.meters.m_messages;
   Transport.send ?key t.transport ~src ~dst f
 
 let in_safe_mode t =
@@ -318,7 +348,7 @@ let maybe_checkpoint_controller t (c : controller) =
 
 (* Agent tick: Eq. 8 from the announced latencies, then broadcast. *)
 let agent_tick t (a : agent) =
-  t.price_rounds <- t.price_rounds + 1;
+  Lla_obs.Metrics.incr t.meters.m_price_rounds;
   let used = ref 0. in
   Array.iteri
     (fun slot i ->
@@ -329,11 +359,26 @@ let agent_tick t (a : agent) =
   (* A poisoned latency announcement must not become a non-finite price:
      skip the price update (keep broadcasting the last good price) and
      count the event. *)
-  if not (Float.is_finite !used) then t.guards <- t.guards + 1
+  if not (Float.is_finite !used) then begin
+    Lla_obs.Metrics.incr t.meters.m_guards;
+    Lla_obs.emit_opt t.obs ~at:(Lla_sim.Engine.now t.engine)
+      (Lla_obs.Trace.Guard_fired { site = "distributed.agent" })
+  end
   else begin
     let congested = !used > cap +. 1e-12 in
+    let step = a.gamma in
     a.price <- Float.max 0. (a.price -. (a.gamma *. (cap -. !used)));
     a.gamma <- adapt t.config.step_policy a.gamma ~congested;
+    Lla_obs.emit_opt t.obs ~at:(Lla_sim.Engine.now t.engine)
+      (Lla_obs.Trace.Price_updated
+         {
+           resource = a.resource;
+           mu = a.price;
+           step;
+           share_sum = !used;
+           capacity = cap;
+           congested;
+         });
     maybe_checkpoint_agent t a;
     let price = a.price in
     List.iter
@@ -355,7 +400,8 @@ let controller_tick t (c : controller) =
   if in_safe_mode t then
     Array.iter (fun i -> announce_latency t c i) info.subtask_indices
   else begin
-    t.allocation_rounds <- t.allocation_rounds + 1;
+    Lla_obs.Metrics.incr t.meters.m_allocation_rounds;
+    let now = Lla_sim.Engine.now t.engine in
     Array.iteri
       (fun local p ->
         let path = t.problem.paths.(p) in
@@ -363,19 +409,40 @@ let controller_tick t (c : controller) =
           Array.fold_left (fun acc i -> acc +. c.lat.(i)) 0. path.subtask_indices
         in
         let slack = 1. -. (latency /. path.critical_time) in
-        let next = Float.max 0. (c.lambda.(p) -. (c.gamma_p.(local) *. slack)) in
+        let step = c.gamma_p.(local) in
+        let next = Float.max 0. (c.lambda.(p) -. (step *. slack)) in
         (* Same guard as Price_update.update_path: never store a poisoned
            multiplier. *)
-        if Float.is_finite next then c.lambda.(p) <- next else t.guards <- t.guards + 1;
+        if Float.is_finite next then begin
+          c.lambda.(p) <- next;
+          Lla_obs.emit_opt t.obs ~at:now
+            (Lla_obs.Trace.Path_price_updated
+               { path = p; lambda = next; step; latency; critical_time = path.critical_time })
+        end
+        else begin
+          Lla_obs.Metrics.incr t.meters.m_guards;
+          Lla_obs.emit_opt t.obs ~at:now
+            (Lla_obs.Trace.Guard_fired { site = "distributed.controller" })
+        end;
         let any_congested =
           Array.exists (fun r -> c.congested_view.(r)) path.path_resources
         in
         c.gamma_p.(local) <- adapt t.config.step_policy c.gamma_p.(local) ~congested:any_congested)
       info.path_indices;
     let guards = ref 0 in
-    Lla.Allocation.allocate_task t.problem c.task ~mu:c.mu_view ~lambda:c.lambda
-      ~offsets:t.offsets ~sweeps:t.config.sweeps ~guards ~lat:c.lat;
-    t.guards <- t.guards + !guards;
+    Lla.Allocation.allocate_task ?obs:t.obs ~at:now t.problem c.task ~mu:c.mu_view
+      ~lambda:c.lambda ~offsets:t.offsets ~sweeps:t.config.sweeps ~guards ~lat:c.lat;
+    Lla_obs.Metrics.add t.meters.m_guards !guards;
+    (match t.obs with
+    | Some o ->
+      (* Per-task utility, not the global total: recomputing the full
+         objective on every solve costs more than all other emission
+         combined, and the total is the sum of the latest per-task
+         values anyway. *)
+      Lla_obs.emit o ~at:now
+        (Lla_obs.Trace.Allocation_solved
+           { task = c.task; utility = Lla.Problem.task_utility t.problem c.task ~lat:c.lat })
+    | None -> ());
     maybe_checkpoint_controller t c;
     Array.iter (fun i -> announce_latency t c i) info.subtask_indices
   end
@@ -387,6 +454,8 @@ let enter_safe_mode t sm ~reason =
   Log.warn (fun m ->
       m "safe mode entered at %.0f ms (%s): clamping to %s" (Lla_sim.Engine.now t.engine)
         reason (Safe_mode.fallback_source sm));
+  Lla_obs.emit_opt t.obs ~at:(Lla_sim.Engine.now t.engine)
+    (Lla_obs.Trace.Safe_mode_entered { reason; fallback = Safe_mode.fallback_source sm });
   Array.blit (Safe_mode.fallback sm) 0 t.lat 0 (Array.length t.lat);
   let mu_cap = (Safe_mode.config sm).Safe_mode.mu_cap in
   Array.iter
@@ -411,7 +480,8 @@ let watchdog_observe t sm =
   match Safe_mode.observe sm ~now ~mu ~lat:t.lat ~offsets:t.offsets with
   | Some (Safe_mode.Entered { reason }) -> enter_safe_mode t sm ~reason
   | Some Safe_mode.Exited ->
-    Log.info (fun m -> m "safe mode exited at %.0f ms: prices settled, re-optimizing" now)
+    Log.info (fun m -> m "safe mode exited at %.0f ms: prices settled, re-optimizing" now);
+    Lla_obs.emit_opt t.obs ~at:now Lla_obs.Trace.Safe_mode_exited
   | None -> ()
 
 let start t =
@@ -496,11 +566,13 @@ let mu t rid = t.agents.(Lla.Problem.resource_index t.problem rid).price
 
 let utility t = Lla.Problem.total_utility t.problem ~lat:t.lat
 
-let messages_sent t = t.messages
+let messages_sent t = Lla_obs.Metrics.value t.meters.m_messages
 
-let price_rounds t = t.price_rounds
+let price_rounds t = Lla_obs.Metrics.value t.meters.m_price_rounds
 
-let allocation_rounds t = t.allocation_rounds
+let allocation_rounds t = Lla_obs.Metrics.value t.meters.m_allocation_rounds
+
+let metrics t = t.registry
 
 let health t = t.health
 
@@ -514,8 +586,8 @@ let safe_exits t = match t.safe_mode with Some sm -> Safe_mode.exits sm | None -
 
 let fallback_source t = Option.map Safe_mode.fallback_source t.safe_mode
 
-let warm_restores t = t.warm_restores
+let warm_restores t = Lla_obs.Metrics.value t.meters.m_warm_restores
 
-let cold_restarts t = t.cold_restarts
+let cold_restarts t = Lla_obs.Metrics.value t.meters.m_cold_restarts
 
-let guard_events t = t.guards
+let guard_events t = Lla_obs.Metrics.value t.meters.m_guards

@@ -85,6 +85,7 @@ val default_resilience : resilience
 type t
 
 val create :
+  ?obs:Lla_obs.t ->
   ?config:config ->
   ?resilience:resilience ->
   ?transport:Lla_transport.Transport.t ->
@@ -94,7 +95,17 @@ val create :
 (** When [transport] is omitted, a zero-fault transport with a constant
     [config.message_delay] is created on [engine] — the legacy behaviour.
     A supplied transport must run on the same engine
-    (@raise Invalid_argument otherwise). [resilience] defaults to off. *)
+    (@raise Invalid_argument otherwise). [resilience] defaults to off.
+
+    [obs] opts the whole deployment into the observability layer: the
+    runtime counters land in the handle's registry ([lla_runtime_*]),
+    the handle is forwarded to the self-created transport, checkpoint
+    store, health detector and safe-mode watchdog, and every price
+    update, allocation solve, guard, safe-mode transition and
+    checkpoint restore emits a typed {!Lla_obs.Trace} record stamped
+    with the engine clock. Omitting it (the default) emits nothing and
+    leaves the event schedule bit-for-bit the legacy one — a supplied
+    [transport] is never re-instrumented. *)
 
 val start : t -> unit
 (** Controllers announce initial latencies; agents and controllers begin
@@ -137,6 +148,10 @@ val price_rounds : t -> int
 val allocation_rounds : t -> int
 (** Total optimizing controller ticks so far (safe-mode re-announcement
     ticks are not counted). *)
+
+val metrics : t -> Lla_obs.Metrics.t
+(** The registry holding the [lla_runtime_*] counter families — the
+    [obs] one when supplied, otherwise the runtime's private one. *)
 
 (** {2 Resilience inspection} *)
 

@@ -20,6 +20,7 @@ type watch = {
 
 type t = {
   config : config;
+  obs : Lla_obs.t option;
   transport : Transport.t;
   engine : Engine.t;
   detector : Transport.endpoint;
@@ -33,11 +34,12 @@ type t = {
   mutable recoveries : int;
 }
 
-let create ?(config = default_config) ?(name = "health") transport =
+let create ?obs ?(config = default_config) ?(name = "health") transport =
   if config.heartbeat_period <= 0. || config.timeout <= 0. || config.check_period <= 0. then
     invalid_arg "Health.create: non-positive period";
   {
     config;
+    obs;
     transport;
     engine = Transport.engine transport;
     detector = Transport.endpoint transport ~name;
@@ -56,6 +58,9 @@ let config t = t.config
 let detector_endpoint t = t.detector
 
 let notify t w ~now =
+  Lla_obs.emit_opt t.obs ~at:now
+    (Lla_obs.Trace.Health_transition
+       { endpoint = Transport.endpoint_name w.endpoint; alive = w.status = Alive });
   List.iter (fun f -> f w.endpoint w.status ~now) (List.rev t.callbacks)
 
 let on_transition t f = t.callbacks <- f :: t.callbacks

@@ -35,9 +35,11 @@ type status = Alive | Suspect
 
 type t
 
-val create : ?config:config -> ?name:string -> Lla_transport.Transport.t -> t
+val create :
+  ?obs:Lla_obs.t -> ?config:config -> ?name:string -> Lla_transport.Transport.t -> t
 (** Registers one detector endpoint named [name] (default ["health"]) on
-    the transport. *)
+    the transport. [obs] makes every status transition emit a
+    {!Lla_obs.Trace.Health_transition} record before the callbacks run. *)
 
 val config : t -> config
 

@@ -47,9 +47,9 @@ type t = {
   mutable skipped : int;
 }
 
-let create ?(config = default_config) ~cluster ~dispatcher () =
+let create ?obs ?(config = default_config) ~cluster ~dispatcher () =
   let workload = Cluster.workload cluster in
-  let solver = Lla.Solver.create ~config:config.solver_config workload in
+  let solver = Lla.Solver.create ?obs ~config:config.solver_config workload in
   let correctors = Ids.Subtask_id.Tbl.create 32 in
   let share_traces = Ids.Subtask_id.Tbl.create 32 in
   let offset_traces = Ids.Subtask_id.Tbl.create 32 in
@@ -68,7 +68,7 @@ let create ?(config = default_config) ~cluster ~dispatcher () =
   List.iter
     (fun (s : Subtask.t) ->
       Ids.Subtask_id.Tbl.replace correctors s.id
-        (Lla.Error_correction.create ~alpha:config.correction_alpha
+        (Lla.Error_correction.create ?obs ~name:s.name ~alpha:config.correction_alpha
            ~percentile:(percentile_of s.id) ());
       Ids.Subtask_id.Tbl.replace share_traces s.id
         (Lla_stdx.Series.create ~name:(s.name ^ ".share") ());
@@ -89,8 +89,8 @@ let create ?(config = default_config) ~cluster ~dispatcher () =
       skipped = 0;
     }
   in
-  Dispatcher.on_subtask_completion dispatcher (fun sid ~latency ~now:_ ->
-      Lla.Error_correction.observe
+  Dispatcher.on_subtask_completion dispatcher (fun sid ~latency ~now ->
+      Lla.Error_correction.observe ~at:now
         (Ids.Subtask_id.Tbl.find t.correctors sid)
         ~measured_latency:latency);
   t
@@ -117,7 +117,7 @@ let correction_active t ~now =
 (* One correction pass: compare each subtask's measured high-percentile
    latency with the *uncorrected* model prediction at the share currently
    enacted, and smooth the difference into the solver's offset (§6.3). *)
-let apply_corrections t =
+let apply_corrections t ~now =
   let workload = Cluster.workload t.cluster in
   Ids.Subtask_id.Tbl.iter
     (fun sid corrector ->
@@ -128,7 +128,7 @@ let apply_corrections t =
       then begin
         let share_fn = Workload.share_function workload sid in
         let predicted = share_fn.Share.inverse enacted in
-        match Lla.Error_correction.correct corrector ~predicted with
+        match Lla.Error_correction.correct ~at:now corrector ~predicted with
         | Some new_offset -> Lla.Solver.set_offset t.solver sid new_offset
         | None -> ()
       end)
@@ -172,7 +172,7 @@ let apply_rate_measurements t =
 
 let round t ~now =
   if t.config.track_arrival_rates then apply_rate_measurements t;
-  if correction_active t ~now then apply_corrections t;
+  if correction_active t ~now then apply_corrections t ~now;
   Lla.Solver.run t.solver ~iterations:t.config.iterations_per_round;
   t.rounds <- t.rounds + 1;
   enact t ~now;

@@ -42,9 +42,13 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> cluster:Cluster.t -> dispatcher:Dispatcher.t -> unit -> t
+val create :
+  ?obs:Lla_obs.t -> ?config:config -> cluster:Cluster.t -> dispatcher:Dispatcher.t -> unit -> t
 (** Registers a subtask-latency observer on the dispatcher (for the
-    correctors) and prepares a solver over the cluster's workload. *)
+    correctors) and prepares a solver over the cluster's workload. [obs]
+    is forwarded to the solver and to the per-subtask correctors (each
+    named after its subtask), so solver iterations and correction rounds
+    land in the shared trace. *)
 
 val start : t -> unit
 (** Run warmup, enact, and schedule the periodic rounds. *)

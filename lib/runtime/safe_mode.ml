@@ -35,6 +35,7 @@ type event =
 
 type t = {
   config : config;
+  obs : Lla_obs.t option;
   problem : Lla.Problem.t;
   fallback : float array;
   fallback_source : string;
@@ -86,7 +87,7 @@ let select_fallback (problem : Lla.Problem.t) =
         "proportional-best-effort",
         false )
 
-let create ?(config = default_config) problem =
+let create ?obs ?(config = default_config) problem =
   if config.violation_rounds <= 0 || config.settle_rounds <= 0 then
     invalid_arg "Safe_mode.create: non-positive round count";
   if config.oscillation_window < 4 then
@@ -94,6 +95,7 @@ let create ?(config = default_config) problem =
   let fallback, fallback_source, fallback_guaranteed = select_fallback problem in
   {
     config;
+    obs;
     problem;
     fallback;
     fallback_source;
@@ -199,6 +201,10 @@ let violating t ~lat ~offsets =
   loop 0
 
 let enter t ~now ~reason =
+  (* The trip record precedes the runtime's Safe_mode_entered record: an
+     entry without a preceding trip in a trace is an invariant violation
+     (see Lla_obs.Invariant.safe_entries_preceded_by_trip). *)
+  Lla_obs.emit_opt t.obs ~at:now (Lla_obs.Trace.Watchdog_trip { reason });
   t.state <- Safe { since = now; reason };
   t.entries <- t.entries + 1;
   t.settled_streak <- 0;

@@ -85,8 +85,10 @@ type event =
 
 type t
 
-val create : ?config:config -> Lla.Problem.t -> t
-(** Precomputes the fallback assignment for the problem (see above). *)
+val create : ?obs:Lla_obs.t -> ?config:config -> Lla.Problem.t -> t
+(** Precomputes the fallback assignment for the problem (see above).
+    [obs] makes every trip emit a {!Lla_obs.Trace.Watchdog_trip} record
+    (stamped with the observation time) before the state flips to safe. *)
 
 val config : t -> config
 

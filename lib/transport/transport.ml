@@ -1,6 +1,7 @@
 module Engine = Lla_sim.Engine
 module Rng = Lla_stdx.Rng
 module Window = Lla_stdx.Percentile.Window
+module Metrics = Lla_obs.Metrics
 
 type faults = {
   drop : float;
@@ -59,21 +60,23 @@ type counters = {
 let zero_counters =
   { sent = 0; delivered = 0; dropped = 0; cut = 0; lost_down = 0; duplicated = 0; retried = 0; stale = 0 }
 
-(* A directed (src, dst) link, created lazily on first send. *)
+(* A directed (src, dst) link, created lazily on first send. Counters live
+   in the metrics registry (shared with [obs] when supplied); the [_id]
+   labels keep channels distinct even when endpoint names collide. *)
 type channel = {
   src : endpoint;
   dst : endpoint;
   mutable link_delay : Delay_model.t option;  (* overrides the transport default *)
   mutable next_seq : int;
   applied : (int, int) Hashtbl.t;  (* message key -> newest applied seq *)
-  mutable c_sent : int;
-  mutable c_delivered : int;
-  mutable c_dropped : int;
-  mutable c_cut : int;
-  mutable c_lost_down : int;
-  mutable c_duplicated : int;
-  mutable c_retried : int;
-  mutable c_stale : int;
+  c_sent : Metrics.counter;
+  c_delivered : Metrics.counter;
+  c_dropped : Metrics.counter;
+  c_cut : Metrics.counter;
+  c_lost_down : Metrics.counter;
+  c_duplicated : Metrics.counter;
+  c_retried : Metrics.counter;
+  c_stale : Metrics.counter;
   window : Window.t;
 }
 
@@ -88,6 +91,10 @@ type t = {
   engine : Engine.t;
   config : config;
   rng : Rng.t;
+  obs : Lla_obs.t option;
+  obs_io : Lla_obs.t option;  (* = obs when it opts into happy-path message records *)
+  registry : Metrics.t;
+  delay_h : Metrics.histogram;
   mutable n_endpoints : int;
   mutable endpoint_list : endpoint list;  (* reversed registration order *)
   channels : (int * int, channel) Hashtbl.t;
@@ -95,11 +102,20 @@ type t = {
   all_window : Window.t;
 }
 
-let create ?(config = default_config) engine =
+let create ?obs ?(config = default_config) engine =
+  let registry =
+    match obs with Some o -> o.Lla_obs.metrics | None -> Metrics.create ()
+  in
   {
     engine;
     config;
     rng = Rng.create ~seed:config.seed;
+    obs;
+    obs_io = (match obs with Some o when o.Lla_obs.trace_io -> obs | _ -> None);
+    registry;
+    delay_h =
+      Metrics.histogram registry "lla_transport_delay_ms"
+        ~help:"End-to-end delay of delivered messages (all channels).";
     n_endpoints = 0;
     endpoint_list = [];
     channels = Hashtbl.create 64;
@@ -110,6 +126,18 @@ let create ?(config = default_config) engine =
 let config t = t.config
 
 let engine t = t.engine
+
+let metrics t = t.registry
+
+(* Trace emission is a single match on the cold [None] path; it never
+   schedules events or draws randomness. Failures go through [emit]
+   (always traced); the per-message happy path goes through [emit_io]
+   (traced only under [Lla_obs.create ~trace_io:true]). *)
+let emit t event =
+  match t.obs with None -> () | Some o -> Lla_obs.emit o ~at:(Engine.now t.engine) event
+
+let emit_io t event =
+  match t.obs_io with None -> () | Some o -> Lla_obs.emit o ~at:(Engine.now t.engine) event
 
 let endpoint t ~name =
   let e = { eid = t.n_endpoints; name; up = true; crashes = 0; restart_hooks = [] } in
@@ -126,6 +154,15 @@ let channel t src dst =
   match Hashtbl.find_opt t.channels key with
   | Some ch -> ch
   | None ->
+    let labels =
+      [
+        ("src", src.name);
+        ("src_id", string_of_int src.eid);
+        ("dst", dst.name);
+        ("dst_id", string_of_int dst.eid);
+      ]
+    in
+    let c name help = Metrics.counter t.registry name ~help ~labels in
     let ch =
       {
         src;
@@ -133,14 +170,14 @@ let channel t src dst =
         link_delay = None;
         next_seq = 0;
         applied = Hashtbl.create 8;
-        c_sent = 0;
-        c_delivered = 0;
-        c_dropped = 0;
-        c_cut = 0;
-        c_lost_down = 0;
-        c_duplicated = 0;
-        c_retried = 0;
-        c_stale = 0;
+        c_sent = c "lla_transport_sent_total" "send calls on this channel.";
+        c_delivered = c "lla_transport_delivered_total" "Payloads applied at the destination.";
+        c_dropped = c "lla_transport_dropped_total" "Attempts lost to the drop probability.";
+        c_cut = c "lla_transport_cut_total" "Attempts lost to a partition.";
+        c_lost_down = c "lla_transport_lost_down_total" "Attempts lost to a down endpoint.";
+        c_duplicated = c "lla_transport_duplicated_total" "Extra copies injected.";
+        c_retried = c "lla_transport_retried_total" "Retransmission attempts scheduled.";
+        c_stale = c "lla_transport_stale_total" "Deliveries discarded by last-write-wins.";
         window = Window.create ~capacity:t.config.delay_window;
       }
     in
@@ -203,6 +240,9 @@ let partitioned t ~src ~dst =
    zero-fault configuration consumes no randomness. *)
 let hit t p = p > 0. && (p >= 1. || Rng.float t.rng < p)
 
+let dropped_event ch reason =
+  Lla_obs.Trace.Transport_dropped { src = ch.src.name; dst = ch.dst.name; reason }
+
 let deliver t ch ?key ~seq ~delay payload ~on_lost =
   if not ch.dst.up then on_lost `Down
   else begin
@@ -216,11 +256,17 @@ let deliver t ch ?key ~seq ~delay payload ~on_lost =
           false)
       | _ -> false
     in
-    if stale then ch.c_stale <- ch.c_stale + 1
+    if stale then begin
+      Metrics.incr ch.c_stale;
+      emit t (dropped_event ch "stale")
+    end
     else begin
-      ch.c_delivered <- ch.c_delivered + 1;
+      Metrics.incr ch.c_delivered;
       Window.add ch.window delay;
       Window.add t.all_window delay;
+      Metrics.observe t.delay_h delay;
+      emit_io t
+        (Lla_obs.Trace.Transport_delivered { src = ch.src.name; dst = ch.dst.name; delay });
       payload ()
     end
   end
@@ -228,17 +274,26 @@ let deliver t ch ?key ~seq ~delay payload ~on_lost =
 let rec attempt t ch ?key ~seq ~n payload =
   let lost reason =
     (match reason with
-    | `Drop -> ch.c_dropped <- ch.c_dropped + 1
-    | `Cut -> ch.c_cut <- ch.c_cut + 1
-    | `Down -> ch.c_lost_down <- ch.c_lost_down + 1);
+    | `Drop ->
+      Metrics.incr ch.c_dropped;
+      emit t (dropped_event ch "drop")
+    | `Cut ->
+      Metrics.incr ch.c_cut;
+      emit t (dropped_event ch "cut")
+    | `Down ->
+      Metrics.incr ch.c_lost_down;
+      emit t (dropped_event ch "down"));
     match t.config.policy.retry with
     | Some r when n + 1 < r.max_attempts && ch.src.up ->
-      ch.c_retried <- ch.c_retried + 1;
+      Metrics.incr ch.c_retried;
       let wait = r.timeout *. (r.backoff ** float_of_int n) in
       ignore (Engine.schedule_after t.engine ~delay:wait (fun _ -> attempt t ch ?key ~seq ~n:(n + 1) payload))
     | _ -> ()
   in
-  if not ch.src.up then ch.c_lost_down <- ch.c_lost_down + 1
+  if not ch.src.up then begin
+    Metrics.incr ch.c_lost_down;
+    emit t (dropped_event ch "down")
+  end
   else if partitioned t ~src:ch.src ~dst:ch.dst then lost `Cut
   else if hit t t.config.faults.drop then lost `Drop
   else begin
@@ -256,14 +311,15 @@ let rec attempt t ch ?key ~seq ~n payload =
     in
     schedule_copy ();
     if hit t t.config.faults.duplicate then begin
-      ch.c_duplicated <- ch.c_duplicated + 1;
+      Metrics.incr ch.c_duplicated;
       schedule_copy ()
     end
   end
 
 let send ?key t ~src ~dst payload =
   let ch = channel t src dst in
-  ch.c_sent <- ch.c_sent + 1;
+  Metrics.incr ch.c_sent;
+  emit_io t (Lla_obs.Trace.Transport_send { src = src.name; dst = dst.name });
   let seq = ch.next_seq in
   ch.next_seq <- seq + 1;
   attempt t ch ?key ~seq ~n:0 payload
@@ -272,14 +328,14 @@ let send ?key t ~src ~dst payload =
 
 let counters_of ch =
   {
-    sent = ch.c_sent;
-    delivered = ch.c_delivered;
-    dropped = ch.c_dropped;
-    cut = ch.c_cut;
-    lost_down = ch.c_lost_down;
-    duplicated = ch.c_duplicated;
-    retried = ch.c_retried;
-    stale = ch.c_stale;
+    sent = Metrics.value ch.c_sent;
+    delivered = Metrics.value ch.c_delivered;
+    dropped = Metrics.value ch.c_dropped;
+    cut = Metrics.value ch.c_cut;
+    lost_down = Metrics.value ch.c_lost_down;
+    duplicated = Metrics.value ch.c_duplicated;
+    retried = Metrics.value ch.c_retried;
+    stale = Metrics.value ch.c_stale;
   }
 
 let add_counters a b =

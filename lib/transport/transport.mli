@@ -18,8 +18,16 @@
       attempts, and last-write-wins sequence numbering per message key so
       stale reordered updates are discarded instead of applied;
     - {b per-channel counters} (sent / delivered / dropped / cut /
-      lost-to-down-endpoints / duplicated / retried / stale) and delay
-      histograms via {!Lla_stdx.Percentile.Window}.
+      lost-to-down-endpoints / duplicated / retried / stale) backed by an
+      {!Lla_obs.Metrics} registry (labelled [src]/[dst], disambiguated by
+      endpoint id), a [lla_transport_delay_ms] histogram, and delay
+      percentile windows via {!Lla_stdx.Percentile.Window}. When the
+      transport is created with [?obs] it shares that handle's registry
+      and additionally emits {!Lla_obs.Trace.Transport_dropped} records
+      (always) plus per-message [Transport_send] / [Transport_delivered]
+      records (only when the handle was created with [~trace_io:true] —
+      they dominate trace volume on a healthy deployment), all stamped
+      with the engine clock.
 
     With the default zero-fault configuration and a [Constant] delay the
     transport schedules exactly one engine event per [send], drawing
@@ -74,11 +82,20 @@ type t
 
 type endpoint
 
-val create : ?config:config -> Lla_sim.Engine.t -> t
+val create : ?obs:Lla_obs.t -> ?config:config -> Lla_sim.Engine.t -> t
+(** [obs] opts the transport into the observability layer: counters land
+    in the handle's shared registry and every send / drop / delivery
+    emits a trace record at the current engine time. Omitting it keeps a
+    private registry and emits nothing — message fates and schedules are
+    identical either way. *)
 
 val config : t -> config
 
 val engine : t -> Lla_sim.Engine.t
+
+val metrics : t -> Lla_obs.Metrics.t
+(** The registry holding the [lla_transport_*] metric families — the
+    [obs] one when supplied, otherwise the transport's private one. *)
 
 val endpoint : t -> name:string -> endpoint
 (** Register a named endpoint (initially up). Names are for inspection

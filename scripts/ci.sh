@@ -1,5 +1,7 @@
 #!/bin/sh
-# Minimal CI: build everything, check hygiene, then run the full test suite.
+# Minimal CI: build everything, check hygiene, run the full test suite
+# behind a test-count regression gate, and smoke-check the observability
+# overhead budget.
 set -eu
 cd "$(dirname "$0")/.."
 dune build
@@ -18,4 +20,21 @@ else
   fi
 fi
 
-dune runtest
+# Test-count regression gate: the suite must run at least as many tests
+# as the checked-in floor. A PR that deletes or silently skips tests
+# fails here; one that adds tests should raise the floor alongside.
+run_log=$(dune runtest --force 2>&1) || {
+  printf '%s\n' "$run_log"
+  exit 1
+}
+printf '%s\n' "$run_log"
+total=$(printf '%s\n' "$run_log" | sed -n 's/.* \([0-9][0-9]*\) tests run.*/\1/p' | awk '{s+=$1} END {print s+0}')
+floor=$(cat scripts/test_count_floor)
+if [ "$total" -lt "$floor" ]; then
+  echo "ci: test count regressed: $total tests run, floor is $floor" >&2
+  exit 1
+fi
+echo "ci: $total tests run (floor $floor)"
+
+# Observability overhead budget, smoke mode (loose budget: CI boxes jitter).
+./_build/default/bench/main.exe obs-smoke

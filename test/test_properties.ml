@@ -1,0 +1,121 @@
+(* Property tests for the core LLA mathematics on randomly generated
+   problems: price updates stay in the dual-feasible region (finite,
+   non-negative) no matter what gradients they see, the share model is
+   monotone in latency, and the allocation step respects every
+   subtask's effective latency bounds. Each property draws a fresh
+   workload per case from a seeded generator, so a failure reproduces
+   from the printed seed. *)
+
+module Rng = Lla_stdx.Rng
+module Problem = Lla.Problem
+module Price_update = Lla.Price_update
+module Allocation = Lla.Allocation
+module Step_size = Lla.Step_size
+
+let problem_of_seed seed = Problem.compile (Lla_workloads.Random_gen.generate ~seed ())
+
+(* ------------------------------------------------------------------ *)
+(* Prices under random (and occasionally poisoned) gradients            *)
+(* ------------------------------------------------------------------ *)
+
+(* The dual iterates must stay in [0, inf) whatever the primal side
+   feeds them: latencies far outside the meaningful range produce huge
+   positive and negative gradients, and an occasional NaN/inf latency
+   exercises the finite-value guards. *)
+let prop_prices_stay_feasible =
+  QCheck.Test.make ~name:"prices: never negative, always finite, under random gradients"
+    ~count:60
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let problem = problem_of_seed seed in
+      let rng = Rng.create ~seed:(seed + 1) in
+      let n_sub = Problem.n_subtasks problem in
+      let n_res = Problem.n_resources problem in
+      let n_paths = Problem.n_paths problem in
+      let mu = Array.init n_res (fun _ -> Rng.uniform rng ~lo:0. ~hi:10.) in
+      let lambda = Array.init n_paths (fun _ -> Rng.uniform rng ~lo:0. ~hi:10.) in
+      let offsets = Array.make n_sub 0. in
+      let steps = Step_size.create problem (Step_size.fixed (Rng.uniform rng ~lo:0.1 ~hi:64.)) in
+      let lat = Array.make n_sub 1. in
+      for _ = 1 to 20 do
+        for i = 0 to n_sub - 1 do
+          lat.(i) <-
+            (match Rng.int rng ~bound:20 with
+            | 0 -> Float.nan
+            | 1 -> Float.infinity
+            | _ ->
+              (* anywhere from far below the lower bound to far above the
+                 stability bound: gradients of both signs and magnitudes *)
+              Rng.uniform rng ~lo:1e-3 ~hi:1e4)
+        done;
+        ignore (Price_update.update problem ~lat ~offsets ~steps ~mu ~lambda)
+      done;
+      Array.for_all (fun m -> Float.is_finite m && m >= 0.) mu
+      && Array.for_all (fun l -> Float.is_finite l && l >= 0.) lambda)
+
+(* ------------------------------------------------------------------ *)
+(* Share model monotonicity                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* More latency never demands more of the resource: effective_share is
+   non-increasing in lat for every subtask (the property Eq. 8's
+   gradient sign depends on). *)
+let prop_share_monotone =
+  QCheck.Test.make ~name:"shares: effective_share is non-increasing in latency" ~count:60
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let problem = problem_of_seed seed in
+      let rng = Rng.create ~seed:(seed + 2) in
+      for i = 0 to Problem.n_subtasks problem - 1 do
+        let st = problem.Problem.subtasks.(i) in
+        for _ = 1 to 10 do
+          let a = Rng.uniform rng ~lo:st.Problem.lat_lo ~hi:(2. *. st.Problem.lat_hi) in
+          let b = Rng.uniform rng ~lo:st.Problem.lat_lo ~hi:(2. *. st.Problem.lat_hi) in
+          let lo_lat = Float.min a b and hi_lat = Float.max a b in
+          let s_lo = Problem.effective_share problem i ~lat:lo_lat ~offset:0. in
+          let s_hi = Problem.effective_share problem i ~lat:hi_lat ~offset:0. in
+          if s_hi > s_lo +. 1e-9 then
+            QCheck.Test.fail_reportf "subtask %d: share(%g) = %g < share(%g) = %g" i lo_lat
+              s_lo hi_lat s_hi
+        done
+      done;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Allocation bounds                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Whatever prices the duals present, the allocation step may only pick
+   latencies inside [lo, hi] = effective_bounds: below lo the share
+   model is meaningless, above hi the latency is useless (rate
+   stability / critical time). *)
+let prop_allocation_within_bounds =
+  QCheck.Test.make ~name:"allocation: latencies respect the effective bounds" ~count:60
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let problem = problem_of_seed seed in
+      let rng = Rng.create ~seed:(seed + 3) in
+      let n_sub = Problem.n_subtasks problem in
+      let mu =
+        Array.init (Problem.n_resources problem) (fun _ -> Rng.uniform rng ~lo:0. ~hi:20.)
+      in
+      let lambda =
+        Array.init (Problem.n_paths problem) (fun _ -> Rng.uniform rng ~lo:0. ~hi:5.)
+      in
+      let offsets = Array.make n_sub 0. in
+      let lat = Array.init n_sub (fun i -> problem.Problem.subtasks.(i).Problem.lat_hi) in
+      Allocation.allocate problem ~mu ~lambda ~offsets ~sweeps:2 ~lat;
+      for i = 0 to n_sub - 1 do
+        let lo, hi = Allocation.effective_bounds problem i ~offset:0. in
+        if not (Float.is_finite lat.(i) && lat.(i) >= lo -. 1e-9 && lat.(i) <= hi +. 1e-9)
+        then QCheck.Test.fail_reportf "subtask %d: lat %g outside [%g, %g]" i lat.(i) lo hi
+      done;
+      true)
+
+let () =
+  Alcotest.run "lla_properties"
+    [
+      ( "core",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_prices_stay_feasible; prop_share_monotone; prop_allocation_within_bounds ] );
+    ]

@@ -66,6 +66,86 @@ let test_checkpoint_staleness () =
     (Checkpoint.restore_agent cp 0 ~now:1_600. = None);
   Alcotest.(check int) "staleness counted" 1 (Checkpoint.stale_restores cp)
 
+let controller_state () =
+  {
+    Checkpoint.mu_view = [| 0.5; 1.5 |];
+    congested_view = [| true; false |];
+    lambda = [| 0.25; 0.; 2. |];
+    gamma_p = [| 1.; 4. |];
+  }
+
+let test_checkpoint_jsonl_roundtrip () =
+  let cp = Checkpoint.create ~n_agents:2 ~n_controllers:1 () in
+  ignore (Checkpoint.save_agent cp 0 ~now:100. (agent_state ()));
+  ignore (Checkpoint.save_agent cp 1 ~now:150. (agent_state ~price:0.25 ~gamma:8. ()));
+  ignore (Checkpoint.save_controller cp 0 ~now:175. (controller_state ()));
+  let lines = Checkpoint.to_jsonl cp in
+  Alcotest.(check int) "one line per saved slot" 3 (List.length lines);
+  let fresh = Checkpoint.create ~n_agents:2 ~n_controllers:1 () in
+  (match Checkpoint.load_jsonl fresh lines with
+  | Error e -> Alcotest.fail ("load failed: " ^ e)
+  | Ok n -> Alcotest.(check int) "all snapshots accepted" 3 n);
+  (match Checkpoint.restore_agent fresh 1 ~now:200. with
+  | None -> Alcotest.fail "agent snapshot lost in serialization"
+  | Some st ->
+    Alcotest.(check (float 0.)) "price survives" 0.25 st.Checkpoint.price;
+    Alcotest.(check (float 0.)) "gamma survives" 8. st.Checkpoint.gamma;
+    Alcotest.(check (array (float 0.))) "lat view survives" [| 10.; 20. |]
+      st.Checkpoint.lat_view);
+  (match Checkpoint.restore_controller fresh 0 ~now:200. with
+  | None -> Alcotest.fail "controller snapshot lost in serialization"
+  | Some st ->
+    let orig = controller_state () in
+    Alcotest.(check (array (float 0.))) "mu view" orig.Checkpoint.mu_view st.Checkpoint.mu_view;
+    Alcotest.(check (array bool)) "congestion view" orig.Checkpoint.congested_view
+      st.Checkpoint.congested_view;
+    Alcotest.(check (array (float 0.))) "lambda" orig.Checkpoint.lambda st.Checkpoint.lambda;
+    Alcotest.(check (array (float 0.))) "gamma_p" orig.Checkpoint.gamma_p st.Checkpoint.gamma_p);
+  (* save times ride along, so staleness keeps working after a reload *)
+  Alcotest.(check (option (float 0.))) "agent save time preserved" (Some 150.)
+    (Checkpoint.last_agent_save fresh 1);
+  Alcotest.(check (option (float 0.))) "controller save time preserved" (Some 175.)
+    (Checkpoint.last_controller_save fresh 0)
+
+(* A line carrying a non-finite value must go through the same refusal
+   path as a live save: not an error, just a rejected snapshot. *)
+let test_checkpoint_jsonl_refuses_non_finite () =
+  let cp = Checkpoint.create ~n_agents:1 ~n_controllers:0 () in
+  ignore (Checkpoint.save_agent cp 0 ~now:100. (agent_state ~price:infinity ()));
+  (* the live save was refused, so nothing serializes *)
+  Alcotest.(check int) "poisoned state never serializes" 0 (List.length (Checkpoint.to_jsonl cp));
+  let poisoned =
+    "{\"kind\":\"agent\",\"index\":0,\"at\":50,\"price\":nan,\"gamma\":2,\"lat_view\":[10]}"
+  in
+  let fresh = Checkpoint.create ~n_agents:1 ~n_controllers:0 () in
+  (match Checkpoint.load_jsonl fresh [ poisoned ] with
+  | Error e -> Alcotest.fail ("refusal must not be an error: " ^ e)
+  | Ok n -> Alcotest.(check int) "nothing accepted" 0 n);
+  Alcotest.(check int) "refusal counted" 1 (Checkpoint.rejected_saves fresh);
+  Alcotest.(check bool) "nothing restorable" true
+    (Checkpoint.restore_agent fresh 0 ~now:60. = None)
+
+let test_checkpoint_jsonl_rejects_malformed () =
+  let cp = Checkpoint.create ~n_agents:1 ~n_controllers:0 () in
+  let cases =
+    [
+      "not json at all";
+      "{\"kind\":\"mystery\",\"index\":0}";
+      "{\"kind\":\"agent\",\"index\":7,\"at\":0,\"price\":1,\"gamma\":1,\"lat_view\":[]}";
+      "{\"kind\":\"agent\",\"index\":0,\"at\":0,\"price\":\"one\",\"gamma\":1,\"lat_view\":[]}";
+    ]
+  in
+  List.iter
+    (fun line ->
+      match Checkpoint.load_jsonl cp [ line ] with
+      | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error names the line (%s)" e)
+          true
+          (String.length e >= 6 && String.sub e 0 6 = "line 1")
+      | Ok _ -> Alcotest.fail (Printf.sprintf "malformed line accepted: %s" line))
+    cases
+
 (* ------------------------------------------------------------------ *)
 (* Heartbeat failure detection                                         *)
 (* ------------------------------------------------------------------ *)
@@ -389,6 +469,11 @@ let () =
           Alcotest.test_case "non-finite snapshots refused" `Quick
             test_checkpoint_rejects_non_finite;
           Alcotest.test_case "stale snapshots discarded" `Quick test_checkpoint_staleness;
+          Alcotest.test_case "JSONL codec roundtrip" `Quick test_checkpoint_jsonl_roundtrip;
+          Alcotest.test_case "JSONL refuses non-finite snapshots" `Quick
+            test_checkpoint_jsonl_refuses_non_finite;
+          Alcotest.test_case "JSONL rejects malformed lines" `Quick
+            test_checkpoint_jsonl_rejects_malformed;
         ] );
       ( "health",
         [
