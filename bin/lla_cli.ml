@@ -384,14 +384,59 @@ let emulate_cmd =
     (Cmd.info "emulate" ~doc:"Emulate a workload on the simulated cluster with the optimizer.")
     Term.(const run $ workload_arg $ duration $ scheduler $ csv_arg)
 
+(* Shared scenario runner for the observability commands (trace, analyze,
+   profile): each scenario exercises the base workload with the supplied
+   obs handle attached. *)
+let scenario_doc =
+  "'fig5' (synchronous solver on the base workload), 'distributed' (message-passing \
+   deployment, zero faults), or 'chaos' (distributed with 5% message loss, an agent outage \
+   and the resilience layer on)."
+
+let run_scenario ~obs experiment ~iterations ~duration =
+  match experiment with
+  | "fig5" | "solver" ->
+    let solver = Lla.Solver.create ~obs (Lla_workloads.Paper_sim.base ()) in
+    Lla.Solver.run solver ~iterations
+  | "distributed" ->
+    let engine = Lla_sim.Engine.create () in
+    let d = Lla_runtime.Distributed.create ~obs engine (Lla_workloads.Paper_sim.base ()) in
+    Lla_runtime.Distributed.run d ~duration:(duration *. 1000.);
+    Lla_runtime.Distributed.stop d
+  | "chaos" ->
+    let module Transport = Lla_transport.Transport in
+    let workload = Lla_workloads.Paper_sim.base () in
+    let engine = Lla_sim.Engine.create () in
+    let transport =
+      Transport.create ~obs engine
+        ~config:
+          {
+            Transport.default_config with
+            faults = { Transport.no_faults with drop = 0.05 };
+            seed = 42;
+          }
+    in
+    let d =
+      Lla_runtime.Distributed.create ~obs ~transport
+        ~resilience:Lla_runtime.Distributed.default_resilience engine workload
+    in
+    let victim_id = (List.hd workload.Lla_model.Workload.resources).Lla_model.Resource.id in
+    let victim = Lla_runtime.Distributed.agent_endpoint d victim_id in
+    let horizon = duration *. 1000. in
+    Transport.schedule_outage transport victim ~at:(horizon /. 3.) ~duration:(horizon /. 10.);
+    Lla_runtime.Distributed.run d ~duration:horizon;
+    Lla_runtime.Distributed.stop d
+  | other -> or_exit (Error (`Msg (Printf.sprintf "unknown scenario %S" other)))
+
+let duration_arg =
+  Arg.(
+    value
+    & opt float 10.
+    & info [ "duration" ] ~docv:"SECONDS"
+        ~doc:"Simulated control time (distributed and chaos scenarios).")
+
 let trace_cmd =
   let experiment =
-    let doc =
-      "Scenario to trace: 'fig5' (synchronous solver on the base workload), 'distributed' \
-       (message-passing deployment, zero faults), or 'chaos' (distributed with 5% message \
-       loss, an agent outage and the resilience layer on)."
-    in
-    Arg.(value & pos 0 string "distributed" & info [] ~docv:"EXPERIMENT" ~doc)
+    Arg.(value & pos 0 string "distributed" & info [] ~docv:"EXPERIMENT" ~doc:("Scenario to trace: " ^ scenario_doc))
   in
   let out =
     Arg.(
@@ -400,62 +445,68 @@ let trace_cmd =
       & info [ "o"; "out" ] ~docv:"FILE"
           ~doc:"Write the trace (one JSON object per line) to $(docv) instead of stdout.")
   in
-  let duration =
+  let io =
     Arg.(
       value
-      & opt float 10.
-      & info [ "duration" ] ~docv:"SECONDS"
-          ~doc:"Simulated control time (distributed and chaos scenarios).")
+      & vflag true
+          [
+            ( true,
+              info [ "io" ]
+                ~doc:
+                  "Record per-message happy-path transport events (Transport_send, \
+                   Transport_delivered). This is the default for 'trace': the point of a dump \
+                   is forensics." );
+            ( false,
+              info [ "no-io" ]
+                ~doc:
+                  "Omit the per-message happy-path transport events; failures (drops, cuts, \
+                   stale discards) are still traced and the aggregate counters stay in the \
+                   metrics snapshot. Cuts healthy-run dump volume by roughly an order of \
+                   magnitude." );
+          ])
   in
-  let run experiment out iterations duration =
-    let obs = Lla_obs.create ~trace_io:true () in
+  let only =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "only" ] ~docv:"KINDS"
+          ~doc:
+            "Comma-separated event-type filter for the dump: a record is written when its type \
+             starts with one of the given prefixes, e.g. $(b,--only price,transport) keeps \
+             price_updated plus every transport_* record. Matches the 'type' field of the JSONL \
+             encoding; emission (and the metrics snapshot) is unaffected.")
+  in
+  let run experiment out iterations duration io only =
+    (* A dump is forensics: include the causal spans alongside the io
+       records (both are opt-in for always-on tracing, on for dumps). *)
+    let obs = Lla_obs.create ~trace_io:io ~spans:true () in
+    let keep =
+      match only with
+      | None -> fun _ -> true
+      | Some kinds ->
+        let kinds =
+          String.split_on_char ',' kinds |> List.map String.trim
+          |> List.filter (fun k -> k <> "")
+        in
+        fun (r : Lla_obs.Trace.record) ->
+          let name = Lla_obs.Trace.event_name r.event in
+          List.exists (fun k -> String.starts_with ~prefix:k name) kinds
+    in
     let oc = match out with Some path -> open_out path | None -> stdout in
     (* Stream every record through a sink as it is emitted: the dump is
        complete even when the run outlives the trace ring buffer. *)
+    let written = ref 0 in
     Lla_obs.Trace.attach obs.Lla_obs.trace (fun r ->
-        output_string oc (Lla_obs.Trace.record_to_string r);
-        output_char oc '\n');
-    (match experiment with
-    | "fig5" | "solver" ->
-      let solver = Lla.Solver.create ~obs (Lla_workloads.Paper_sim.base ()) in
-      Lla.Solver.run solver ~iterations
-    | "distributed" ->
-      let engine = Lla_sim.Engine.create () in
-      let d = Lla_runtime.Distributed.create ~obs engine (Lla_workloads.Paper_sim.base ()) in
-      Lla_runtime.Distributed.run d ~duration:(duration *. 1000.);
-      Lla_runtime.Distributed.stop d
-    | "chaos" ->
-      let module Transport = Lla_transport.Transport in
-      let workload = Lla_workloads.Paper_sim.base () in
-      let engine = Lla_sim.Engine.create () in
-      let transport =
-        Transport.create ~obs engine
-          ~config:
-            {
-              Transport.default_config with
-              faults = { Transport.no_faults with drop = 0.05 };
-              seed = 42;
-            }
-      in
-      let d =
-        Lla_runtime.Distributed.create ~obs ~transport
-          ~resilience:Lla_runtime.Distributed.default_resilience engine workload
-      in
-      let victim_id = (List.hd workload.Lla_model.Workload.resources).Lla_model.Resource.id in
-      let victim = Lla_runtime.Distributed.agent_endpoint d victim_id in
-      let horizon = duration *. 1000. in
-      Transport.schedule_outage transport victim ~at:(horizon /. 3.)
-        ~duration:(horizon /. 10.);
-      Lla_runtime.Distributed.run d ~duration:horizon;
-      Lla_runtime.Distributed.stop d
-    | other ->
-      or_exit (Error (`Msg (Printf.sprintf "unknown trace experiment %S" other))));
+        if keep r then begin
+          incr written;
+          output_string oc (Lla_obs.Trace.record_to_string r);
+          output_char oc '\n'
+        end);
+    run_scenario ~obs experiment ~iterations ~duration;
     (match out with
     | Some path ->
       close_out oc;
-      Printf.printf "wrote %d trace records to %s\n"
-        (Lla_obs.Trace.emitted obs.Lla_obs.trace)
-        path
+      Printf.printf "wrote %d trace records to %s\n" !written path
     | None -> flush oc);
     (* Metrics snapshot after the run, Prometheus text exposition. *)
     print_string (Lla_obs.Metrics.expose obs.Lla_obs.metrics)
@@ -465,7 +516,87 @@ let trace_cmd =
        ~doc:
          "Run a scenario with observability on and dump the structured trace (JSONL) plus a \
           metrics snapshot.")
-    Term.(const run $ experiment $ out $ iterations_arg $ duration)
+    Term.(const run $ experiment $ out $ iterations_arg $ duration_arg $ io $ only)
+
+let analyze_cmd =
+  let target =
+    Arg.(
+      value
+      & pos 0 string "distributed"
+      & info [] ~docv:"TARGET"
+          ~doc:
+            ("A saved trace file (path ending in .jsonl, as written by $(b,lla trace -o)) or a \
+              scenario to run and analyze in-process: " ^ scenario_doc))
+  in
+  let tolerance =
+    Arg.(
+      value
+      & opt float Lla_obs.Analyze.default_tolerance
+      & info [ "tolerance" ] ~docv:"FRACTION"
+          ~doc:"Settling band as a fraction of the optimum (default 0.015 = 1.5%).")
+  in
+  let run target iterations duration tolerance =
+    let scenario = List.mem target [ "fig5"; "solver"; "distributed"; "chaos" ] in
+    let records, optimum, online =
+      if scenario then begin
+        let obs = Lla_obs.create ~spans:true () in
+        let sink, collected = Lla_obs.Trace.memory_sink () in
+        Lla_obs.Trace.attach obs.Lla_obs.trace sink;
+        run_scenario ~obs target ~iterations ~duration;
+        (* Reference optimum: the synchronous solver run to convergence on
+           the same (base) workload — the yardstick every scenario here
+           optimizes towards. *)
+        let solver = Lla.Solver.create (Lla_workloads.Paper_sim.base ()) in
+        ignore (Lla.Solver.run_until_converged solver ~max_iterations:(max 2000 iterations));
+        (* The online registry views, quoted with the same interpolated
+           quantile estimator the offline report uses. *)
+        let online =
+          List.filter_map
+            (fun name ->
+              Option.map
+                (Lla_obs.Metrics.summary ~name:("online " ^ name))
+                (Lla_obs.Metrics.find_histogram obs.Lla_obs.metrics name))
+            [ "lla_control_latency_ms"; "lla_transport_delay_ms" ]
+        in
+        (collected (), Some (Lla.Solver.utility solver), online)
+      end
+      else if Sys.file_exists target then
+        (or_exit (Result.map_error (fun m -> `Msg m) (Lla_obs.Series.load_jsonl target)), None, [])
+      else
+        or_exit
+          (Error (`Msg (Printf.sprintf "%S is neither a known scenario nor a trace file" target)))
+    in
+    let report = Lla_obs.Analyze.analyze ~tolerance ?optimum records in
+    print_string (Lla_obs.Analyze.render report);
+    List.iter print_endline online
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Convergence analytics over a trace: settling time to the offline optimum, oscillation, \
+          per-resource congestion and price dispersion, and control-reaction latency percentiles \
+          from the causal span tree.")
+    Term.(const run $ target $ iterations_arg $ duration_arg $ tolerance)
+
+let profile_cmd =
+  let experiment =
+    Arg.(
+      value
+      & pos 0 string "distributed"
+      & info [] ~docv:"SCENARIO" ~doc:("Scenario to profile: " ^ scenario_doc))
+  in
+  let run experiment iterations duration =
+    let profile = Lla_obs.Profile.create () in
+    let obs = Lla_obs.create ~spans:true ~profile () in
+    run_scenario ~obs experiment ~iterations ~duration;
+    print_string (Lla_obs.Profile.report profile)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a scenario with the hierarchical phase profiler enabled and print the wall-clock \
+          breakdown (solver phases, price updates, checkpoint I/O).")
+    Term.(const run $ experiment $ iterations_arg $ duration_arg)
 
 let default =
   Term.(
@@ -493,6 +624,8 @@ let () =
             variation_cmd;
             delays_cmd;
             trace_cmd;
+            analyze_cmd;
+            profile_cmd;
             solve_cmd;
             export_cmd;
             probe_cmd;

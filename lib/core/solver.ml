@@ -111,16 +111,24 @@ let iteration t = t.iteration
 
 let utility t = Problem.total_utility t.problem ~lat:t.lat
 
+(* Phase timing: a [None] obs (or a disabled profiler) reduces each hook
+   to a branch around the phase body. *)
+let prof t name f =
+  match t.obs with Some o -> Lla_obs.Profile.time o.Lla_obs.profile name f | None -> f ()
+
 let step t =
+  prof t "solver.step" @@ fun () ->
   Array.blit t.lat 0 t.prev_lat 0 (Array.length t.lat);
   (* Trace time axis = iteration number, matching the utility series' x. *)
   let at = float_of_int (t.iteration + 1) in
   let guards = ref 0 in
-  Allocation.allocate ?obs:t.obs ~at ~guards t.problem ~mu:t.mu ~lambda:t.lambda
-    ~offsets:t.offsets ~sweeps:t.config.sweeps ~lat:t.lat;
+  prof t "allocate" (fun () ->
+      Allocation.allocate ?obs:t.obs ~at ~guards t.problem ~mu:t.mu ~lambda:t.lambda
+        ~offsets:t.offsets ~sweeps:t.config.sweeps ~lat:t.lat);
   let congestion =
-    Price_update.update ?obs:t.obs ~at t.problem ~lat:t.lat ~offsets:t.offsets ~steps:t.steps
-      ~mu:t.mu ~lambda:t.lambda
+    prof t "price_update" (fun () ->
+        Price_update.update ?obs:t.obs ~at t.problem ~lat:t.lat ~offsets:t.offsets ~steps:t.steps
+          ~mu:t.mu ~lambda:t.lambda)
   in
   let guards = !guards + congestion.Price_update.guards in
   if guards > 0 then begin

@@ -41,6 +41,31 @@ let safe_entries_preceded_by_trip records =
     records;
   !ok
 
+let spans_well_formed records =
+  let seen = Hashtbl.create 256 in
+  (* Maps span id -> trace id for every span already emitted. *)
+  let last_id = ref (-1) in
+  let ok = ref true in
+  List.iter
+    (fun (r : Trace.record) ->
+      match r.event with
+      | Trace.Span { span; parent; trace; kind; _ } ->
+        if span <= !last_id then ok := false;
+        last_id := span;
+        if not (List.mem kind [ "price"; "alloc"; "msg" ]) then ok := false;
+        (match Hashtbl.find_opt seen parent with
+        | Some parent_trace ->
+          if parent >= span || parent_trace <> trace then ok := false
+        | None ->
+          (* Unknown parent: legal only as a tree root (the parent may
+             also predate the collected stream, in which case the span
+             still roots its own reconstructed tree). *)
+          if parent >= 0 && parent >= span then ok := false);
+        Hashtbl.replace seen span trace
+      | _ -> ())
+    records;
+  !ok
+
 let monotone records =
   let rec go = function
     | (a : Trace.record) :: (b : Trace.record) :: rest ->

@@ -27,6 +27,13 @@ val safe_entries_preceded_by_trip : Trace.record list -> bool
     entries only ever happen because the watchdog tripped. Vacuously true
     for a stream without entries. *)
 
+val spans_well_formed : Trace.record list -> bool
+(** Every [Span] record has a strictly larger id than all earlier ones,
+    a kind in [{"price", "alloc", "msg"}], and a parent that is either
+    unseen (a root — possibly because the parent predates the collected
+    window) or an earlier span of the {e same} trace with a smaller id.
+    Vacuously true without spans. *)
+
 val monotone : Trace.record list -> bool
 (** Sequence numbers strictly increase and times never decrease — the
     well-formedness every other replay assumes. *)

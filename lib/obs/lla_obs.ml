@@ -2,15 +2,35 @@ module Metrics = Metrics
 module Trace = Trace
 module Invariant = Invariant
 module Jsonl = Jsonl
+module Span = Span
+module Profile = Profile
+module Causal = Causal
+module Series = Series
+module Analyze = Analyze
 
 type t = {
   metrics : Metrics.t;
   trace : Trace.t;
   trace_io : bool;
+  spans : bool;
+  profile : Profile.t;
+  mutable next_span : int;
 }
 
-let create ?trace_capacity ?(trace_io = false) () =
-  { metrics = Metrics.create (); trace = Trace.create ?capacity:trace_capacity (); trace_io }
+let create ?trace_capacity ?(trace_io = false) ?(spans = false) ?profile () =
+  {
+    metrics = Metrics.create ();
+    trace = Trace.create ?capacity:trace_capacity ();
+    trace_io;
+    spans;
+    profile = (match profile with Some p -> p | None -> Profile.disabled ());
+    next_span = 0;
+  }
+
+let alloc_span t =
+  let id = t.next_span in
+  t.next_span <- id + 1;
+  id
 
 let emit t ~at event = Trace.emit t.trace ~at event
 

@@ -2,32 +2,48 @@
 
     A zero-dependency metrics registry ({!Metrics}) plus a structured
     iteration-trace layer ({!Trace}) with replayable invariants
-    ({!Invariant}) and a line-oriented JSON codec ({!Jsonl}).
+    ({!Invariant}) and a line-oriented JSON codec ({!Jsonl}). On top of
+    the raw stream sits the analysis tier: causal span trees and
+    control-reaction latency ({!Span}, {!Causal}), time-series
+    extraction ({!Series}), convergence analytics ({!Analyze}) and a
+    hierarchical wall-clock phase profiler ({!Profile}).
 
     The instrumented layers ({!Lla.Solver}, {!Lla_transport.Transport},
     {!Lla_runtime.Distributed}, ...) take an optional [?obs] handle of
     type {!t}; when it is omitted they skip every emission, and the
     trajectory (and discrete-event schedule) is bit-for-bit the
     uninstrumented one — observation must never perturb the observed
-    system. Emission itself schedules nothing and draws no randomness, so
-    the enabled and disabled trajectories also coincide (both properties
+    system. Emission itself schedules nothing and draws no randomness
+    (span ids come from a deterministic counter on the handle), so the
+    enabled and disabled trajectories also coincide (both properties
     are held by golden-trace tests). *)
 
 module Metrics = Metrics
 module Trace = Trace
 module Invariant = Invariant
 module Jsonl = Jsonl
+module Span = Span
+module Profile = Profile
+module Causal = Causal
+module Series = Series
+module Analyze = Analyze
 
 type t = {
   metrics : Metrics.t;
   trace : Trace.t;
   trace_io : bool;
+  spans : bool;
+  profile : Profile.t;
+  mutable next_span : int;
 }
-(** One handle bundles the registry and the tracer so call sites thread a
-    single [?obs] argument. [trace_io] opts into per-message happy-path
-    transport records (see {!create}). *)
+(** One handle bundles the registry, the tracer and the profiler so
+    call sites thread a single [?obs] argument. [trace_io] opts into
+    per-message happy-path transport records; [spans] gates causal
+    span emission; [next_span] backs {!alloc_span} (not for direct
+    use). *)
 
-val create : ?trace_capacity:int -> ?trace_io:bool -> unit -> t
+val create :
+  ?trace_capacity:int -> ?trace_io:bool -> ?spans:bool -> ?profile:Profile.t -> unit -> t
 (** Fresh registry + ring buffer (default capacity 4096 records).
 
     [trace_io] (default [false]) additionally records every
@@ -37,7 +53,22 @@ val create : ?trace_capacity:int -> ?trace_io:bool -> unit -> t
     (drops, cuts, down-endpoint losses, stale discards) are always
     traced; the aggregate send/delivery counts and the delay histogram
     are always in the metrics registry. Turn it on for message-level
-    forensics dumps, leave it off for always-on tracing. *)
+    forensics dumps, leave it off for always-on tracing.
+
+    [spans] (default [false]) gates the {!Trace.Span} causal records and
+    the online [lla_control_latency_ms] histogram. Like [trace_io] it is
+    opt-in because its record volume scales with message deliveries
+    (several spans per control round), which plain always-on tracing
+    deliberately avoids; [bench profile] budgets the enabled cost
+    against the control plane's real-time budget instead of the bare
+    discrete-event wall clock.
+
+    [profile] defaults to {!Profile.disabled} — instrumented phases pay
+    one branch until a caller passes an enabled profiler. *)
+
+val alloc_span : t -> int
+(** Next span id: deterministic, strictly increasing, unique per
+    handle. Used by the instrumented layers when they open a span. *)
 
 val emit : t -> at:float -> Trace.event -> unit
 (** [Trace.emit] on the handle's tracer. *)

@@ -145,6 +145,46 @@ let bucket_counts h =
   in
   cumulative @ [ (infinity, h.h_count) ]
 
+let quantile h ~q =
+  if h.h_count = 0 || Float.is_nan q || q < 0. || q > 1. then None
+  else begin
+    (* Prometheus-style bucket interpolation: find the first cumulative
+       bucket holding the target rank, then interpolate linearly between
+       its bounds. The open [+Inf] bucket has no upper edge to
+       interpolate towards, so it reports the highest finite bound. *)
+    let rank = q *. float_of_int h.h_count in
+    let n = Array.length h.bounds in
+    let rec find i cum =
+      if i >= n then
+        (* target rank lives in the +Inf bucket *)
+        Some h.bounds.(n - 1)
+      else
+        let cum' = cum + h.counts.(i) in
+        if float_of_int cum' >= rank then begin
+          let lo = if i = 0 then 0. else h.bounds.(i - 1) in
+          let hi = h.bounds.(i) in
+          let in_bucket = h.counts.(i) in
+          if in_bucket = 0 then Some hi
+          else
+            let frac = (rank -. float_of_int cum) /. float_of_int in_bucket in
+            Some (lo +. ((hi -. lo) *. Float.max 0. frac))
+        end
+        else find (i + 1) cum'
+    in
+    find 0 0
+  end
+
+let summary ?(name = "") h =
+  if h.h_count = 0 then Printf.sprintf "%s: no observations" (if name = "" then "histogram" else name)
+  else begin
+    let pct q = match quantile h ~q with Some v -> v | None -> nan in
+    Printf.sprintf "%scount=%d sum=%.3f mean=%.3f p50=%.3f p90=%.3f p99=%.3f"
+      (if name = "" then "" else name ^ ": ")
+      h.h_count h.h_sum
+      (h.h_sum /. float_of_int h.h_count)
+      (pct 0.5) (pct 0.9) (pct 0.99)
+  end
+
 let find t ?(labels = []) name =
   let labels = normalize_labels labels in
   match Hashtbl.find_opt t.families name with

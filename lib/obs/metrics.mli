@@ -67,6 +67,19 @@ val histogram_sum : histogram -> float
 val bucket_counts : histogram -> (float * int) list
 (** Cumulative counts per upper bound, ending with [(infinity, count)]. *)
 
+val quantile : histogram -> q:float -> float option
+(** Bucket-interpolated quantile estimate (the Prometheus
+    [histogram_quantile] rule): locate the cumulative bucket containing
+    rank [q * count] and interpolate linearly between its bounds,
+    treating observations as uniform within a bucket. Ranks landing in
+    the open [+Inf] bucket report the highest finite bound (there is no
+    upper edge to interpolate towards). [None] when the histogram is
+    empty or [q] is outside [0, 1]. *)
+
+val summary : ?name:string -> histogram -> string
+(** One-line [count/sum/mean/p50/p90/p99] digest via {!quantile},
+    prefixed with [name] when given. *)
+
 val find_counter : t -> ?labels:(string * string) list -> string -> counter option
 (** Lookup without creating (tests, expositions of foreign components). *)
 

@@ -1,0 +1,7 @@
+type t = { trace_id : int; span_id : int; origin : float }
+
+let root ~id ~at = { trace_id = id; span_id = id; origin = at }
+
+let child parent ~id ~at = { trace_id = parent.trace_id; span_id = id; origin = at }
+
+let forward parent ~id = { parent with span_id = id }

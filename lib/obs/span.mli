@@ -1,0 +1,34 @@
+(** Span context — the causal identity carried on control-plane messages.
+
+    A span names one unit of causally-connected work: a price update at a
+    resource agent, an allocation solve at a task controller, or one
+    message delivery in between. The context is three scalars, cheap
+    enough to close over on every transport message:
+
+    - [trace_id]: the id of the root span of this causal tree (the first
+      ancestor with no parent). All descendants share it, so a tree can
+      be selected from a flat stream without walking parents.
+    - [span_id]: this span's own id, unique per {!Lla_obs.t} handle
+      (allocated by [Lla_obs.alloc_span], strictly increasing — a parent
+      id is always smaller than its children's).
+    - [origin]: the timestamp of the most recent {e work} span
+      (price/alloc) on the path from the root. Message deliveries
+      {!forward} it unchanged, so a receiver can compute reaction
+      latency ([now - origin]) without looking anything up.
+
+    Parent links themselves are not carried: the emitter of a span
+    record knows its parent's [span_id] at emission time and writes it
+    into the {!Trace.Span} event, which is where {!Causal} reads the
+    tree from. *)
+
+type t = { trace_id : int; span_id : int; origin : float }
+
+val root : id:int -> at:float -> t
+(** A new root: [trace_id = span_id = id], [origin = at]. *)
+
+val child : t -> id:int -> at:float -> t
+(** A new work span under [parent]: same trace, fresh id, [origin = at]. *)
+
+val forward : t -> id:int -> t
+(** A message-delivery span: same trace, fresh id, parent's [origin]
+    preserved (deliveries relay causality, they are not new work). *)

@@ -28,6 +28,7 @@ type event =
   | Transport_dropped of { src : string; dst : string; reason : string }
   | Transport_delivered of { src : string; dst : string; delay : float }
   | Health_transition of { endpoint : string; alive : bool }
+  | Span of { span : int; parent : int; trace : int; kind : string; actor : string }
   | Note of { name : string; value : float }
 
 type record = { seq : int; at : float; event : event }
@@ -51,6 +52,7 @@ type t = {
   fd : float array;
   ia : int array;  (* int/bool operands *)
   ib : int array;
+  ic : int array;
   sa : string array;  (* string operands; shared, never copied *)
   sb : string array;
   sc : string array;
@@ -72,6 +74,7 @@ let create ?(capacity = 4096) () =
     fd = Array.make capacity 0.;
     ia = Array.make capacity 0;
     ib = Array.make capacity 0;
+    ic = Array.make capacity 0;
     sa = Array.make capacity "";
     sb = Array.make capacity "";
     sc = Array.make capacity "";
@@ -152,8 +155,15 @@ let store t i = function
     t.tags.(i) <- 15;
     t.sa.(i) <- endpoint;
     t.ia.(i) <- Bool.to_int alive
-  | Note { name; value } ->
+  | Span { span; parent; trace; kind; actor } ->
     t.tags.(i) <- 16;
+    t.ia.(i) <- span;
+    t.ib.(i) <- parent;
+    t.ic.(i) <- trace;
+    t.sa.(i) <- kind;
+    t.sb.(i) <- actor
+  | Note { name; value } ->
+    t.tags.(i) <- 17;
     t.sa.(i) <- name;
     t.fa.(i) <- value
 
@@ -194,6 +204,9 @@ let load t i =
   | 13 -> Transport_dropped { src = t.sa.(i); dst = t.sb.(i); reason = t.sc.(i) }
   | 14 -> Transport_delivered { src = t.sa.(i); dst = t.sb.(i); delay = t.fa.(i) }
   | 15 -> Health_transition { endpoint = t.sa.(i); alive = t.ia.(i) <> 0 }
+  | 16 ->
+    Span
+      { span = t.ia.(i); parent = t.ib.(i); trace = t.ic.(i); kind = t.sa.(i); actor = t.sb.(i) }
   | _ -> Note { name = t.sa.(i); value = t.fa.(i) }
 
 let emit t ~at event =
@@ -252,6 +265,7 @@ let event_name = function
   | Transport_dropped _ -> "transport_dropped"
   | Transport_delivered _ -> "transport_delivered"
   | Health_transition _ -> "health_transition"
+  | Span _ -> "span"
   | Note _ -> "note"
 
 let event_fields = function
@@ -299,6 +313,14 @@ let event_fields = function
     [ ("src", Jsonl.Str src); ("dst", Jsonl.Str dst); ("delay", Jsonl.Num delay) ]
   | Health_transition { endpoint; alive } ->
     [ ("endpoint", Jsonl.Str endpoint); ("alive", Jsonl.Bool alive) ]
+  | Span { span; parent; trace; kind; actor } ->
+    [
+      ("span", Jsonl.Num (float_of_int span));
+      ("parent", Jsonl.Num (float_of_int parent));
+      ("trace", Jsonl.Num (float_of_int trace));
+      ("kind", Jsonl.Str kind);
+      ("actor", Jsonl.Str actor);
+    ]
   | Note { name; value } -> [ ("name", Jsonl.Str name); ("value", Jsonl.Num value) ]
 
 let record_to_json r =
@@ -320,3 +342,94 @@ let write_jsonl t oc =
 let memory_sink () =
   let acc = ref [] in
   ((fun r -> acc := r :: !acc), fun () -> List.rev !acc)
+
+(* --- decoding (inverse of record_to_json) ----------------------------- *)
+
+exception Decode of string
+
+let decode_event ty json =
+  let get kind conv k =
+    match Option.bind (Jsonl.member k json) conv with
+    | Some v -> v
+    | None -> raise (Decode (Printf.sprintf "%s: missing or non-%s field %S" ty kind k))
+  in
+  let num = get "number" Jsonl.num in
+  let str = get "string" Jsonl.str in
+  let flag = get "boolean" Jsonl.bool in
+  let int k = int_of_float (num k) in
+  match ty with
+  | "iteration" ->
+    Iteration
+      {
+        iteration = int "iteration";
+        utility = num "utility";
+        movement = num "movement";
+        guards = int "guards";
+      }
+  | "allocation_solved" -> Allocation_solved { task = int "task"; utility = num "utility" }
+  | "price_updated" ->
+    Price_updated
+      {
+        resource = int "resource";
+        mu = num "mu";
+        step = num "step";
+        share_sum = num "share_sum";
+        capacity = num "capacity";
+        congested = flag "congested";
+      }
+  | "path_price_updated" ->
+    Path_price_updated
+      {
+        path = int "path";
+        lambda = num "lambda";
+        step = num "step";
+        latency = num "latency";
+        critical_time = num "critical_time";
+      }
+  | "guard_fired" -> Guard_fired { site = str "site" }
+  | "correction_applied" -> Correction_applied { subtask = str "subtask"; offset = num "offset" }
+  | "watchdog_trip" -> Watchdog_trip { reason = str "reason" }
+  | "safe_mode_entered" -> Safe_mode_entered { reason = str "reason"; fallback = str "fallback" }
+  | "safe_mode_exited" -> Safe_mode_exited
+  | "checkpoint_saved" -> Checkpoint_saved { actor = str "actor" }
+  | "checkpoint_rejected" -> Checkpoint_rejected { actor = str "actor" }
+  | "checkpoint_restored" -> Checkpoint_restored { actor = str "actor"; warm = flag "warm" }
+  | "transport_send" -> Transport_send { src = str "src"; dst = str "dst" }
+  | "transport_dropped" ->
+    Transport_dropped { src = str "src"; dst = str "dst"; reason = str "reason" }
+  | "transport_delivered" ->
+    Transport_delivered { src = str "src"; dst = str "dst"; delay = num "delay" }
+  | "health_transition" -> Health_transition { endpoint = str "endpoint"; alive = flag "alive" }
+  | "span" ->
+    Span
+      {
+        span = int "span";
+        parent = int "parent";
+        trace = int "trace";
+        kind = str "kind";
+        actor = str "actor";
+      }
+  | "note" -> Note { name = str "name"; value = num "value" }
+  | other -> raise (Decode (Printf.sprintf "unknown event type %S" other))
+
+let record_of_json json =
+  match
+    let get kind conv k =
+      match Option.bind (Jsonl.member k json) conv with
+      | Some v -> v
+      | None -> raise (Decode (Printf.sprintf "missing or non-%s field %S" kind k))
+    in
+    let ty = get "string" Jsonl.str "type" in
+    {
+      seq = int_of_float (get "number" Jsonl.num "seq");
+      at = get "number" Jsonl.num "at";
+      event = decode_event ty json;
+    }
+  with
+  | r -> Ok r
+  | exception Decode msg -> Error msg
+
+let record_of_string line =
+  match Jsonl.parse line with
+  | Error e -> Error e
+  | Ok json -> record_of_json json

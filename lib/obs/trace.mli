@@ -55,6 +55,13 @@ type event =
           ["stale"] (superseded under last-write-wins). *)
   | Transport_delivered of { src : string; dst : string; delay : float }
   | Health_transition of { endpoint : string; alive : bool }
+  | Span of { span : int; parent : int; trace : int; kind : string; actor : string }
+      (** one node of a causal tree: [span] is this node's id, [parent]
+          the id of the span that caused it ([-1] for a root), [trace]
+          the id of the tree's root. [kind] is ["price"] (Eq. 8 update at
+          a resource agent), ["alloc"] (Eq. 7/9 solve at a task
+          controller) or ["msg"] (a transport delivery that was applied);
+          [actor] names the endpoint doing the work. See {!Causal}. *)
   | Note of { name : string; value : float }  (** free-form escape hatch. *)
 
 type record = { seq : int; at : float; event : event }
@@ -94,6 +101,14 @@ val record_to_json : record -> Jsonl.t
 
 val record_to_string : record -> string
 (** One JSONL line (no trailing newline). *)
+
+val record_of_json : Jsonl.t -> (record, string) result
+(** Inverse of {!record_to_json}; [Error] names the missing or
+    ill-typed field. Round-trips every constructor, including bare
+    [nan]/[inf] payload fields (see {!Jsonl}). *)
+
+val record_of_string : string -> (record, string) result
+(** Parse one JSONL line back into a record. *)
 
 val write_jsonl : t -> out_channel -> unit
 (** Dump {!records} one JSON object per line. *)

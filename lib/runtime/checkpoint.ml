@@ -142,7 +142,7 @@ let controller_line i { state; at } =
          ("gamma_p", floats state.gamma_p);
        ])
 
-let to_jsonl t =
+let to_jsonl_raw t =
   let lines = ref [] in
   Array.iteri
     (fun i slot -> Option.iter (fun s -> lines := controller_line i s :: !lines) slot)
@@ -152,6 +152,11 @@ let to_jsonl t =
     Option.iter (fun s -> lines := agent_line i s :: !lines) t.agents.(i)
   done;
   !lines
+
+let to_jsonl t =
+  match t.obs with
+  | Some o -> Lla_obs.Profile.time o.Lla_obs.profile "checkpoint.encode" (fun () -> to_jsonl_raw t)
+  | None -> to_jsonl_raw t
 
 let float_field name json =
   match Option.bind (Jsonl.member name json) Jsonl.num with

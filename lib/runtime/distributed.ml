@@ -51,6 +51,12 @@ type agent = {
   local_subtasks : int array;  (* problem subtask indices on this resource *)
   controllers : int list;  (* task indices to notify *)
   agent_endpoint : Transport.endpoint;
+  (* Causal-span state (unused unless obs traces spans): the context of
+     the latest applied latency announcement, consumed by the next price
+     span as its parent; and this agent's own previous price span, the
+     fallback parent that chains ticks with no new input into one trace. *)
+  mutable a_in_span : Lla_obs.Span.t option;
+  mutable a_prev_span : Lla_obs.Span.t option;
 }
 
 (* Per-task controller: owns its path prices and a stale view of resource
@@ -63,6 +69,13 @@ type controller = {
   gamma_p : float array;  (* per own path *)
   lat : float array;  (* shared storage; controller writes only own slots *)
   controller_endpoint : Transport.endpoint;
+  (* Causal-span state: latest applied price-message context; whether it
+     arrived since the last solve (a solve that consumed a fresh price is
+     the endpoint of a control reaction); previous alloc span as the
+     fallback parent. *)
+  mutable c_price_span : Lla_obs.Span.t option;
+  mutable c_fresh_price : bool;
+  mutable c_prev_span : Lla_obs.Span.t option;
 }
 
 (* Runtime counters, registry-backed: with [?obs] they land in the shared
@@ -76,6 +89,7 @@ type meters = {
   m_guards : Lla_obs.Metrics.counter;
   m_warm_restores : Lla_obs.Metrics.counter;
   m_cold_restarts : Lla_obs.Metrics.counter;
+  m_control_latency : Lla_obs.Metrics.histogram;
 }
 
 type t = {
@@ -121,12 +135,17 @@ let adapt policy gamma ~congested =
 let reset_agent t (a : agent) =
   a.price <- t.config.mu0;
   a.gamma <- initial_gamma t.config.step_policy;
+  a.a_in_span <- None;
+  a.a_prev_span <- None;
   Array.iteri (fun slot i -> a.lat_view.(slot) <- t.problem.subtasks.(i).lat_hi) a.local_subtasks
 
 (* A restarted controller forgets its price views and path multipliers; the
    latency assignment itself (t.lat) is enacted state in the data plane and
    survives the controller's crash. *)
 let reset_controller t (c : controller) =
+  c.c_price_span <- None;
+  c.c_fresh_price <- false;
+  c.c_prev_span <- None;
   Array.fill c.mu_view 0 (Array.length c.mu_view) t.config.mu0;
   Array.fill c.congested_view 0 (Array.length c.congested_view) false;
   Array.iter (fun p -> c.lambda.(p) <- 0.) t.problem.tasks.(c.task).path_indices;
@@ -213,6 +232,8 @@ let create ?obs ?(config = default_config) ?resilience ?transport engine workloa
           local_subtasks = local;
           controllers;
           agent_endpoint = Transport.endpoint transport ~name:(Printf.sprintf "agent:%d" r);
+          a_in_span = None;
+          a_prev_span = None;
         })
   in
   let controllers =
@@ -229,6 +250,9 @@ let create ?obs ?(config = default_config) ?resilience ?transport engine workloa
           lat;
           controller_endpoint =
             Transport.endpoint transport ~name:(Printf.sprintf "controller:%d" ti);
+          c_price_span = None;
+          c_fresh_price = false;
+          c_prev_span = None;
         })
   in
   let checkpoint =
@@ -266,6 +290,11 @@ let create ?obs ?(config = default_config) ?resilience ?transport engine workloa
       m_guards = meter "lla_runtime_guard_events_total" "Non-finite values neutralized by the runtime guards.";
       m_warm_restores = meter "lla_runtime_warm_restores_total" "Actor restarts recovered from a checkpoint.";
       m_cold_restarts = meter "lla_runtime_cold_restarts_total" "Actor restarts reset to the cold mu0 state.";
+      m_control_latency =
+        Lla_obs.Metrics.histogram registry "lla_control_latency_ms"
+          ~help:
+            "Control-reaction latency: price update at a resource agent to the next allocation \
+             applied at a task controller that consumed it (engine ms).";
     }
   in
   let t =
@@ -301,22 +330,57 @@ let create ?obs ?(config = default_config) ?resilience ?transport engine workloa
     controllers;
   t
 
-let send ?key t ~src ~dst f =
+let send ?key ?span t ~src ~dst f =
   Lla_obs.Metrics.incr t.meters.m_messages;
-  Transport.send ?key t.transport ~src ~dst f
+  Transport.send_traced ?key ?span t.transport ~src ~dst f
 
 let in_safe_mode t =
   match t.safe_mode with Some sm -> Safe_mode.in_safe_mode sm | None -> false
 
+(* Wall-clock phase timing: one [None] match when unobserved, one branch
+   on a disabled profiler — never touches the engine schedule. *)
+let prof t name f =
+  match t.obs with Some o -> Lla_obs.Profile.time o.Lla_obs.profile name f | None -> f ()
+
+(* Open a work span ("price" at an agent, "alloc" at a controller): child
+   of [parent] when the actor consumed fresh causal input, else chained
+   onto [prev] (its own previous work span), else a root. Ids come from
+   the handle's deterministic counter; emission is the only effect. *)
+let work_span o ~at ~kind ~actor ~parent ~prev =
+  let id = Lla_obs.alloc_span o in
+  let parent_ctx = match parent with Some _ -> parent | None -> prev in
+  let ctx =
+    match parent_ctx with
+    | Some p -> Lla_obs.Span.child p ~id ~at
+    | None -> Lla_obs.Span.root ~id ~at
+  in
+  Lla_obs.emit o ~at
+    (Lla_obs.Trace.Span
+       {
+         span = id;
+         parent = (match parent_ctx with Some p -> p.Lla_obs.Span.span_id | None -> -1);
+         trace = ctx.Lla_obs.Span.trace_id;
+         kind;
+         actor;
+       });
+  ctx
+
+let spans_on t = match t.obs with Some o when o.Lla_obs.spans -> Some o | _ -> None
+
 (* Announce one subtask latency to the agent hosting it; keyed by the
-   subtask index so last-write-wins discards reordered stale values. *)
-let announce_latency t (c : controller) i =
+   subtask index so last-write-wins discards reordered stale values.
+   [span] is the controller's alloc span (absent for the initial and
+   safe-mode re-announcements, which are state repair, not reactions);
+   an applied delivery parks the forwarded context on the agent for its
+   next price span to consume. *)
+let announce_latency ?span t (c : controller) i =
   let s = t.problem.subtasks.(i) in
   let a = t.agents.(s.resource) in
   let value = c.lat.(i) in
-  send t ~key:i ~src:c.controller_endpoint ~dst:a.agent_endpoint (fun () ->
+  send t ~key:i ?span ~src:c.controller_endpoint ~dst:a.agent_endpoint (fun sp ->
       (* Locate the agent's slot for this subtask. *)
-      Array.iteri (fun slot j -> if j = i then a.lat_view.(slot) <- value) a.local_subtasks)
+      Array.iteri (fun slot j -> if j = i then a.lat_view.(slot) <- value) a.local_subtasks;
+      match sp with Some ctx -> a.a_in_span <- Some ctx | None -> ())
 
 let checkpoint_due period ~now last =
   match last with None -> true | Some at -> now -. at >= period -. 1e-9
@@ -326,9 +390,10 @@ let maybe_checkpoint_agent t (a : agent) =
   | Some cp, Some { checkpoint_period = Some period; _ } ->
     let now = Lla_sim.Engine.now t.engine in
     if checkpoint_due period ~now (Checkpoint.last_agent_save cp a.resource) then
-      ignore
-        (Checkpoint.save_agent cp a.resource ~now
-           { Checkpoint.price = a.price; gamma = a.gamma; lat_view = a.lat_view })
+      prof t "checkpoint" (fun () ->
+          ignore
+            (Checkpoint.save_agent cp a.resource ~now
+               { Checkpoint.price = a.price; gamma = a.gamma; lat_view = a.lat_view }))
   | _ -> ()
 
 let maybe_checkpoint_controller t (c : controller) =
@@ -336,18 +401,20 @@ let maybe_checkpoint_controller t (c : controller) =
   | Some cp, Some { checkpoint_period = Some period; _ } ->
     let now = Lla_sim.Engine.now t.engine in
     if checkpoint_due period ~now (Checkpoint.last_controller_save cp c.task) then
-      ignore
-        (Checkpoint.save_controller cp c.task ~now
-           {
-             Checkpoint.mu_view = c.mu_view;
-             congested_view = c.congested_view;
-             lambda = c.lambda;
-             gamma_p = c.gamma_p;
-           })
+      prof t "checkpoint" (fun () ->
+          ignore
+            (Checkpoint.save_controller cp c.task ~now
+               {
+                 Checkpoint.mu_view = c.mu_view;
+                 congested_view = c.congested_view;
+                 lambda = c.lambda;
+                 gamma_p = c.gamma_p;
+               }))
   | _ -> ()
 
 (* Agent tick: Eq. 8 from the announced latencies, then broadcast. *)
 let agent_tick t (a : agent) =
+  prof t "price_update" @@ fun () ->
   Lla_obs.Metrics.incr t.meters.m_price_rounds;
   let used = ref 0. in
   Array.iteri
@@ -380,13 +447,31 @@ let agent_tick t (a : agent) =
            congested;
          });
     maybe_checkpoint_agent t a;
+    let span =
+      match spans_on t with
+      | Some o ->
+        let ctx =
+          work_span o ~at:(Lla_sim.Engine.now t.engine) ~kind:"price"
+            ~actor:(Transport.endpoint_name a.agent_endpoint) ~parent:a.a_in_span
+            ~prev:a.a_prev_span
+        in
+        a.a_in_span <- None;
+        a.a_prev_span <- Some ctx;
+        Some ctx
+      | None -> None
+    in
     let price = a.price in
     List.iter
       (fun ti ->
         let c = t.controllers.(ti) in
-        send t ~key:a.resource ~src:a.agent_endpoint ~dst:c.controller_endpoint (fun () ->
+        send t ~key:a.resource ?span ~src:a.agent_endpoint ~dst:c.controller_endpoint (fun sp ->
             c.mu_view.(a.resource) <- price;
-            c.congested_view.(a.resource) <- congested))
+            c.congested_view.(a.resource) <- congested;
+            match sp with
+            | Some ctx ->
+              c.c_price_span <- Some ctx;
+              c.c_fresh_price <- true
+            | None -> ()))
       a.controllers
   end
 
@@ -396,6 +481,7 @@ let agent_tick t (a : agent) =
    (fallback) latencies so agents' views stay fresh — and so a restarted
    agent's view is repaired — while the price iteration settles. *)
 let controller_tick t (c : controller) =
+  prof t "allocation" @@ fun () ->
   let info = t.problem.tasks.(c.task) in
   if in_safe_mode t then
     Array.iter (fun i -> announce_latency t c i) info.subtask_indices
@@ -430,8 +516,9 @@ let controller_tick t (c : controller) =
         c.gamma_p.(local) <- adapt t.config.step_policy c.gamma_p.(local) ~congested:any_congested)
       info.path_indices;
     let guards = ref 0 in
-    Lla.Allocation.allocate_task ?obs:t.obs ~at:now t.problem c.task ~mu:c.mu_view
-      ~lambda:c.lambda ~offsets:t.offsets ~sweeps:t.config.sweeps ~guards ~lat:c.lat;
+    prof t "solve" (fun () ->
+        Lla.Allocation.allocate_task ?obs:t.obs ~at:now t.problem c.task ~mu:c.mu_view
+          ~lambda:c.lambda ~offsets:t.offsets ~sweeps:t.config.sweeps ~guards ~lat:c.lat);
     Lla_obs.Metrics.add t.meters.m_guards !guards;
     (match t.obs with
     | Some o ->
@@ -444,7 +531,32 @@ let controller_tick t (c : controller) =
            { task = c.task; utility = Lla.Problem.task_utility t.problem c.task ~lat:c.lat })
     | None -> ());
     maybe_checkpoint_controller t c;
-    Array.iter (fun i -> announce_latency t c i) info.subtask_indices
+    let span =
+      match spans_on t with
+      | Some o ->
+        let fresh = c.c_fresh_price in
+        let ctx =
+          work_span o ~at:now ~kind:"alloc"
+            ~actor:(Transport.endpoint_name c.controller_endpoint)
+            ~parent:(if fresh then c.c_price_span else None)
+            ~prev:c.c_prev_span
+        in
+        (* The reaction closes here: price change at the agent (the
+           origin timestamp forwarded through the message) to this
+           applied allocation. Only solves that consumed a fresh price
+           count — re-solves on stale views are not reactions. *)
+        if fresh then begin
+          (match c.c_price_span with
+          | Some p ->
+            Lla_obs.Metrics.observe t.meters.m_control_latency (now -. p.Lla_obs.Span.origin)
+          | None -> ());
+          c.c_fresh_price <- false
+        end;
+        c.c_prev_span <- Some ctx;
+        Some ctx
+      | None -> None
+    in
+    Array.iter (fun i -> announce_latency ?span t c i) info.subtask_indices
   end
 
 (* Safe-mode entry: enact the guaranteed-feasible fallback, heal any

@@ -36,6 +36,7 @@ let default_config =
 
 type t = {
   config : config;
+  obs : Lla_obs.t option;
   cluster : Cluster.t;
   dispatcher : Dispatcher.t;
   solver : Lla.Solver.t;
@@ -78,6 +79,7 @@ let create ?obs ?(config = default_config) ~cluster ~dispatcher () =
   let t =
     {
       config;
+      obs;
       cluster;
       dispatcher;
       solver;
@@ -170,12 +172,17 @@ let apply_rate_measurements t =
       | None -> ())
     (Cluster.workload t.cluster).Workload.tasks
 
+let prof t name f =
+  match t.obs with Some o -> Lla_obs.Profile.time o.Lla_obs.profile name f | None -> f ()
+
 let round t ~now =
+  prof t "optimizer.round" @@ fun () ->
   if t.config.track_arrival_rates then apply_rate_measurements t;
-  if correction_active t ~now then apply_corrections t ~now;
-  Lla.Solver.run t.solver ~iterations:t.config.iterations_per_round;
+  if correction_active t ~now then prof t "corrections" (fun () -> apply_corrections t ~now);
+  prof t "solve" (fun () ->
+      Lla.Solver.run t.solver ~iterations:t.config.iterations_per_round);
   t.rounds <- t.rounds + 1;
-  enact t ~now;
+  prof t "enact" (fun () -> enact t ~now);
   Log.debug (fun m ->
       m "round %d at t=%.0fms: utility %.3f, %d enactments (%d suppressed)" t.rounds now
         (Lla.Solver.utility t.solver) t.enactments t.skipped)

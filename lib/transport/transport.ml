@@ -243,7 +243,29 @@ let hit t p = p > 0. && (p >= 1. || Rng.float t.rng < p)
 let dropped_event ch reason =
   Lla_obs.Trace.Transport_dropped { src = ch.src.name; dst = ch.dst.name; reason }
 
-let deliver t ch ?key ~seq ~delay payload ~on_lost =
+(* On an applied delivery carrying a span context, record one "msg" span
+   under the sender's span and hand the payload a forwarded context
+   (fresh id, origin preserved) so the receiver can parent its own work
+   span on the delivery. Allocation and emission happen only when the
+   handle traces spans, from the deterministic per-handle counter — no
+   randomness, no scheduling. *)
+let delivery_span t ch span =
+  match (span, t.obs) with
+  | Some ctx, Some o when o.Lla_obs.spans ->
+    let id = Lla_obs.alloc_span o in
+    Lla_obs.emit o ~at:(Engine.now t.engine)
+      (Lla_obs.Trace.Span
+         {
+           span = id;
+           parent = ctx.Lla_obs.Span.span_id;
+           trace = ctx.Lla_obs.Span.trace_id;
+           kind = "msg";
+           actor = ch.dst.name;
+         });
+    Some (Lla_obs.Span.forward ctx ~id)
+  | _ -> None
+
+let deliver t ch ?key ~seq ~span ~delay payload ~on_lost =
   if not ch.dst.up then on_lost `Down
   else begin
     let stale =
@@ -267,11 +289,11 @@ let deliver t ch ?key ~seq ~delay payload ~on_lost =
       Metrics.observe t.delay_h delay;
       emit_io t
         (Lla_obs.Trace.Transport_delivered { src = ch.src.name; dst = ch.dst.name; delay });
-      payload ()
+      payload (delivery_span t ch span)
     end
   end
 
-let rec attempt t ch ?key ~seq ~n payload =
+let rec attempt t ch ?key ~seq ~span ~n payload =
   let lost reason =
     (match reason with
     | `Drop ->
@@ -287,7 +309,9 @@ let rec attempt t ch ?key ~seq ~n payload =
     | Some r when n + 1 < r.max_attempts && ch.src.up ->
       Metrics.incr ch.c_retried;
       let wait = r.timeout *. (r.backoff ** float_of_int n) in
-      ignore (Engine.schedule_after t.engine ~delay:wait (fun _ -> attempt t ch ?key ~seq ~n:(n + 1) payload))
+      ignore
+        (Engine.schedule_after t.engine ~delay:wait (fun _ ->
+             attempt t ch ?key ~seq ~span ~n:(n + 1) payload))
     | _ -> ()
   in
   if not ch.src.up then begin
@@ -307,7 +331,7 @@ let rec attempt t ch ?key ~seq ~n payload =
       in
       ignore
         (Engine.schedule_after t.engine ~delay (fun _ ->
-             deliver t ch ?key ~seq ~delay payload ~on_lost:lost))
+             deliver t ch ?key ~seq ~span ~delay payload ~on_lost:lost))
     in
     schedule_copy ();
     if hit t t.config.faults.duplicate then begin
@@ -316,13 +340,15 @@ let rec attempt t ch ?key ~seq ~n payload =
     end
   end
 
-let send ?key t ~src ~dst payload =
+let send_traced ?key ?span t ~src ~dst payload =
   let ch = channel t src dst in
   Metrics.incr ch.c_sent;
   emit_io t (Lla_obs.Trace.Transport_send { src = src.name; dst = dst.name });
   let seq = ch.next_seq in
   ch.next_seq <- seq + 1;
-  attempt t ch ?key ~seq ~n:0 payload
+  attempt t ch ?key ~seq ~span ~n:0 payload
+
+let send ?key t ~src ~dst payload = send_traced ?key t ~src ~dst (fun _ -> payload ())
 
 (* --- inspection ------------------------------------------------------ *)
 

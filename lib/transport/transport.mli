@@ -119,6 +119,25 @@ val send : ?key:int -> t -> src:endpoint -> dst:endpoint -> (unit -> unit) -> un
     the message updates (e.g. a price's resource index) for last-write-wins
     filtering; omit it to bypass staleness checks. *)
 
+val send_traced :
+  ?key:int ->
+  ?span:Lla_obs.Span.t ->
+  t ->
+  src:endpoint ->
+  dst:endpoint ->
+  (Lla_obs.Span.t option -> unit) ->
+  unit
+(** {!send} with causal-span propagation. When [span] is given, the
+    transport has an [obs] handle and that handle traces spans, every
+    {e applied} delivery (not drops, not stale discards) records one
+    ["msg"] {!Lla_obs.Trace.Span} under the sender's span and passes the
+    callback the forwarded context ([Lla_obs.Span.forward]: fresh id,
+    origin timestamp preserved) to parent the receiver's work on;
+    otherwise the callback gets [None]. Retransmissions and injected
+    duplicates reuse the sender's context, so each surviving copy links
+    to the same parent. Identical routing, randomness and scheduling to
+    {!send} — span bookkeeping is pure emission. *)
+
 (** {1 Endpoint lifecycle} *)
 
 val is_up : t -> endpoint -> bool

@@ -36,5 +36,14 @@ if [ "$total" -lt "$floor" ]; then
 fi
 echo "ci: $total tests run (floor $floor)"
 
-# Observability overhead budget, smoke mode (loose budget: CI boxes jitter).
+# Observability overhead budgets, smoke mode (loose budgets: CI boxes
+# jitter). obs-smoke gates plain tracing; profile-smoke gates the
+# disabled analysis-tier hooks and the enabled spans+profiler cost
+# against the control plane's real-time budget.
 ./_build/default/bench/main.exe obs-smoke
+./_build/default/bench/main.exe profile-smoke
+
+# Analysis-tier smoke: the full span + series + report pipeline must run
+# end-to-end on the paper's Fig. 5 scenario (settling-time assertions
+# against the optimum live in test/test_analysis.ml).
+./_build/default/bin/lla_cli.exe analyze fig5

@@ -63,6 +63,52 @@ let test_gauge_and_histogram () =
     [ (1., 1); (10., 2); (infinity, 3) ]
     (Metrics.bucket_counts h)
 
+let test_histogram_quantile () =
+  let m = Metrics.create () in
+  (* 100 samples spread uniformly over [0, 100): the interpolated
+     quantile of bucket bounds 10,20,...,100 should land close to the
+     exact order statistic. *)
+  let h = Metrics.histogram m ~buckets:(Array.init 10 (fun i -> float_of_int ((i + 1) * 10))) "u" in
+  for i = 0 to 99 do
+    Metrics.observe h (float_of_int i +. 0.5)
+  done;
+  let q p = Option.get (Metrics.quantile h ~q:p) in
+  Alcotest.(check (float 1.0)) "p50 of uniform[0,100)" 50. (q 0.5);
+  Alcotest.(check (float 1.0)) "p90 of uniform[0,100)" 90. (q 0.9);
+  Alcotest.(check (float 1.0)) "p99 of uniform[0,100)" 99. (q 0.99);
+  Alcotest.(check (float 0.)) "q=0 is the left edge of the first occupied bucket" 0. (q 0.);
+  Alcotest.(check (float 0.)) "q=1 is the last finite bound" 100. (q 1.);
+  (* All mass in one bucket: interpolation stays inside [lo, hi]. *)
+  let h2 = Metrics.histogram m ~buckets:[| 1.; 10. |] "point" in
+  for _ = 1 to 4 do
+    Metrics.observe h2 5.
+  done;
+  let q2 p = Option.get (Metrics.quantile h2 ~q:p) in
+  Alcotest.(check bool) "median within the occupied bucket" true (q2 0.5 > 1. && q2 0.5 <= 10.);
+  (* Overflow: samples beyond the last finite bound report that bound
+     rather than inventing a value inside an unbounded bucket. *)
+  let h3 = Metrics.histogram m ~buckets:[| 1. |] "over" in
+  Metrics.observe h3 100.;
+  Alcotest.(check (float 0.)) "overflow quantile clamps to the last bound" 1.
+    (Option.get (Metrics.quantile h3 ~q:0.9));
+  (* Degenerate inputs. *)
+  let empty = Metrics.histogram m ~buckets:[| 1. |] "empty" in
+  Alcotest.(check bool) "empty histogram" true (Metrics.quantile empty ~q:0.5 = None);
+  Alcotest.(check bool) "q out of range" true (Metrics.quantile h ~q:1.5 = None);
+  Alcotest.(check bool) "nan q" true (Metrics.quantile h ~q:Float.nan = None)
+
+let test_histogram_summary () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m ~buckets:[| 1.; 10.; 100. |] "s" in
+  List.iter (Metrics.observe h) [ 0.5; 5.; 50. ];
+  let line = Metrics.summary ~name:"s" h in
+  List.iter
+    (fun needle ->
+      let n = String.length needle in
+      let rec go i = i + n <= String.length line && (String.sub line i n = needle || go (i + 1)) in
+      Alcotest.(check bool) (Printf.sprintf "summary mentions %S" needle) true (go 0))
+    [ "s:"; "count=3"; "sum=55.500"; "mean=18.500"; "p50="; "p90="; "p99=" ]
+
 let test_expose_format () =
   let m = Metrics.create () in
   let c = Metrics.counter m ~help:"how many" ~labels:[ ("kind", "a") ] "events_total" in
@@ -103,6 +149,7 @@ let all_events =
     Trace.Transport_dropped { src = "a"; dst = "b"; reason = "cut" };
     Trace.Transport_delivered { src = "b"; dst = "a"; delay = 1.25 };
     Trace.Health_transition { endpoint = "agent:r0"; alive = false };
+    Trace.Span { span = 12; parent = 3; trace = 7; kind = "price"; actor = "agent:cpu" };
     Trace.Note { name = "debug"; value = 7. };
   ]
 
@@ -171,6 +218,41 @@ let test_record_json_shape () =
     Alcotest.(check (float 0.)) "share_sum operand" 0.8 (num "share_sum");
     Alcotest.(check bool) "congested operand" false
       (Option.get (Jsonl.bool (Option.get (Jsonl.member "congested" json))))
+
+(* Every constructor survives encode → parse → decode. [compare] (not
+   [=]) because the stream legitimately carries nan operands. *)
+let test_record_decoder_roundtrips () =
+  List.iteri
+    (fun i event ->
+      let r = { Trace.seq = i; at = float_of_int i *. 0.5; event } in
+      match Trace.record_of_string (Trace.record_to_string r) with
+      | Error e ->
+        Alcotest.fail (Printf.sprintf "%s does not decode: %s" (Trace.event_name event) e)
+      | Ok r' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s decodes to itself" (Trace.event_name event))
+          true
+          (compare r r' = 0))
+    all_events
+
+let test_record_decoder_rejects_malformed () =
+  List.iter
+    (fun line ->
+      match Trace.record_of_string line with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "%S should not decode" line)
+      | Error _ -> ())
+    [
+      "";
+      "not json";
+      "{\"seq\":0,\"at\":0}" (* no type *);
+      "{\"seq\":0,\"at\":0,\"type\":\"no_such_event\"}";
+      "{\"seq\":0,\"at\":0,\"type\":\"iteration\"}" (* missing operands *);
+      "{\"seq\":0,\"at\":0,\"type\":\"span\",\"span\":1,\"parent\":0,\"trace\":1,\"kind\":\"price\"}"
+      (* missing actor *);
+      "{\"at\":0,\"type\":\"note\",\"name\":\"x\",\"value\":1}" (* missing seq *);
+      "{\"seq\":\"zero\",\"at\":0,\"type\":\"note\",\"name\":\"x\",\"value\":1}"
+      (* seq not a number *);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* JSONL codec                                                         *)
@@ -296,12 +378,35 @@ let test_tracing_does_not_perturb () =
   Alcotest.(check bool) "and the trace is not empty" true
     (Trace.emitted obs.Lla_obs.trace > 0)
 
+(* The span-context path threads [Span.t] values through every transport
+   message; carrying them must not touch routing, randomness, or the
+   event schedule. *)
+let test_spans_do_not_perturb () =
+  let obs = Lla_obs.create ~spans:true ~profile:(Lla_obs.Profile.create ()) () in
+  let samples_on, counters_on = sample_distributed ~obs () in
+  let samples_off, counters_off = sample_distributed () in
+  Alcotest.(check (list (float 0.)))
+    "spans + profiler leave the trajectory bit-for-bit" samples_off samples_on;
+  let on_m, on_p, on_a = counters_on and off_m, off_p, off_a = counters_off in
+  Alcotest.(check (list int)) "identical counters" [ off_m; off_p; off_a ] [ on_m; on_p; on_a ];
+  let records = Trace.records obs.Lla_obs.trace in
+  let spans =
+    List.filter
+      (fun (r : Trace.record) -> match r.Trace.event with Trace.Span _ -> true | _ -> false)
+      records
+  in
+  Alcotest.(check bool) "span records were emitted" true (spans <> []);
+  Alcotest.(check bool) "span stream is well-formed" true
+    (Lla_obs.Invariant.spans_well_formed records)
+
 (* ------------------------------------------------------------------ *)
 (* Golden trace: determinism of the recorded stream                    *)
 (* ------------------------------------------------------------------ *)
 
 let record_stream () =
-  let obs = Lla_obs.create ~trace_io:true () in
+  (* spans on too: the deterministic-stream check covers the span-context
+     transport path (ids from the per-handle counter, no randomness). *)
+  let obs = Lla_obs.create ~trace_io:true ~spans:true () in
   let sink, seen = Trace.memory_sink () in
   Trace.attach obs.Lla_obs.trace sink;
   let workload = Lla_workloads.Paper_sim.base () in
@@ -397,6 +502,8 @@ let () =
             test_find_or_create_shares_instances;
           Alcotest.test_case "kind mismatch rejected" `Quick test_kind_mismatch_rejected;
           Alcotest.test_case "gauge and histogram" `Quick test_gauge_and_histogram;
+          Alcotest.test_case "histogram quantile" `Quick test_histogram_quantile;
+          Alcotest.test_case "histogram summary" `Quick test_histogram_summary;
           Alcotest.test_case "prometheus exposition" `Quick test_expose_format;
         ] );
       ( "trace",
@@ -406,6 +513,10 @@ let () =
           Alcotest.test_case "eviction, sinks, clear" `Quick test_ring_eviction_and_sinks;
           Alcotest.test_case "bad capacity rejected" `Quick test_ring_rejects_bad_capacity;
           Alcotest.test_case "record JSON shape" `Quick test_record_json_shape;
+          Alcotest.test_case "decoder round-trips every constructor" `Quick
+            test_record_decoder_roundtrips;
+          Alcotest.test_case "decoder rejects malformed lines" `Quick
+            test_record_decoder_rejects_malformed;
         ] );
       ( "jsonl",
         [
@@ -421,6 +532,8 @@ let () =
             test_solver_matches_pre_obs_golden;
           Alcotest.test_case "tracing does not perturb the trajectory" `Slow
             test_tracing_does_not_perturb;
+          Alcotest.test_case "spans + profiler do not perturb the trajectory" `Slow
+            test_spans_do_not_perturb;
           Alcotest.test_case "recorded stream is deterministic" `Slow test_trace_deterministic;
         ] );
       ( "gating",
