@@ -300,6 +300,16 @@ let run_micro () =
     "The per-iteration cost grows linearly with the task count (the scalability claim at\n\
      the implementation level).\n"
 
+(* Fixed-seed chaos campaign smoke: a handful of randomized fault
+   schedules against the fully-armed deployment, every oracle green. The
+   report is deterministic, so any diff is a behaviour change. *)
+let run_campaign () =
+  print_string (Lla_experiments.Report.header "Chaos campaign (smoke, 5 runs, seed 42)");
+  let s = Lla_chaos.Campaign.run ~runs:5 ~seed:42 () in
+  print_string s.Lla_chaos.Campaign.report;
+  print_newline ();
+  if s.Lla_chaos.Campaign.failures <> [] then exit 1
+
 let experiments =
   [
     ("table1", run_table1);
@@ -313,6 +323,7 @@ let experiments =
     ("delays", run_delay_sweep);
     ("chaos", run_chaos);
     ("recovery", run_recovery);
+    ("campaign", run_campaign);
     ("obs", run_obs);
     ("obs-smoke", run_obs_smoke);
     ("profile", run_profile);

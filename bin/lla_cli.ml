@@ -196,63 +196,162 @@ let delays_cmd =
     (Cmd.info "delays" ~doc:"Sweep control-message delay for the distributed deployment.")
     Term.(const run $ jitter $ seed)
 
+(* The chaos / recovery / campaign commands share one pair of seeding
+   flags: [--seed N] is the base seed and [--runs K] repeats the
+   experiment with seeds N, N+1, ..., N+K-1 — the same convention the
+   campaign generator uses for its schedules. *)
+let runs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "runs" ] ~docv:"K"
+        ~doc:
+          "Repeat the experiment $(docv) times with seeds $(b,N), $(b,N+1), ..., $(b,N+K-1) \
+           (where $(b,N) is $(b,--seed)) — the seeding convention of $(b,campaign). The CSV \
+           export, when requested, holds the last run.")
+
+let seed_arg ~doc = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+
+let foreach_seed ~runs ~seed f =
+  for i = 0 to max 0 (runs - 1) do
+    let s = seed + i in
+    if runs > 1 then Printf.printf "=== seed %d ===\n" s;
+    f s
+  done
+
 let chaos_cmd =
-  let seed =
-    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Seed for the fault-injection RNG.")
-  in
+  let seed = seed_arg ~doc:"Base seed for the fault-injection RNG." in
   let horizon =
     Arg.(
       value
       & opt float 120.
       & info [ "horizon" ] ~docv:"SECONDS" ~doc:"Simulated control time per scenario.")
   in
-  let run seed horizon csv =
-    let result = Lla_experiments.Chaos.run ~seed ~horizon:(horizon *. 1000.) () in
-    print_string (Lla_experiments.Chaos.report result);
-    Option.iter
-      (fun path ->
-        let series = Lla_stdx.Series.create ~name:"partition-utility" () in
-        List.iter
-          (fun (x, y) -> Lla_stdx.Series.add series ~x ~y)
-          result.Lla_experiments.Chaos.partition.Lla_experiments.Chaos.series;
-        write_series_csv path [ ("partition-utility", series) ])
-      csv
+  let run seed runs horizon csv =
+    foreach_seed ~runs ~seed (fun seed ->
+        let result = Lla_experiments.Chaos.run ~seed ~horizon:(horizon *. 1000.) () in
+        print_string (Lla_experiments.Chaos.report result);
+        Option.iter
+          (fun path ->
+            let series = Lla_stdx.Series.create ~name:"partition-utility" () in
+            List.iter
+              (fun (x, y) -> Lla_stdx.Series.add series ~x ~y)
+              result.Lla_experiments.Chaos.partition.Lla_experiments.Chaos.series;
+            write_series_csv path [ ("partition-utility", series) ])
+          csv)
   in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Run the chaos experiments (message loss, delay jitter, partition + heal) on the \
           distributed deployment.")
-    Term.(const run $ seed $ horizon $ csv_arg)
+    Term.(const run $ seed $ runs_arg $ horizon $ csv_arg)
 
 let recovery_cmd =
-  let seed =
-    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Seed for the transport RNG.")
-  in
+  let seed = seed_arg ~doc:"Base seed for the transport RNG." in
   let horizon =
     Arg.(
       value
       & opt float 60.
       & info [ "horizon" ] ~docv:"SECONDS" ~doc:"Simulated control time per scenario.")
   in
-  let run seed horizon csv =
-    let result = Lla_experiments.Recovery.run ~seed ~horizon:(horizon *. 1000.) () in
-    print_string (Lla_experiments.Recovery.report result);
-    Option.iter
-      (fun path ->
-        let series = Lla_stdx.Series.create ~name:"protected-utility" () in
-        List.iter
-          (fun (x, y) -> Lla_stdx.Series.add series ~x ~y)
-          result.Lla_experiments.Recovery.protected_.Lla_experiments.Recovery.utility_series;
-        write_series_csv path [ ("protected-utility", series) ])
-      csv
+  let run seed runs horizon csv =
+    foreach_seed ~runs ~seed (fun seed ->
+        let result = Lla_experiments.Recovery.run ~seed ~horizon:(horizon *. 1000.) () in
+        print_string (Lla_experiments.Recovery.report result);
+        Option.iter
+          (fun path ->
+            let series = Lla_stdx.Series.create ~name:"protected-utility" () in
+            List.iter
+              (fun (x, y) -> Lla_stdx.Series.add series ~x ~y)
+              result.Lla_experiments.Recovery.protected_.Lla_experiments.Recovery.utility_series;
+            write_series_csv path [ ("protected-utility", series) ])
+          csv)
   in
   Cmd.v
     (Cmd.info "recovery"
        ~doc:
          "Run the recovery experiments (warm vs cold restart after a control-plane crash, \
           safe-mode divergence containment, heartbeat failure detection).")
-    Term.(const run $ seed $ horizon $ csv_arg)
+    Term.(const run $ seed $ runs_arg $ horizon $ csv_arg)
+
+let campaign_cmd =
+  let runs =
+    Arg.(
+      value
+      & opt int 50
+      & info [ "runs" ] ~docv:"K" ~doc:"Number of generated schedules to execute.")
+  in
+  let seed =
+    seed_arg
+      ~doc:
+        "Base seed: run $(i,i) executes the schedule generated from seed $(b,N)+$(i,i). Same \
+         seed, byte-identical summary."
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:
+            "Write failing runs' schedules to $(docv) (created if needed) as \
+             $(b,repro-<seed>.json) plus a delta-debugged $(b,repro-<seed>.min.json) — both \
+             replayable with $(b,chaos-replay).")
+  in
+  let fragile =
+    Arg.(
+      value
+      & flag
+      & info [ "fragile" ]
+          ~doc:
+            "Run the deliberately breakable deployment (resilience off, aggressive fixed step) \
+             instead of the robust one — demonstrates the oracles catching violations.")
+  in
+  let run runs seed out fragile =
+    let summary = Lla_chaos.Campaign.run ?out ~fragile ~runs ~seed () in
+    print_string summary.Lla_chaos.Campaign.report;
+    match summary.Lla_chaos.Campaign.failures with
+    | [] -> ()
+    | failures ->
+        List.iter
+          (fun (f : Lla_chaos.Campaign.failure) ->
+            Option.iter (Printf.printf "repro: %s\n") f.Lla_chaos.Campaign.repro_path;
+            Option.iter (Printf.printf "shrunk repro: %s\n") f.Lla_chaos.Campaign.shrunk_path)
+          failures;
+        Stdlib.exit 1
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Run a randomized fault campaign: generate seeded fault schedules, execute each \
+          against the distributed deployment, judge safety and liveness oracles, and shrink \
+          any failure to a minimal JSON reproducer. Exits 1 on any oracle violation.")
+    Term.(const run $ runs $ seed $ out $ fragile)
+
+let chaos_replay_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"REPRO.json"
+          ~doc:"A schedule artifact written by $(b,campaign --out) (or by hand).")
+  in
+  let run path =
+    match Lla_chaos.Campaign.replay ~path () with
+    | Error msg ->
+        prerr_endline ("chaos-replay: " ^ msg);
+        Stdlib.exit 2
+    | Ok exec ->
+        Format.printf "%a@." Lla_chaos.Schedule.pp exec.Lla_chaos.Campaign.schedule;
+        print_endline (Lla_chaos.Oracle.render exec.Lla_chaos.Campaign.verdicts);
+        if not (Lla_chaos.Oracle.ok exec.Lla_chaos.Campaign.verdicts) then Stdlib.exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos-replay"
+       ~doc:
+         "Replay a saved fault schedule and re-judge the oracle suite — deterministic, so a \
+          reproducer fails (exit 1) exactly as it did when the campaign found it.")
+    Term.(const run $ path)
 
 let ablation_cmd =
   let run iterations =
@@ -620,6 +719,8 @@ let () =
             ablation_cmd;
             chaos_cmd;
             recovery_cmd;
+            campaign_cmd;
+            chaos_replay_cmd;
             adaptation_cmd;
             variation_cmd;
             delays_cmd;

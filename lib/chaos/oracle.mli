@@ -1,0 +1,97 @@
+(** Invariant and liveness oracles judged over a completed schedule run.
+
+    The safety oracles reuse {!Lla_obs.Invariant} replay checks over the
+    collected trace; the liveness oracles judge the {e outcome} — state
+    the runner extracted after the engine drained ({!outcome}). Every
+    oracle is pure, so a verdict is reproducible from a saved run.
+
+    Calibration note: the distributed iteration is a dual method — even a
+    fault-free trajectory transiently overshoots Eq. 3/4 by ~10% on
+    single ticks (the invariant tests hold the healthy runtime to a 10%
+    band), and a recovering run spikes higher for isolated rounds. The
+    trace oracle therefore fails on {e sustained} violation (a fraction
+    of judged records), not on any single sample, and lockout means
+    {e dwelling} in safe mode, not touching it.
+
+    Semantics (each oracle names the property it defends):
+
+    - [trace-monotone]: the trace stream is well-formed
+      ({!Lla_obs.Invariant.monotone}) — a meta-oracle; its failure voids
+      the others.
+    - [constraints-after-heal]: among trace records after
+      [last_fault_end + heal_grace], the Eq. 3/4 violations (within
+      [tolerance], via {!Lla_obs.Invariant.check_constraints}) must stay
+      below [min_violations] {e and} [sustained_fraction] of the judged
+      price records — transient overshoot is the method, persistent
+      infeasibility is a bug. A poison value leaking into steady state
+      violates on every round and is caught by the same rule.
+    - [safe-mode-causality]: every safe-mode entry is preceded by a
+      watchdog trip ({!Lla_obs.Invariant.safe_entries_preceded_by_trip}).
+    - [reconvergence]: the final utility is within [regret_bound]
+      (relative) of the offline optimum from {!Lla_baseline.Centralized}
+      — the paper's convergence claim must survive the faults once they
+      heal. Skipped while the run ends inside a safe-mode dwell (the
+      fallback trades optimality for feasibility; [no-lockout] bounds
+      the dwell).
+    - [no-lockout]: a run may end {e inside} a safe-mode cycle, but not
+      after dwelling there for the last [lockout_window] ms — that is
+      permanent degradation.
+    - [warm-restore-consistency]: every actor restart produced exactly one
+      restore, warm or cold ([warm + cold = outages]); with checkpointing
+      disabled every restore is cold.
+    - [final-feasibility]: the enacted latency assignment at the end of
+      the run satisfies Eq. 3/4 within [final_tolerance] — whatever mode
+      the system landed in, the {e plant} must be left near-feasible.
+      [final_tolerance] is wider than [tolerance] because the run ends at
+      an arbitrary phase of the iteration's oscillation envelope. *)
+
+type config = {
+  tolerance : float;  (** per-record Eq. 3/4 slack, default 0.12. *)
+  sustained_fraction : float;
+      (** violating fraction of judged price records that counts as
+          sustained, default 0.02. *)
+  min_violations : int;
+      (** absolute violation count below which the fraction is moot,
+          default 10. *)
+  regret_bound : float;  (** relative utility gap to the optimum, default 0.08. *)
+  heal_grace : float;
+      (** ms after the last fault heals before the trace oracle judges,
+          default 6000. *)
+  lockout_window : float;
+      (** ending inside a safe-mode dwell at least this long (ms) is a
+          lockout, default 10000. *)
+  final_tolerance : float;  (** slack on the final enacted point, default 0.30. *)
+}
+
+val default_config : config
+
+type outcome = {
+  records : Lla_obs.Trace.record list;  (** complete trace (memory sink). *)
+  last_fault_end : float;
+  end_time : float;  (** engine clock when the run drained. *)
+  final_utility : float;
+  optimum_utility : float;  (** offline optimum for the same workload. *)
+  in_safe_mode : bool;  (** at the end of the run. *)
+  safe_entries : int;
+  warm_restores : int;
+  cold_restarts : int;
+  outages : int;  (** endpoint crashes over the whole run. *)
+  checkpoints_enabled : bool;
+  max_share_violation : float;
+      (** worst relative Eq. 3 excess of the final assignment (0 = feasible). *)
+  max_path_violation : float;  (** worst relative Eq. 4 excess, same convention. *)
+}
+
+type verdict = { oracle : string; violations : string list }
+(** Empty [violations] = pass. *)
+
+val evaluate : ?config:config -> outcome -> verdict list
+(** All oracles, in a fixed order. *)
+
+val failures : verdict list -> verdict list
+
+val ok : verdict list -> bool
+
+val render : verdict list -> string
+(** One line per oracle: [ok <name>] or [FAIL <name>: <first violation>
+    (+n more)]. Deterministic. *)

@@ -1,0 +1,428 @@
+module J = Lla_obs.Jsonl
+
+type target = Agent of int | Controller of int
+
+type event =
+  | Faults of { at : float; duration : float; faults : Lla_transport.Transport.faults }
+  | Jitter of { at : float; duration : float; spread : float }
+  | Partition of { at : float; duration : float; agents : int list; controllers : int list }
+  | Outage of { at : float; duration : float; target : target }
+  | Price_poison of { at : float; resource : int; value : float }
+  | Error_spike of { at : float; duration : float; subtask : int; magnitude : float }
+
+type step = Adaptive | Fixed_gamma of float
+
+type setup = {
+  safe_mode : bool;
+  checkpoints : bool;
+  health : bool;
+  step : step;
+  transport_seed : int;
+}
+
+let robust_setup =
+  { safe_mode = true; checkpoints = true; health = true; step = Adaptive; transport_seed = 0 }
+
+let fragile_setup gamma seed =
+  {
+    safe_mode = false;
+    checkpoints = false;
+    health = false;
+    step = Fixed_gamma gamma;
+    transport_seed = seed;
+  }
+
+type t = {
+  workload : string;
+  horizon : float;
+  settle : float;
+  setup : setup;
+  events : event list;
+}
+
+let event_start = function
+  | Faults { at; _ }
+  | Jitter { at; _ }
+  | Partition { at; _ }
+  | Outage { at; _ }
+  | Price_poison { at; _ }
+  | Error_spike { at; _ } ->
+      at
+
+let event_end = function
+  | Faults { at; duration; _ }
+  | Jitter { at; duration; _ }
+  | Partition { at; duration; _ }
+  | Outage { at; duration; _ }
+  | Error_spike { at; duration; _ } ->
+      at +. duration
+  | Price_poison { at; _ } -> at
+
+let last_fault_end t = List.fold_left (fun acc e -> Float.max acc (event_end e)) 0. t.events
+
+let duration t = t.horizon +. t.settle
+
+let invalid fmt = Format.kasprintf invalid_arg fmt
+
+let check_probability what p =
+  if not (Float.is_finite p && p >= 0. && p <= 1.) then
+    invalid "Schedule.make: %s probability %g outside [0,1]" what p
+
+let check_nonneg what v =
+  if not (Float.is_finite v && v >= 0.) then invalid "Schedule.make: negative %s (%g)" what v
+
+let validate_event ~horizon e =
+  let at = event_start e in
+  if not (Float.is_finite at && at >= 0. && at < horizon) then
+    invalid "Schedule.make: event at %g outside [0, horizon=%g)" at horizon;
+  (match e with
+  | Faults { duration; faults = { drop; duplicate; reorder; reorder_spread }; _ } ->
+      check_nonneg "duration" duration;
+      check_probability "drop" drop;
+      check_probability "duplicate" duplicate;
+      check_probability "reorder" reorder;
+      check_nonneg "reorder spread" reorder_spread
+  | Jitter { duration; spread; _ } ->
+      check_nonneg "duration" duration;
+      check_nonneg "jitter spread" spread
+  | Partition { duration; agents; controllers; _ } ->
+      check_nonneg "duration" duration;
+      if agents = [] && controllers = [] then invalid "Schedule.make: empty partition group";
+      List.iter (fun i -> if i < 0 then invalid "Schedule.make: negative index %d" i)
+        (agents @ controllers)
+  | Outage { duration; target = Agent i | Controller i; _ } ->
+      check_nonneg "duration" duration;
+      if i < 0 then invalid "Schedule.make: negative index %d" i
+  | Price_poison { resource; _ } ->
+      if resource < 0 then invalid "Schedule.make: negative index %d" resource
+      (* the poison value itself may be anything, including nan/inf *)
+  | Error_spike { duration; subtask; magnitude; _ } ->
+      check_nonneg "duration" duration;
+      check_nonneg "spike magnitude" magnitude;
+      if subtask < 0 then invalid "Schedule.make: negative index %d" subtask);
+  ()
+
+let make ?(setup = robust_setup) ~workload ~horizon ~settle events =
+  if not (Float.is_finite horizon && horizon > 0.) then
+    invalid "Schedule.make: non-positive horizon %g" horizon;
+  if not (Float.is_finite settle && settle >= 0.) then
+    invalid "Schedule.make: negative settle %g" settle;
+  List.iter (validate_event ~horizon) events;
+  let events = List.stable_sort (fun a b -> Float.compare (event_start a) (event_start b)) events in
+  { workload; horizon; settle; setup; events }
+
+(* ---------- codec ---------- *)
+
+let json_of_event e =
+  let open J in
+  match e with
+  | Faults { at; duration; faults = { drop; duplicate; reorder; reorder_spread } } ->
+      Obj
+        [
+          ("type", Str "faults");
+          ("at", Num at);
+          ("duration", Num duration);
+          ("drop", Num drop);
+          ("duplicate", Num duplicate);
+          ("reorder", Num reorder);
+          ("spread", Num reorder_spread);
+        ]
+  | Jitter { at; duration; spread } ->
+      Obj [ ("type", Str "jitter"); ("at", Num at); ("duration", Num duration); ("spread", Num spread) ]
+  | Partition { at; duration; agents; controllers } ->
+      Obj
+        [
+          ("type", Str "partition");
+          ("at", Num at);
+          ("duration", Num duration);
+          ("agents", Arr (List.map (fun i -> Num (float_of_int i)) agents));
+          ("controllers", Arr (List.map (fun i -> Num (float_of_int i)) controllers));
+        ]
+  | Outage { at; duration; target } ->
+      let kind, index = match target with Agent i -> ("agent", i) | Controller i -> ("controller", i) in
+      Obj
+        [
+          ("type", Str "outage");
+          ("at", Num at);
+          ("duration", Num duration);
+          ("target", Str kind);
+          ("index", Num (float_of_int index));
+        ]
+  | Price_poison { at; resource; value } ->
+      Obj
+        [
+          ("type", Str "price_poison");
+          ("at", Num at);
+          ("resource", Num (float_of_int resource));
+          ("value", Num value);
+        ]
+  | Error_spike { at; duration; subtask; magnitude } ->
+      Obj
+        [
+          ("type", Str "error_spike");
+          ("at", Num at);
+          ("duration", Num duration);
+          ("subtask", Num (float_of_int subtask));
+          ("magnitude", Num magnitude);
+        ]
+
+let json_of_setup s =
+  let open J in
+  Obj
+    [
+      ("safe_mode", Bool s.safe_mode);
+      ("checkpoints", Bool s.checkpoints);
+      ("health", Bool s.health);
+      ("step", (match s.step with Adaptive -> Str "adaptive" | Fixed_gamma g -> Num g));
+      ("transport_seed", Num (float_of_int s.transport_seed));
+    ]
+
+let to_json t =
+  let open J in
+  Obj
+    [
+      ("version", Num 1.);
+      ("workload", Str t.workload);
+      ("horizon", Num t.horizon);
+      ("settle", Num t.settle);
+      ("setup", json_of_setup t.setup);
+      ("events", Arr (List.map json_of_event t.events));
+    ]
+
+(* Decoding: every object is checked for unknown fields so a reproducer
+   never silently means less than it says. *)
+
+let ( let* ) = Result.bind
+
+let known_fields what allowed fields =
+  let rec check = function
+    | [] -> Ok ()
+    | (k, _) :: rest ->
+        if List.mem k allowed then check rest
+        else Error (Printf.sprintf "%s: unknown field %S" what k)
+  in
+  check fields
+
+let field what name j =
+  match J.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: missing field %S" what name)
+
+let num_field what name j =
+  let* v = field what name j in
+  match J.num v with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "%s: field %S is not a number" what name)
+
+let int_field what name j =
+  let* f = num_field what name j in
+  if Float.is_integer f then Ok (int_of_float f)
+  else Error (Printf.sprintf "%s: field %S is not an integer" what name)
+
+let str_field what name j =
+  let* v = field what name j in
+  match J.str v with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "%s: field %S is not a string" what name)
+
+let bool_field what name j =
+  let* v = field what name j in
+  match J.bool v with
+  | Some b -> Ok b
+  | None -> Error (Printf.sprintf "%s: field %S is not a bool" what name)
+
+let int_list_field what name j =
+  let* v = field what name j in
+  match J.arr v with
+  | None -> Error (Printf.sprintf "%s: field %S is not an array" what name)
+  | Some items ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | x :: rest -> (
+            match J.num x with
+            | Some f when Float.is_integer f -> go (int_of_float f :: acc) rest
+            | _ -> Error (Printf.sprintf "%s: field %S holds a non-integer" what name))
+      in
+      go [] items
+
+let event_of_json j =
+  match j with
+  | J.Obj fields -> (
+    let* kind = str_field "event" "type" j in
+    let what = "event " ^ kind in
+    match kind with
+    | "faults" ->
+        let* () =
+          known_fields what [ "type"; "at"; "duration"; "drop"; "duplicate"; "reorder"; "spread" ]
+            fields
+        in
+        let* at = num_field what "at" j in
+        let* duration = num_field what "duration" j in
+        let* drop = num_field what "drop" j in
+        let* duplicate = num_field what "duplicate" j in
+        let* reorder = num_field what "reorder" j in
+        let* reorder_spread = num_field what "spread" j in
+        Ok (Faults { at; duration; faults = { drop; duplicate; reorder; reorder_spread } })
+    | "jitter" ->
+        let* () = known_fields what [ "type"; "at"; "duration"; "spread" ] fields in
+        let* at = num_field what "at" j in
+        let* duration = num_field what "duration" j in
+        let* spread = num_field what "spread" j in
+        Ok (Jitter { at; duration; spread })
+    | "partition" ->
+        let* () = known_fields what [ "type"; "at"; "duration"; "agents"; "controllers" ] fields in
+        let* at = num_field what "at" j in
+        let* duration = num_field what "duration" j in
+        let* agents = int_list_field what "agents" j in
+        let* controllers = int_list_field what "controllers" j in
+        Ok (Partition { at; duration; agents; controllers })
+    | "outage" ->
+        let* () = known_fields what [ "type"; "at"; "duration"; "target"; "index" ] fields in
+        let* at = num_field what "at" j in
+        let* duration = num_field what "duration" j in
+        let* target = str_field what "target" j in
+        let* index = int_field what "index" j in
+        let* target =
+          match target with
+          | "agent" -> Ok (Agent index)
+          | "controller" -> Ok (Controller index)
+          | other -> Error (Printf.sprintf "%s: unknown target %S" what other)
+        in
+        Ok (Outage { at; duration; target })
+    | "price_poison" ->
+        let* () = known_fields what [ "type"; "at"; "resource"; "value" ] fields in
+        let* at = num_field what "at" j in
+        let* resource = int_field what "resource" j in
+        let* value = num_field what "value" j in
+        Ok (Price_poison { at; resource; value })
+    | "error_spike" ->
+        let* () = known_fields what [ "type"; "at"; "duration"; "subtask"; "magnitude" ] fields in
+        let* at = num_field what "at" j in
+        let* duration = num_field what "duration" j in
+        let* subtask = int_field what "subtask" j in
+        let* magnitude = num_field what "magnitude" j in
+        Ok (Error_spike { at; duration; subtask; magnitude })
+    | other -> Error (Printf.sprintf "event: unknown type %S" other))
+  | _ -> Error "event: not an object"
+
+let setup_of_json j =
+  match j with
+  | J.Obj fields ->
+  let what = "setup" in
+  let* () =
+    known_fields what [ "safe_mode"; "checkpoints"; "health"; "step"; "transport_seed" ] fields
+  in
+  let* safe_mode = bool_field what "safe_mode" j in
+  let* checkpoints = bool_field what "checkpoints" j in
+  let* health = bool_field what "health" j in
+  let* step_json = field what "step" j in
+  let* step =
+    match step_json with
+    | J.Str "adaptive" -> Ok Adaptive
+    | J.Num g -> Ok (Fixed_gamma g)
+    | J.Str other -> Error (Printf.sprintf "setup: unknown step %S" other)
+    | _ -> Error "setup: step must be \"adaptive\" or a number"
+  in
+  let* transport_seed = int_field what "transport_seed" j in
+  Ok { safe_mode; checkpoints; health; step; transport_seed }
+  | _ -> Error "setup: not an object"
+
+let of_json j =
+  match j with
+  | J.Obj fields ->
+      let what = "schedule" in
+      let* () =
+        known_fields what [ "version"; "workload"; "horizon"; "settle"; "setup"; "events" ] fields
+      in
+      let* version = int_field what "version" j in
+      if version <> 1 then Error (Printf.sprintf "schedule: unsupported version %d" version)
+      else
+        let* workload = str_field what "workload" j in
+        let* horizon = num_field what "horizon" j in
+        let* settle = num_field what "settle" j in
+        let* setup_json = field what "setup" j in
+        let* setup = setup_of_json setup_json in
+        let* events_json = field what "events" j in
+        let* events =
+          match J.arr events_json with
+          | None -> Error "schedule: events is not an array"
+          | Some items ->
+              let rec go acc = function
+                | [] -> Ok (List.rev acc)
+                | e :: rest ->
+                    let* ev = event_of_json e in
+                    go (ev :: acc) rest
+              in
+              go [] items
+        in
+        (match make ~setup ~workload ~horizon ~settle events with
+        | t -> Ok t
+        | exception Invalid_argument msg -> Error msg)
+  | _ -> Error "schedule: not an object"
+
+let to_string t = J.to_string (to_json t)
+
+let of_string s =
+  let* j = J.parse s in
+  of_json j
+
+let save t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string t);
+      output_char oc '\n')
+
+let load ~path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let buf = Buffer.create 1024 in
+          (try
+             while true do
+               Buffer.add_channel buf ic 1
+             done
+           with End_of_file -> ());
+          of_string (String.trim (Buffer.contents buf)))
+
+(* [Stdlib.compare] treats nan = nan, which is exactly what schedule
+   equality needs (a nan poison value is the same poison). *)
+let equal a b = compare a b = 0
+
+let pp_event ppf e =
+  match e with
+  | Faults { at; duration; faults = { drop; duplicate; reorder; reorder_spread } } ->
+      Format.fprintf ppf "@[faults   [%g, %g): drop=%g dup=%g reorder=%g/%gms@]" at (at +. duration)
+        drop duplicate reorder reorder_spread
+  | Jitter { at; duration; spread } ->
+      Format.fprintf ppf "@[jitter   [%g, %g): +U[0,%g)ms@]" at (at +. duration) spread
+  | Partition { at; duration; agents; controllers } ->
+      let pp_is ppf is =
+        Format.pp_print_list
+          ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+          Format.pp_print_int ppf is
+      in
+      Format.fprintf ppf "@[partition[%g, %g): agents {%a} + controllers {%a} vs rest@]" at
+        (at +. duration) pp_is agents pp_is controllers
+  | Outage { at; duration; target } ->
+      let kind, i = match target with Agent i -> ("agent", i) | Controller i -> ("controller", i) in
+      Format.fprintf ppf "@[outage   [%g, %g): %s %d down@]" at (at +. duration) kind i
+  | Price_poison { at; resource; value } ->
+      Format.fprintf ppf "@[poison    %g: mu[%d] <- %g@]" at resource value
+  | Error_spike { at; duration; subtask; magnitude } ->
+      Format.fprintf ppf "@[err-spike[%g, %g): offset[%d] <- %gms@]" at (at +. duration) subtask
+        magnitude
+
+let pp ppf t =
+  let step =
+    match t.setup.step with Adaptive -> "adaptive" | Fixed_gamma g -> Printf.sprintf "fixed %g" g
+  in
+  Format.fprintf ppf "@[<v>workload %s, horizon %gms + settle %gms@,setup: safe_mode=%b checkpoints=%b health=%b step=%s tseed=%d"
+    t.workload t.horizon t.settle t.setup.safe_mode t.setup.checkpoints t.setup.health step
+    t.setup.transport_seed;
+  List.iter (fun e -> Format.fprintf ppf "@,%a" pp_event e) t.events;
+  Format.fprintf ppf "@]"

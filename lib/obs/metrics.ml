@@ -160,15 +160,17 @@ let quantile h ~q =
         Some h.bounds.(n - 1)
       else
         let cum' = cum + h.counts.(i) in
-        if float_of_int cum' >= rank then begin
+        let in_bucket = h.counts.(i) in
+        if float_of_int cum' >= rank && in_bucket > 0 then
+          (* An empty bucket can only satisfy the rank test at [rank =
+             cum] (notably q = 0 on an empty first bucket); skipping it
+             lands on the first populated bucket, whose interpolation at
+             [frac = 0] yields its lower edge — an attainable value,
+             where the empty bucket's upper edge is not. *)
           let lo = if i = 0 then 0. else h.bounds.(i - 1) in
           let hi = h.bounds.(i) in
-          let in_bucket = h.counts.(i) in
-          if in_bucket = 0 then Some hi
-          else
-            let frac = (rank -. float_of_int cum) /. float_of_int in_bucket in
-            Some (lo +. ((hi -. lo) *. Float.max 0. frac))
-        end
+          let frac = (rank -. float_of_int cum) /. float_of_int in_bucket in
+          Some (lo +. ((hi -. lo) *. Float.max 0. frac))
         else find (i + 1) cum'
     in
     find 0 0

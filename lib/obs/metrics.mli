@@ -71,14 +71,23 @@ val quantile : histogram -> q:float -> float option
 (** Bucket-interpolated quantile estimate (the Prometheus
     [histogram_quantile] rule): locate the cumulative bucket containing
     rank [q * count] and interpolate linearly between its bounds,
-    treating observations as uniform within a bucket. Ranks landing in
-    the open [+Inf] bucket report the highest finite bound (there is no
-    upper edge to interpolate towards). [None] when the histogram is
-    empty or [q] is outside [0, 1]. *)
+    treating observations as uniform within a bucket. Empty buckets are
+    skipped, so [q = 0.] reports the lower edge of the first populated
+    bucket rather than the upper edge of an empty one. Ranks landing in
+    the open [+Inf] bucket — including every rank when all observations
+    exceeded the highest bound, and [nan] observations, which {!observe}
+    routes there — report the highest finite bound (there is no upper
+    edge to interpolate towards). [None] when the histogram is empty,
+    [q] is [nan], or [q] is outside [0, 1]; never raises and never
+    divides by an empty bucket. *)
 
 val summary : ?name:string -> histogram -> string
 (** One-line [count/sum/mean/p50/p90/p99] digest via {!quantile},
-    prefixed with [name] when given. *)
+    prefixed with [name] when given; ["<name>: no observations"] on an
+    empty histogram. Quantiles come from bucket counts and are always
+    finite, but [sum] (and therefore [mean]) accumulates raw observed
+    values — a [nan]/[inf] observation deliberately poisons them, making
+    the corruption visible in the digest instead of averaging it away. *)
 
 val find_counter : t -> ?labels:(string * string) list -> string -> counter option
 (** Lookup without creating (tests, expositions of foreign components). *)

@@ -416,6 +416,16 @@ let maybe_checkpoint_controller t (c : controller) =
 let agent_tick t (a : agent) =
   prof t "price_update" @@ fun () ->
   Lla_obs.Metrics.incr t.meters.m_price_rounds;
+  (* A non-finite stored price can never recover through Eq. 8 (inf - x
+     = inf, nan propagates), so any corruption that lands directly in
+     [a.price] — a poisoned restore, fault injection — would otherwise
+     persist forever: heal it to [mu0] like the other runtime guards. *)
+  if not (Float.is_finite a.price) then begin
+    Lla_obs.Metrics.incr t.meters.m_guards;
+    Lla_obs.emit_opt t.obs ~at:(Lla_sim.Engine.now t.engine)
+      (Lla_obs.Trace.Guard_fired { site = "distributed.agent.price" });
+    a.price <- t.config.mu0
+  end;
   let used = ref 0. in
   Array.iteri
     (fun slot i ->
@@ -569,10 +579,16 @@ let enter_safe_mode t sm ~reason =
   Lla_obs.emit_opt t.obs ~at:(Lla_sim.Engine.now t.engine)
     (Lla_obs.Trace.Safe_mode_entered { reason; fallback = Safe_mode.fallback_source sm });
   Array.blit (Safe_mode.fallback sm) 0 t.lat 0 (Array.length t.lat);
+  (* Heal well below the watchdog's divergence threshold: a price that is
+     finite but orders of magnitude above the dual scale (chaos campaigns
+     found mu = 1e4 with mu_cap = 1e6) decays only by ~gamma per round, so
+     it cannot recover within a safe-mode dwell and poisons every
+     re-entered optimization — permanent enter/exit thrash. *)
   let mu_cap = (Safe_mode.config sm).Safe_mode.mu_cap in
+  let heal_cap = Float.min mu_cap (1_000. *. Float.max 1. t.config.mu0) in
   Array.iter
     (fun a ->
-      if (not (Float.is_finite a.price)) || a.price > mu_cap then a.price <- t.config.mu0;
+      if (not (Float.is_finite a.price)) || a.price > heal_cap then a.price <- t.config.mu0;
       a.gamma <- initial_gamma t.config.step_policy;
       (* Repair the agent's latency view in place: announcements from down
          controllers may never arrive. *)
@@ -703,3 +719,15 @@ let warm_restores t = Lla_obs.Metrics.value t.meters.m_warm_restores
 let cold_restarts t = Lla_obs.Metrics.value t.meters.m_cold_restarts
 
 let guard_events t = Lla_obs.Metrics.value t.meters.m_guards
+
+(* Chaos-injection hooks. These overwrite live state exactly as a corrupted
+   message or a drifted plant model would, so the regular iteration (and the
+   finite-value guards) process the poison on the next tick. *)
+
+let poison_price t rid value =
+  t.agents.(Lla.Problem.resource_index t.problem rid).price <- value
+
+let set_error_offset t sid value =
+  t.offsets.(Lla.Problem.subtask_index t.problem sid) <- value
+
+let error_offset t sid = t.offsets.(Lla.Problem.subtask_index t.problem sid)

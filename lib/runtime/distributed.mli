@@ -184,3 +184,21 @@ val cold_restarts : t -> int
 val guard_events : t -> int
 (** Non-finite values neutralized in the distributed iteration (agent
     share sums, path multipliers, and {!Lla.Allocation} guards). *)
+
+(** {2 Chaos injection}
+
+    Hooks for {!Lla_chaos} fault schedules. They overwrite live state the
+    same way a corrupted message or a drifted plant model would; the
+    regular iteration (and the finite-value guards) process the injected
+    value on the next tick. *)
+
+val poison_price : t -> Ids.Resource_id.t -> float -> unit
+(** Overwrite a price agent's current multiplier ([nan]/[inf] allowed —
+    that is the point). The next agent tick announces it. *)
+
+val set_error_offset : t -> Ids.Subtask_id.t -> float -> unit
+(** Set the model-error offset (ms) applied to the subtask's latency when
+    computing its effective bandwidth share (the §6.3 correction path) —
+    a spike here simulates plant/model mismatch. *)
+
+val error_offset : t -> Ids.Subtask_id.t -> float

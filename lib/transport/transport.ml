@@ -100,6 +100,12 @@ type t = {
   channels : (int * int, channel) Hashtbl.t;
   mutable partitions : partition_spec list;
   all_window : Window.t;
+  (* Live fault state, initialized from [config] and mutable so chaos
+     schedules can open and close fault windows mid-run. The zero values
+     draw nothing from the RNG, preserving the bit-for-bit zero-fault
+     guarantee for transports that never touch them. *)
+  mutable faults : faults;
+  mutable extra_jitter : float;
 }
 
 let create ?obs ?(config = default_config) engine =
@@ -121,6 +127,8 @@ let create ?obs ?(config = default_config) engine =
     channels = Hashtbl.create 64;
     partitions = [];
     all_window = Window.create ~capacity:config.delay_window;
+    faults = config.faults;
+    extra_jitter = 0.;
   }
 
 let config t = t.config
@@ -128,6 +136,16 @@ let config t = t.config
 let engine t = t.engine
 
 let metrics t = t.registry
+
+let set_faults t faults = t.faults <- faults
+
+let active_faults t = t.faults
+
+let set_extra_jitter t spread =
+  if spread < 0. then invalid_arg "Transport.set_extra_jitter: negative spread";
+  t.extra_jitter <- spread
+
+let extra_jitter t = t.extra_jitter
 
 (* Trace emission is a single match on the cold [None] path; it never
    schedules events or draws randomness. Failures go through [emit]
@@ -319,14 +337,18 @@ let rec attempt t ch ?key ~seq ~span ~n payload =
     emit t (dropped_event ch "down")
   end
   else if partitioned t ~src:ch.src ~dst:ch.dst then lost `Cut
-  else if hit t t.config.faults.drop then lost `Drop
+  else if hit t t.faults.drop then lost `Drop
   else begin
     let model = Option.value ch.link_delay ~default:t.config.delay in
     let schedule_copy () =
       let delay = Delay_model.sample model t.rng in
       let delay =
-        if hit t t.config.faults.reorder && t.config.faults.reorder_spread > 0. then
-          delay +. Rng.uniform t.rng ~lo:0. ~hi:t.config.faults.reorder_spread
+        if hit t t.faults.reorder && t.faults.reorder_spread > 0. then
+          delay +. Rng.uniform t.rng ~lo:0. ~hi:t.faults.reorder_spread
+        else delay
+      in
+      let delay =
+        if t.extra_jitter > 0. then delay +. Rng.uniform t.rng ~lo:0. ~hi:t.extra_jitter
         else delay
       in
       ignore
@@ -334,7 +356,7 @@ let rec attempt t ch ?key ~seq ~span ~n payload =
              deliver t ch ?key ~seq ~span ~delay payload ~on_lost:lost))
     in
     schedule_copy ();
-    if hit t t.config.faults.duplicate then begin
+    if hit t t.faults.duplicate then begin
       Metrics.incr ch.c_duplicated;
       schedule_copy ()
     end

@@ -110,6 +110,30 @@ val set_link_delay : t -> src:endpoint -> dst:endpoint -> Delay_model.t -> unit
 (** Override the delay model of the directed [src -> dst] link
     (heterogeneous links). *)
 
+(** {1 Scheduled fault windows}
+
+    The probabilistic fault knobs are {e live}: a chaos schedule (see
+    {!Lla_chaos.Schedule}) opens a fault window by calling {!set_faults}
+    from an engine event at the window's start and closes it by restoring
+    the previous value at its end. A transport that never calls these
+    behaves exactly as configured at {!create}. *)
+
+val set_faults : t -> faults -> unit
+(** Replace the active fault configuration for every message sent from
+    now on; in-flight deliveries are unaffected. The transport starts
+    with [config.faults]. *)
+
+val active_faults : t -> faults
+
+val set_extra_jitter : t -> float -> unit
+(** Add a uniform extra delay in [\[0, spread)] ms to every delivery
+    scheduled from now on (on top of the delay model and any reorder
+    hold-back). [0.] — the initial value — draws nothing from the RNG,
+    preserving the zero-fault determinism guarantee.
+    @raise Invalid_argument on a negative spread. *)
+
+val extra_jitter : t -> float
+
 (** {1 Sending} *)
 
 val send : ?key:int -> t -> src:endpoint -> dst:endpoint -> (unit -> unit) -> unit

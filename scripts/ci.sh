@@ -47,3 +47,9 @@ echo "ci: $total tests run (floor $floor)"
 # end-to-end on the paper's Fig. 5 scenario (settling-time assertions
 # against the optimum live in test/test_analysis.ml).
 ./_build/default/bin/lla_cli.exe analyze fig5
+
+# Chaos campaign smoke: 25 fixed-seed randomized fault schedules against
+# the fully-armed deployment. The command exits non-zero on any oracle
+# violation and prints the (shrunk) reproducer path for replay with
+# `lla_cli chaos-replay`.
+./_build/default/bin/lla_cli.exe campaign --runs 25 --seed 42 --out _build/chaos-repro

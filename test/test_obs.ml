@@ -109,6 +109,55 @@ let test_histogram_summary () =
       Alcotest.(check bool) (Printf.sprintf "summary mentions %S" needle) true (go 0))
     [ "s:"; "count=3"; "sum=55.500"; "mean=18.500"; "p50="; "p90="; "p99=" ]
 
+(* Degenerate histogram shapes: empty leading buckets, a single bucket,
+   and non-finite observations must neither crash nor leak nan through
+   the quantile path (the summary's sum/mean deliberately do). *)
+let test_quantile_degenerate_histograms () =
+  let m = Metrics.create () in
+  (* Every observation in the last finite bucket: q = 0 must report the
+     first *occupied* bucket's lower edge, not the upper edge of the
+     empty first bucket. *)
+  let sparse =
+    Metrics.histogram m ~buckets:(Array.init 10 (fun i -> float_of_int ((i + 1) * 10))) "sparse"
+  in
+  List.iter (Metrics.observe sparse) [ 95.; 96.; 97. ];
+  Alcotest.(check (float 0.)) "q=0 skips empty buckets" 90.
+    (Option.get (Metrics.quantile sparse ~q:0.));
+  Alcotest.(check bool) "q=0.5 interpolates inside the occupied bucket" true
+    (let v = Option.get (Metrics.quantile sparse ~q:0.5) in
+     v > 90. && v <= 100.);
+  (* Single finite bucket holding all the mass. *)
+  let single = Metrics.histogram m ~buckets:[| 1. |] "single" in
+  List.iter (Metrics.observe single) [ 0.2; 0.4 ];
+  Alcotest.(check (float 0.)) "single bucket q=0" 0. (Option.get (Metrics.quantile single ~q:0.));
+  Alcotest.(check bool) "single bucket q=0.5 within (0, 1]" true
+    (let v = Option.get (Metrics.quantile single ~q:0.5) in
+     v > 0. && v <= 1.);
+  Alcotest.(check (float 0.)) "single bucket q=1" 1. (Option.get (Metrics.quantile single ~q:1.));
+  (* Non-finite observations land in the +Inf bucket: quantiles stay
+     finite (clamped to the highest bound), count includes them, and the
+     summary surfaces the poisoned sum/mean as nan instead of hiding it. *)
+  let poisoned = Metrics.histogram m ~buckets:[| 1.; 10. |] "poisoned" in
+  Metrics.observe poisoned 0.5;
+  Metrics.observe poisoned Float.nan;
+  Metrics.observe poisoned Float.infinity;
+  Alcotest.(check int) "non-finite observations are counted" 3 (Metrics.histogram_count poisoned);
+  Alcotest.(check bool) "quantile stays finite under nan observations" true
+    (match Metrics.quantile poisoned ~q:0.99 with Some v -> Float.is_finite v | None -> false);
+  Alcotest.(check (float 0.)) "nan ranks clamp to the highest bound" 10.
+    (Option.get (Metrics.quantile poisoned ~q:1.));
+  let line = Metrics.summary ~name:"poisoned" poisoned in
+  let contains needle =
+    let n = String.length needle in
+    let rec go i = i + n <= String.length line && (String.sub line i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "summary surfaces the poisoned mean" true (contains "mean=nan");
+  (* Empty histogram summary never divides by zero. *)
+  let empty = Metrics.histogram m ~buckets:[| 1. |] "empty2" in
+  Alcotest.(check string) "empty summary" "empty2: no observations"
+    (Metrics.summary ~name:"empty2" empty)
+
 let test_expose_format () =
   let m = Metrics.create () in
   let c = Metrics.counter m ~help:"how many" ~labels:[ ("kind", "a") ] "events_total" in
@@ -504,6 +553,7 @@ let () =
           Alcotest.test_case "gauge and histogram" `Quick test_gauge_and_histogram;
           Alcotest.test_case "histogram quantile" `Quick test_histogram_quantile;
           Alcotest.test_case "histogram summary" `Quick test_histogram_summary;
+          Alcotest.test_case "degenerate histograms" `Quick test_quantile_degenerate_histograms;
           Alcotest.test_case "prometheus exposition" `Quick test_expose_format;
         ] );
       ( "trace",

@@ -460,6 +460,161 @@ let test_safe_mode_quiet_on_healthy_run () =
   in
   Alcotest.(check bool) "utility gap < 2%" true (gap < 0.02)
 
+(* ------------------------------------------------------------------ *)
+(* Integration: admission churn concurrent with transport faults       *)
+(* ------------------------------------------------------------------ *)
+
+let churn_task ~id ~exec ~period ~critical_time =
+  let open Lla_model in
+  let tid = Ids.Task_id.make id in
+  let subtasks =
+    List.init 2 (fun j ->
+        Subtask.make ~id:((id * 10) + j) ~task:tid ~resource:j ~exec_time:exec ())
+  in
+  Task.make_exn ~id ~subtasks
+    ~graph:(Graph.chain (List.map (fun (s : Subtask.t) -> s.id) subtasks))
+    ~critical_time
+    ~utility:(Utility.linear ~k:2. ~critical_time)
+    ~trigger:(Trigger.periodic ~period ())
+    ()
+
+let split_endpoints d (workload : Lla_model.Workload.t) =
+  ( List.map
+      (fun (r : Lla_model.Resource.t) -> Distributed.agent_endpoint d r.id)
+      workload.Lla_model.Workload.resources,
+    List.map
+      (fun (task : Lla_model.Task.t) -> Distributed.controller_endpoint d task.id)
+      workload.Lla_model.Workload.tasks )
+
+(* Tasks admitted/removed while the network is partitioned must leave the
+   post-churn deployment Eq.3-feasible once the partition heals. The
+   admission controller decides on its offline probe; the distributed
+   runtime then has to carry that decision through a still-partitioned
+   fabric without ending up oversubscribed. *)
+let test_admission_churn_mid_partition () =
+  let resources =
+    [ Lla_model.Resource.make ~availability:0.35 0; Lla_model.Resource.make ~availability:0.35 1 ]
+  in
+  let controller = Lla.Admission.create ~probe_iterations:1500 ~resources () in
+  List.iter
+    (fun id ->
+      match
+        Lla.Admission.try_admit controller
+          (churn_task ~id ~exec:5. ~period:200. ~critical_time:100.)
+      with
+      | Lla.Admission.Admitted _ -> ()
+      | Lla.Admission.Rejected { reason } ->
+        Alcotest.fail (Printf.sprintf "task %d should fit: %s" id reason))
+    [ 1; 2; 3 ];
+  let w1 = Option.get (Lla.Admission.workload controller) in
+  let engine = Lla_sim.Engine.create () in
+  let transport = Transport.create engine in
+  let resilience =
+    { Distributed.default_resilience with Distributed.health = None; checkpoint_period = None }
+  in
+  let d1 = Distributed.create ~resilience ~transport engine w1 in
+  Distributed.run d1 ~duration:12_000.;
+  (* Cut agents from controllers for 4 s, then churn 2 s into the cut. *)
+  let agents1, controllers1 = split_endpoints d1 w1 in
+  Transport.partition transport
+    ~at:(Lla_sim.Engine.now engine +. 1.)
+    ~duration:4_000. ~group_a:agents1 ~group_b:controllers1;
+  Distributed.run d1 ~duration:2_000.;
+  Alcotest.(check bool) "retire mid-partition" true
+    (Lla.Admission.retire controller (Lla_model.Ids.Task_id.make 2));
+  (match
+     Lla.Admission.try_admit controller
+       (churn_task ~id:4 ~exec:6.5 ~period:200. ~critical_time:100.)
+   with
+  | Lla.Admission.Admitted _ -> ()
+  | Lla.Admission.Rejected { reason } ->
+    Alcotest.fail ("heavier replacement should fit the freed headroom: " ^ reason));
+  let w2 = Option.get (Lla.Admission.workload controller) in
+  (* Redeploy over the post-churn set on the same (still partitioned)
+     fabric; the fresh endpoints inherit their own cut for the remaining
+     2 s of the window. *)
+  Distributed.stop d1;
+  let d2 = Distributed.create ~resilience ~transport engine w2 in
+  let agents2, controllers2 = split_endpoints d2 w2 in
+  Transport.partition transport
+    ~at:(Lla_sim.Engine.now engine +. 1.)
+    ~duration:2_000. ~group_a:agents2 ~group_b:controllers2;
+  Distributed.run d2 ~duration:2_100.;
+  (* Partition healed; give the gradient time to settle, then hold the
+     enacted assignment to Eq.3 within a 10% operational tolerance. *)
+  Distributed.run d2 ~duration:15_000.;
+  let problem = Lla.Problem.compile w2 in
+  let n_sub = Lla.Problem.n_subtasks problem in
+  let lat = Array.make n_sub 0. in
+  for i = 0 to n_sub - 1 do
+    lat.(i) <- Distributed.latency d2 problem.Lla.Problem.subtasks.(i).Lla.Problem.sid
+  done;
+  let offsets = Array.make n_sub 0. in
+  for r = 0 to Lla.Problem.n_resources problem - 1 do
+    let used = Lla.Problem.share_sum problem r ~lat ~offsets in
+    let cap = problem.Lla.Problem.capacities.(r) in
+    Alcotest.(check bool)
+      (Printf.sprintf "Eq.3 on r%d after heal (used %.4f vs cap %.4f)" r used cap)
+      true
+      (used <= cap *. 1.10)
+  done;
+  Alcotest.(check bool) "post-churn utility finite" true
+    (Float.is_finite (Distributed.utility d2));
+  Alcotest.(check int) "accepted set restored to three" 3
+    (List.length (Lla.Admission.admitted controller))
+
+(* ------------------------------------------------------------------ *)
+(* Regression: stop with messages in flight mid-partition              *)
+(* ------------------------------------------------------------------ *)
+
+(* [stop] cancels the tick loops but deliberately leaves in-flight
+   transport events — delayed deliveries and scheduled retries — to drain
+   on their own. With a retry policy and an open partition, that drain
+   must still terminate (retries are attempt-bounded even when every
+   attempt is cut) and must not tick any actor after the stop. *)
+let test_stop_mid_partition_drains () =
+  let workload = Lla_workloads.Paper_sim.base () in
+  let engine = Lla_sim.Engine.create () in
+  let config =
+    {
+      Transport.default_config with
+      Transport.policy =
+        {
+          Transport.retry = Some { Transport.timeout = 40.; backoff = 2.; max_attempts = 6 };
+          last_write_wins = true;
+        };
+    }
+  in
+  let transport = Transport.create ~config engine in
+  let resilience =
+    { Distributed.default_resilience with Distributed.health = None; checkpoint_period = None }
+  in
+  let d = Distributed.create ~resilience ~transport engine workload in
+  Distributed.run d ~duration:5_000.;
+  let agents, controllers = split_endpoints d workload in
+  Transport.partition transport
+    ~at:(Lla_sim.Engine.now engine +. 1.)
+    ~duration:60_000. ~group_a:agents ~group_b:controllers;
+  (* Leave the run mid-partition, with retries queued on both sides of
+     the cut. *)
+  Distributed.run d ~duration:500.;
+  Distributed.stop d;
+  let rounds = Distributed.price_rounds d in
+  let sent = Distributed.messages_sent d in
+  let stopped_at = Lla_sim.Engine.now engine in
+  (* Would never return if a tick loop survived [stop]. *)
+  Lla_sim.Engine.run engine ();
+  Alcotest.(check int) "event queue fully drained" 0 (Lla_sim.Engine.pending engine);
+  Alcotest.(check int) "no price rounds after stop" rounds (Distributed.price_rounds d);
+  Alcotest.(check int) "no sends after stop" sent (Distributed.messages_sent d);
+  (* Bounded backoff: 40 * (1+2+4+8+16) < 2 s of retry tail, nowhere near
+     the 60 s heal — the drain must not wait out the partition. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "drain ends on the retry tail, not the heal (%.0f ms)"
+       (Lla_sim.Engine.now engine -. stopped_at))
+    true
+    (Lla_sim.Engine.now engine < stopped_at +. 5_000.)
+
 let () =
   Alcotest.run "lla_resilience"
     [
@@ -495,5 +650,9 @@ let () =
             test_safe_mode_contains_divergence;
           Alcotest.test_case "watchdog quiet on a healthy run" `Slow
             test_safe_mode_quiet_on_healthy_run;
+          Alcotest.test_case "admission churn mid-partition stays Eq.3-feasible" `Slow
+            test_admission_churn_mid_partition;
+          Alcotest.test_case "stop drains in-flight messages mid-partition" `Quick
+            test_stop_mid_partition_drains;
         ] );
     ]
