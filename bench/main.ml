@@ -300,6 +300,235 @@ let run_micro () =
     "The per-iteration cost grows linearly with the task count (the scalability claim at\n\
      the implementation level).\n"
 
+(* ------------------------------------------------------------------ *)
+(* Scale kernel benchmark (BENCH_<name>.json snapshots)                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Destination directory for machine-readable snapshots, set by
+   [--json DIR]. Each JSON-capable experiment writes BENCH_<name>.json
+   there; without the flag it only prints. *)
+let json_dir : string option ref = ref None
+
+let peak_rss_kb () =
+  (* VmHWM ("high water mark") is the peak resident set of the process in
+     kB; containerized kernels often omit it, in which case the current
+     VmRSS — sampled right after the solve, when the arena is fully
+     populated — stands in. 0 outside Linux rather than a failure. *)
+  try
+    let ic = open_in "/proc/self/status" in
+    let hwm = ref 0 and rss = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         (try Scanf.sscanf line "VmHWM: %d kB" (fun kb -> hwm := kb)
+          with Scanf.Scan_failure _ | Failure _ | End_of_file -> ());
+         try Scanf.sscanf line "VmRSS: %d kB" (fun kb -> rss := kb)
+         with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()
+       done
+     with End_of_file -> close_in ic);
+    if !hwm > 0 then !hwm else !rss
+  with Sys_error _ -> 0
+
+let write_json ~name fields =
+  match !json_dir with
+  | None -> ()
+  | Some dir ->
+    let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" name) in
+    let oc = open_out path in
+    output_string oc "{\n";
+    List.iteri
+      (fun i (key, value) ->
+        Printf.fprintf oc "  %S: %s%s\n" key value (if i = List.length fields - 1 then "" else ","))
+      fields;
+    output_string oc "}\n";
+    close_out oc;
+    Printf.printf "  snapshot written to %s\n" path
+
+(* The scale benchmark: generate a seeded planet-scale scenario, solve it
+   with the flat-array kernel, and snapshot the numbers the README's
+   BENCH convention promises — iterations/sec (transient and steady
+   state), ns/subtask/iter, allocation words per tick, peak RSS, and the
+   per-iteration speedup over the reference solver.
+
+   With [gate] set (scale-smoke, run from CI) three acceptance checks
+   become hard failures: the kernel must agree with {!Lla.Solver}
+   element-wise within 1e-9 under the shared default config, a
+   steady-state kernel tick must run at least 20x faster than a solver
+   iteration, and a tick must allocate zero minor words. *)
+let scale_bench ~name ~subtasks ~gate () =
+  print_string
+    (Lla_experiments.Report.header
+       (Printf.sprintf "Scale kernel (%d subtasks, seed 42)" subtasks));
+  let failed = ref false in
+  let seed = 42 in
+  let params = Lla_scale.Generator.sized ~subtasks () in
+  let t0 = Unix.gettimeofday () in
+  let workload = Lla_scale.Generator.generate ~params ~seed () in
+  let generate_s = Unix.gettimeofday () -. t0 in
+  Printf.printf "  scenario     %s\n" (Lla_scale.Generator.describe workload);
+  let t0 = Unix.gettimeofday () in
+  let kernel =
+    match Lla_scale.Kernel.create ~config:Lla_scale.Kernel.scale_config workload with
+    | Ok k -> k
+    | Error e ->
+      Printf.printf "  FAIL: kernel rejected the generated workload: %s\n" e;
+      exit 1
+  in
+  let build_s = Unix.gettimeofday () -. t0 in
+  Printf.printf "  generate     %8.2f s    compile+compact %8.2f s\n" generate_s build_s;
+  (* Transient: solve from cold. *)
+  let t0 = Unix.gettimeofday () in
+  let converged = Lla_scale.Kernel.solve kernel ~max_iterations:10_000 in
+  let solve_s = Unix.gettimeofday () -. t0 in
+  let iterations =
+    match converged with
+    | Some n -> n
+    | None ->
+      Printf.printf "  FAIL: no convergence in 10000 ticks (movement %.2e)\n"
+        (Lla_scale.Kernel.movement kernel);
+      exit 1
+  in
+  if not (Lla_scale.Kernel.feasible kernel) then begin
+    Printf.printf "  FAIL: converged but infeasible: %s\n"
+      (String.concat "; " (Lla_scale.Kernel.violations kernel));
+    exit 1
+  end;
+  let n_sub = Lla_scale.Kernel.n_subtasks kernel in
+  let solve_tick_s = solve_s /. float_of_int iterations in
+  Printf.printf
+    "  solve        %8.2f s    %d ticks to feasible convergence (%.0f ticks/s)\n" solve_s
+    iterations (1. /. solve_tick_s);
+  Printf.printf "  transient    %8.2f ms/tick  (%.1f ns/subtask/iter)\n" (solve_tick_s *. 1e3)
+    (solve_tick_s *. 1e9 /. float_of_int n_sub);
+  (* Steady state: the incremental regime the dirty sets target. Best of
+     several batches — single-batch wall clock jitters across the 20x
+     gate on a noisy CI box. *)
+  let steady_tick_s = ref infinity in
+  for _ = 1 to 5 do
+    let reps = 200 in
+    let t0 = Unix.gettimeofday () in
+    Lla_scale.Kernel.run kernel ~iterations:reps;
+    let per = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+    if per < !steady_tick_s then steady_tick_s := per
+  done;
+  let steady_tick_s = !steady_tick_s in
+  Printf.printf "  steady state %8.2f ms/tick  (%.1f ns/subtask/iter, %.0f ticks/s)\n"
+    (steady_tick_s *. 1e3)
+    (steady_tick_s *. 1e9 /. float_of_int n_sub)
+    (1. /. steady_tick_s);
+  (* Allocation per tick, by minor-words delta (the Gc probe itself
+     allocates its boxed result, so subtract an empty probe). *)
+  let probe iterations =
+    let before = Gc.minor_words () in
+    Lla_scale.Kernel.run kernel ~iterations;
+    Gc.minor_words () -. before
+  in
+  let empty = probe 0 in
+  let alloc_words = (probe 100 -. empty) /. 100. in
+  Printf.printf "  allocation   %8.2f minor words/tick\n" alloc_words;
+  (* Reference solver, same workload: per-iteration cost, best of
+     several batches as above. *)
+  let solver = Lla.Solver.create workload in
+  let solver_iter_s = ref infinity in
+  for _ = 1 to 3 do
+    let solver_reps = 5 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to solver_reps do
+      Lla.Solver.step solver
+    done;
+    let per = (Unix.gettimeofday () -. t0) /. float_of_int solver_reps in
+    if per < !solver_iter_s then solver_iter_s := per
+  done;
+  let solver_iter_s = !solver_iter_s in
+  let speedup = solver_iter_s /. steady_tick_s in
+  Printf.printf "  solver       %8.2f ms/iter  -> kernel speedup %.1fx (steady state)\n"
+    (solver_iter_s *. 1e3) speedup;
+  let rss = peak_rss_kb () in
+  Printf.printf "  peak RSS     %8.1f MB\n" (float_of_int rss /. 1024.);
+  if gate then begin
+    (* Element-wise agreement under the shared default config: fresh
+       kernel vs fresh solver, identical iterate after a prefix of
+       ticks. *)
+    let agree_iters = 30 in
+    let s2 = Lla.Solver.create workload in
+    for _ = 1 to agree_iters do
+      Lla.Solver.step s2
+    done;
+    let k2 =
+      match Lla_scale.Kernel.create workload with Ok k -> k | Error e -> failwith e
+    in
+    Lla_scale.Kernel.run k2 ~iterations:agree_iters;
+    let kernel_lat = Lla_scale.Kernel.lat_array k2 in
+    let solver_lat = Lla.Solver.lat_array s2 in
+    let worst = ref 0. in
+    Array.iteri
+      (fun i expect ->
+        let d = Float.abs (kernel_lat.(i) -. expect) /. Float.max 1. (Float.abs expect) in
+        if d > !worst then worst := d)
+      solver_lat;
+    Printf.printf "  agreement    %8.1e worst relative latency gap vs solver after %d ticks\n"
+      !worst agree_iters;
+    if !worst > 1e-9 then begin
+      Printf.printf "  FAIL: kernel diverges from the reference solver (tolerance 1e-9)\n";
+      failed := true
+    end;
+    if speedup < 20. then begin
+      Printf.printf "  FAIL: steady-state speedup %.1fx below the 20x gate\n" speedup;
+      failed := true
+    end;
+    if alloc_words <> 0. then begin
+      Printf.printf "  FAIL: kernel tick allocates (%.1f minor words/tick)\n" alloc_words;
+      failed := true
+    end
+  end;
+  write_json ~name
+    [
+      ("name", Printf.sprintf "%S" name);
+      ("seed", string_of_int seed);
+      ("subtasks", string_of_int n_sub);
+      ("resources", string_of_int (Lla_scale.Kernel.n_resources kernel));
+      ("paths", string_of_int (Lla_scale.Kernel.n_paths kernel));
+      ("tasks", string_of_int (List.length workload.Lla_model.Workload.tasks));
+      ("generate_s", Printf.sprintf "%.3f" generate_s);
+      ("build_s", Printf.sprintf "%.3f" build_s);
+      ("converged_iterations", string_of_int iterations);
+      ("solve_s", Printf.sprintf "%.3f" solve_s);
+      ("transient_iterations_per_s", Printf.sprintf "%.1f" (1. /. solve_tick_s));
+      ( "transient_ns_per_subtask_per_iter",
+        Printf.sprintf "%.1f" (solve_tick_s *. 1e9 /. float_of_int n_sub) );
+      ("steady_iterations_per_s", Printf.sprintf "%.1f" (1. /. steady_tick_s));
+      ( "steady_ns_per_subtask_per_iter",
+        Printf.sprintf "%.1f" (steady_tick_s *. 1e9 /. float_of_int n_sub) );
+      ("alloc_words_per_tick", Printf.sprintf "%.1f" alloc_words);
+      ("solver_ms_per_iter", Printf.sprintf "%.3f" (solver_iter_s *. 1e3));
+      ("kernel_vs_solver_speedup", Printf.sprintf "%.1f" speedup);
+      ("guard_events", string_of_int (Lla_scale.Kernel.guard_events kernel));
+      ("peak_rss_kb", string_of_int rss);
+    ];
+  if !failed then exit 1;
+  if gate then print_string "  PASS\n"
+
+let run_scale () =
+  scale_bench ~name:"scale" ~subtasks:100_000 ~gate:false ();
+  (* Phase breakdown of the profiled kernel on the same scenario size —
+     the EXPERIMENTS walkthrough quotes this table. *)
+  let workload =
+    Lla_scale.Generator.generate ~params:(Lla_scale.Generator.sized ~subtasks:100_000 ()) ~seed:42
+      ()
+  in
+  let obs = Lla_obs.create ~profile:(Lla_obs.Profile.create ()) () in
+  Lla_obs.Profile.set_enabled obs.Lla_obs.profile true;
+  let kernel =
+    match Lla_scale.Kernel.create ~obs ~config:Lla_scale.Kernel.scale_config workload with
+    | Ok k -> k
+    | Error e -> failwith e
+  in
+  Lla_scale.Kernel.run kernel ~iterations:50;
+  print_newline ();
+  print_string (Lla_obs.Profile.report obs.Lla_obs.profile)
+
+let run_scale_smoke () = scale_bench ~name:"scale_smoke" ~subtasks:10_000 ~gate:true ()
+
 (* Fixed-seed chaos campaign smoke: a handful of randomized fault
    schedules against the fully-armed deployment, every oracle green. The
    report is deterministic, so any diff is a behaviour change. *)
@@ -330,12 +559,28 @@ let experiments =
     ("profile-smoke", run_profile_smoke);
     ("control-latency", run_control_latency);
     ("micro", run_micro);
+    ("scale", run_scale);
+    ("scale-smoke", run_scale_smoke);
   ]
 
 let () =
+  (* [--json DIR] anywhere on the command line routes machine-readable
+     BENCH_<name>.json snapshots to DIR (see README, "Benchmark
+     snapshots"). *)
+  let rec strip_json acc = function
+    | "--json" :: dir :: rest ->
+      json_dir := Some dir;
+      strip_json acc rest
+    | "--json" :: [] ->
+      prerr_endline "bench: --json needs a directory argument";
+      exit 2
+    | arg :: rest -> strip_json (arg :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = strip_json [] (List.tl (Array.to_list Sys.argv)) in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) when not (List.mem "all" args) -> args
+    match args with
+    | _ :: _ when not (List.mem "all" args) -> args
     | _ -> List.map fst experiments
   in
   List.iter

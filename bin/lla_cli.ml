@@ -697,6 +697,118 @@ let profile_cmd =
           breakdown (solver phases, price updates, checkpoint I/O).")
     Term.(const run $ experiment $ iterations_arg $ duration_arg)
 
+(* --- scale subcommands ----------------------------------------------- *)
+
+let subtasks_arg =
+  Arg.(
+    value
+    & opt int 100_000
+    & info [ "subtasks"; "s" ] ~docv:"N" ~doc:"Target subtask count of the generated scenario.")
+
+let resources_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "resources"; "r" ] ~docv:"N"
+        ~doc:"Resource count (default: $(b,max 16 (subtasks/50))).")
+
+let generate_cmd =
+  let seed =
+    seed_arg ~doc:"Scenario seed — the same seed always yields the byte-identical workload."
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:
+            "Write the workload in the Workload_codec text format (usable as \
+             $(b,solve -w file:FILE)).")
+  in
+  let run subtasks resources seed output =
+    let params = Lla_scale.Generator.sized ?resources ~subtasks () in
+    let workload = Lla_scale.Generator.generate ~params ~seed () in
+    print_endline (Lla_scale.Generator.describe workload);
+    Option.iter
+      (fun path ->
+        Lla_model.Workload_codec.save ~path workload;
+        Printf.printf "wrote %s\n" path)
+      output
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:
+         "Generate a seeded planet-scale scenario (chains, fan-out trees and aggregation DAGs \
+          over shared resources, feasible by construction) and optionally write it to a file.")
+    Term.(const run $ subtasks_arg $ resources_arg $ seed $ output)
+
+let solve_scale_cmd =
+  let seed = seed_arg ~doc:"Seed of the generated scenario (ignored with $(b,--workload))." in
+  let workload =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "workload"; "w" ] ~docv:"NAME"
+          ~doc:
+            "Solve this workload instead of generating one (any $(b,solve) workload spec, e.g. \
+             $(b,file:PATH)). The kernel requires linear utilities and reciprocal shares.")
+  in
+  let iterations =
+    Arg.(value & opt int 10_000 & info [ "iterations"; "n" ] ~docv:"N" ~doc:"Tick budget.")
+  in
+  let run verbose workload subtasks resources seed iterations =
+    setup_logs verbose;
+    let w =
+      match workload with
+      | Some spec -> or_exit (parse_workload spec)
+      | None ->
+        let params = Lla_scale.Generator.sized ?resources ~subtasks () in
+        Lla_scale.Generator.generate ~params ~seed ()
+    in
+    print_endline (Lla_scale.Generator.describe w);
+    let t0 = Unix.gettimeofday () in
+    let kernel =
+      match Lla_scale.Kernel.create ~config:Lla_scale.Kernel.scale_config w with
+      | Ok k -> k
+      | Error e -> or_exit (Error (`Msg e))
+    in
+    Printf.printf "compile+compact %.2f s\n" (Unix.gettimeofday () -. t0);
+    let t0 = Unix.gettimeofday () in
+    let converged = Lla_scale.Kernel.solve kernel ~max_iterations:iterations in
+    let dt = Unix.gettimeofday () -. t0 in
+    let done_iters = Lla_scale.Kernel.iteration kernel in
+    (match converged with
+    | Some n ->
+      Printf.printf "converged at tick %d (%.2f s, %.2f ms/tick)\n" n dt
+        (dt *. 1e3 /. float_of_int (max 1 done_iters))
+    | None ->
+      Printf.printf "not converged after %d ticks (%.2f s; movement %.2e)\n" done_iters dt
+        (Lla_scale.Kernel.movement kernel));
+    Printf.printf "total utility: %.3f  feasible: %b  guard events: %d\n"
+      (Lla_scale.Kernel.utility kernel)
+      (Lla_scale.Kernel.feasible kernel)
+      (Lla_scale.Kernel.guard_events kernel);
+    let c = Lla_scale.Kernel.cumulative_touch kernel in
+    let pct part total = 100. *. float_of_int part /. float_of_int (max 1 total) in
+    Printf.printf
+      "dirty-set sparsity: %d/%d subtask updates (%.1f%%), %d/%d resource updates (%.1f%%), \
+       %d/%d path updates (%.1f%%)\n"
+      c.Lla_scale.Kernel.subtasks_touched c.Lla_scale.Kernel.subtasks_total
+      (pct c.Lla_scale.Kernel.subtasks_touched c.Lla_scale.Kernel.subtasks_total)
+      c.Lla_scale.Kernel.resources_touched c.Lla_scale.Kernel.resources_total
+      (pct c.Lla_scale.Kernel.resources_touched c.Lla_scale.Kernel.resources_total)
+      c.Lla_scale.Kernel.paths_touched c.Lla_scale.Kernel.paths_total
+      (pct c.Lla_scale.Kernel.paths_touched c.Lla_scale.Kernel.paths_total);
+    List.iter (Printf.printf "violation: %s\n") (Lla_scale.Kernel.violations kernel);
+    if converged = None || not (Lla_scale.Kernel.feasible kernel) then Stdlib.exit 1
+  in
+  Cmd.v
+    (Cmd.info "solve-scale"
+       ~doc:
+         "Solve a planet-scale scenario with the flat-array incremental kernel (exit 0 = \
+          feasible convergence within the budget).")
+    Term.(const run $ verbose_arg $ workload $ subtasks_arg $ resources_arg $ seed $ iterations)
+
 let default =
   Term.(
     ret
@@ -731,4 +843,6 @@ let () =
             export_cmd;
             probe_cmd;
             emulate_cmd;
+            generate_cmd;
+            solve_scale_cmd;
           ]))

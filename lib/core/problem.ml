@@ -57,6 +57,11 @@ let detect_linear_slope (u : Utility.t) ~critical_time =
     then Some d0
     else None
 
+(* Compilation is kept near-linear in the workload size: every per-subtask
+   and per-path step below resolves ids through the hash tables built
+   here, never through the workload's association lists (whose lookups
+   are O(n) and would make compile quadratic — prohibitive for the
+   Lla_scale generator's 10^4..10^6-subtask scenarios). *)
 let compile (workload : Workload.t) =
   let resources = Array.of_list workload.Workload.resources in
   let resource_of = Ids.Resource_id.Tbl.create 16 in
@@ -69,6 +74,13 @@ let compile (workload : Workload.t) =
     List.concat_map (fun (t : Task.t) -> List.map (fun s -> (t, s)) t.Task.subtasks) task_list
   in
   List.iteri (fun i (_, (s : Subtask.t)) -> Ids.Subtask_id.Tbl.replace subtask_of s.id i)
+    all_subtasks;
+  (* id -> record tables so path construction does not re-scan the
+     workload's subtask list for every path member. *)
+  let subtask_rec_of : Subtask.t Ids.Subtask_id.Tbl.t =
+    Ids.Subtask_id.Tbl.create (List.length all_subtasks)
+  in
+  List.iter (fun (_, (s : Subtask.t)) -> Ids.Subtask_id.Tbl.replace subtask_rec_of s.id s)
     all_subtasks;
   (* Global path numbering: task order, then Graph.paths order. *)
   let paths_rev = ref [] and n_paths = ref 0 in
@@ -84,7 +96,7 @@ let compile (workload : Workload.t) =
           let resource_set =
             List.fold_left
               (fun acc sid ->
-                let s = Workload.subtask workload sid in
+                let s = Ids.Subtask_id.Tbl.find subtask_rec_of sid in
                 Ids.Resource_id.Set.add s.Subtask.resource acc)
               Ids.Resource_id.Set.empty path_subtasks
           in
@@ -113,12 +125,17 @@ let compile (workload : Workload.t) =
            let resource_index = Ids.Resource_id.Tbl.find resource_of s.resource in
            let r = resources.(resource_index) in
            let share = Subtask.share_function s ~lag:r.Resource.lag in
-           let lat_lo, lat_hi_raw = Workload.latency_bounds workload s.id in
-           let lat_hi = Float.max lat_lo lat_hi_raw in
-           let floor_share = Workload.min_share workload s.id in
+           (* Inlined Workload.latency_bounds / min_share: those helpers
+              re-locate the subtask and its owner by list scan, which is
+              fine for ad-hoc queries but quadratic inside compile. The
+              arithmetic is identical — the owning task is already [t]. *)
+           let floor_share = Task.arrival_rate t *. s.Subtask.exec_time in
            let stability =
              if floor_share > 0. then share.Lla_model.Share.inverse floor_share else infinity
            in
+           let lat_lo = share.Lla_model.Share.lat_min in
+           let lat_hi_raw = Float.min stability t.Task.critical_time in
+           let lat_hi = Float.max lat_lo lat_hi_raw in
            let start = Ids.Task_id.Tbl.find task_path_start t.id in
            let own_paths =
              Array.to_list t.Task.paths
@@ -164,13 +181,21 @@ let compile (workload : Workload.t) =
            })
          task_list)
   in
+  (* Count-and-fill keeps this O(S + R) instead of one full subtask scan
+     per resource; iterating [i] in ascending order preserves the
+     ascending subtask-index order the solver's share sums rely on. *)
   let by_resource =
-    Array.init (Array.length resources) (fun r ->
-        subtasks
-        |> Array.to_list
-        |> List.mapi (fun i s -> (i, s))
-        |> List.filter_map (fun (i, s) -> if s.resource = r then Some i else None)
-        |> Array.of_list)
+    let n_res = Array.length resources in
+    let counts = Array.make n_res 0 in
+    Array.iter (fun s -> counts.(s.resource) <- counts.(s.resource) + 1) subtasks;
+    let buckets = Array.init n_res (fun r -> Array.make counts.(r) 0) in
+    let cursor = Array.make n_res 0 in
+    Array.iteri
+      (fun i s ->
+        buckets.(s.resource).(cursor.(s.resource)) <- i;
+        cursor.(s.resource) <- cursor.(s.resource) + 1)
+      subtasks;
+    buckets
   in
   {
     workload;

@@ -31,6 +31,25 @@ let probe ?config ?(iterations = 2000) workload =
   let ladder =
     [
       (base, iterations);
+      (* Equilibrium prices grow with the fan-in per resource (the dual
+         optimum scales like the square of the member count), so the
+         default cap of 4x can leave a large workload crawling toward a
+         marginally violated constraint forever. Geometric escalation
+         under a practically unbounded cap discovers the price magnitude
+         in logarithmically-many iterations and still resets on uncongestion. *)
+      ({ base with Solver.step_policy = Step_size.adaptive ~initial:1.0 ~cap:1e9 () }, iterations);
+      (* When only the resource prices are far from equilibrium, sharing
+         the unbounded cap with the path family makes Eq. 9 oscillate
+         (every path through a congested resource doubles its step each
+         iteration of the discovery streak). Escalate resources alone. *)
+      ( {
+          base with
+          Solver.step_policy =
+            Step_size.split
+              ~resource:(Step_size.adaptive ~initial:1.0 ~cap:1e9 ())
+              ~path:(Step_size.adaptive ~initial:1.0 ());
+        },
+        2 * iterations );
       (base, 4 * iterations);
       ({ base with Solver.step_policy = Step_size.fixed 1.0 }, 4 * iterations);
       ({ base with Solver.step_policy = Step_size.fixed 0.25 }, 8 * iterations);

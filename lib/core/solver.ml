@@ -202,6 +202,8 @@ let lambda t tid i =
 
 let utility_series t = t.utility_trace
 
+let movement_series t = t.movement_trace
+
 let share_series t =
   Array.to_list (Array.mapi (fun r trace -> (t.problem.resource_ids.(r), trace)) t.share_traces)
 

@@ -72,6 +72,10 @@ val utility : t -> float
 
 val utility_series : t -> Lla_stdx.Series.t
 
+val movement_series : t -> Lla_stdx.Series.t
+(** Max relative latency change per iteration (the second convergence
+    signal; also what {!Lla_scale.Kernel} reports as [movement]). *)
+
 val share_series : t -> (Ids.Resource_id.t * Lla_stdx.Series.t) list
 (** Per-resource share-sum trajectories; empty unless
     [config.record_shares]. *)

@@ -1,6 +1,7 @@
 type policy =
   | Fixed of float
   | Adaptive of { initial : float; multiplier : float; cap : float }
+  | Split of { resource : policy; path : policy }
 
 let fixed gamma =
   if gamma <= 0. then invalid_arg "Step_size.fixed: gamma <= 0";
@@ -13,6 +14,22 @@ let adaptive ?(multiplier = 2.) ?cap ~initial () =
   if cap < initial then invalid_arg "Step_size.adaptive: cap below initial";
   Adaptive { initial; multiplier; cap }
 
+let split ~resource ~path =
+  (match (resource, path) with
+  | Split _, _ | _, Split _ -> invalid_arg "Step_size.split: nested Split"
+  | _ -> ());
+  Split { resource; path }
+
+(* The per-family components of a policy ([p, p] unless [Split]). *)
+let components = function
+  | Split { resource; path } -> (resource, path)
+  | (Fixed _ | Adaptive _) as p -> (p, p)
+
+let initial_of = function
+  | Fixed g -> g
+  | Adaptive { initial; _ } -> initial
+  | Split _ -> assert false (* excluded by [split] *)
+
 type t = {
   policy : policy;
   problem : Problem.t;
@@ -21,12 +38,12 @@ type t = {
 }
 
 let create problem policy =
-  let initial = match policy with Fixed g -> g | Adaptive { initial; _ } -> initial in
+  let resource, path = components policy in
   {
     policy;
     problem;
-    gamma_r = Array.make (Problem.n_resources problem) initial;
-    gamma_p = Array.make (Problem.n_paths problem) initial;
+    gamma_r = Array.make (Problem.n_resources problem) (initial_of resource);
+    gamma_p = Array.make (Problem.n_paths problem) (initial_of path);
   }
 
 let resource_gamma t r = t.gamma_r.(r)
@@ -34,14 +51,18 @@ let resource_gamma t r = t.gamma_r.(r)
 let path_gamma t p = t.gamma_p.(p)
 
 let observe t ~congested_resources =
-  match t.policy with
-  | Fixed _ -> ()
+  let resource, path = components t.policy in
+  (match resource with
+  | Fixed _ | Split _ -> ()
   | Adaptive { initial; multiplier; cap } ->
     Array.iteri
       (fun r congested ->
         if congested then t.gamma_r.(r) <- Float.min cap (t.gamma_r.(r) *. multiplier)
         else t.gamma_r.(r) <- initial)
-      congested_resources;
+      congested_resources);
+  match path with
+  | Fixed _ | Split _ -> ()
+  | Adaptive { initial; multiplier; cap } ->
     (* A path is sped up while any resource it traverses is congested, and
        reverts once all of them are uncongested ("as soon as r becomes
        uncongested, revert"). *)
@@ -54,6 +75,8 @@ let observe t ~congested_resources =
         else t.gamma_p.(p) <- initial)
       t.problem.paths
 
-let policy_name = function
+let rec policy_name = function
   | Fixed g -> Printf.sprintf "fixed(%g)" g
   | Adaptive { initial; multiplier; _ } -> Printf.sprintf "adaptive(%g, x%g)" initial multiplier
+  | Split { resource; path } ->
+    Printf.sprintf "split(r=%s, p=%s)" (policy_name resource) (policy_name path)

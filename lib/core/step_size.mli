@@ -9,6 +9,9 @@
 type policy =
   | Fixed of float
   | Adaptive of { initial : float; multiplier : float; cap : float }
+  | Split of { resource : policy; path : policy }
+      (** Distinct policies for the two price families; components are
+          never themselves [Split]. *)
 
 val fixed : float -> policy
 (** @raise Invalid_argument on a non-positive value. *)
@@ -20,6 +23,24 @@ val adaptive : ?multiplier:float -> ?cap:float -> initial:float -> unit -> polic
     never settles; a small cap preserves the speed-up while keeping the
     oscillation bounded (see the fig5 ablation in the benchmark
     harness). *)
+
+val split : resource:policy -> path:policy -> policy
+(** Separate step policies for resource prices (Eq. 8) and path prices
+    (Eq. 9). The two families need different treatment at scale: the
+    equilibrium price of a hot resource grows with the square of its
+    member count, so Eq. 8 wants a practically unbounded adaptive cap to
+    discover that magnitude geometrically — but a path's step doubles on
+    *any* congested traversed resource, so during a long price-discovery
+    streak the same unbounded cap drives every path price into violent
+    oscillation (path slacks are O(1), prices stay small). Escalate
+    resources, keep paths on the paper's small cap. An adaptive
+    component's congestion trigger is unchanged: resource steps react to
+    that resource's congestion, path steps to any traversed resource's.
+    @raise Invalid_argument if either component is itself [Split]. *)
+
+val components : policy -> policy * policy
+(** [(resource, path)] components of a policy: the two halves of a
+    [Split], or the policy itself twice. Neither result is a [Split]. *)
 
 type t
 

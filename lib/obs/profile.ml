@@ -1,10 +1,16 @@
 (* Nodes are interned per (parent, name): the hot path after the first
    call to a phase is one list scan over the parent's (few) children and
    two clock reads. Children are kept in first-seen order so the report
-   is stable across runs. *)
+   is stable across runs.
+
+   [total] is a [float ref] rather than a mutable field: in a mixed
+   record a float field is boxed, so [node.total <- v] would allocate a
+   fresh box on every phase exit — a per-tick allocation in the solver
+   kernel's hot loop. A [float ref] is a flat one-float record mutated
+   in place. *)
 type node = {
   name : string;
-  mutable total : float;  (* seconds, inclusive of children *)
+  total : float ref;  (* seconds, inclusive of children *)
   mutable calls : int;
   mutable children : node list;  (* reverse first-seen order *)
 }
@@ -16,7 +22,7 @@ type t = {
   mutable enabled : bool;
 }
 
-let make_node name = { name; total = 0.; calls = 0; children = [] }
+let make_node name = { name; total = ref 0.; calls = 0; children = [] }
 
 let create ?(clock = Unix.gettimeofday) ?(enabled = true) () =
   let root = make_node "total" in
@@ -28,10 +34,18 @@ let enabled t = t.enabled
 
 let set_enabled t on = t.enabled <- on
 
+(* Top-level so the scan allocates nothing: a [List.find_opt] with an
+   inline predicate would build a closure over [name] on every call, and
+   [Some n] would box the hit. Raising the preallocated [Not_found] keeps
+   the interned-node fast path allocation-free. *)
+let rec find_child name = function
+  | [] -> raise Not_found
+  | n :: rest -> if String.equal n.name name then n else find_child name rest
+
 let child_of parent name =
-  match List.find_opt (fun n -> String.equal n.name name) parent.children with
-  | Some n -> n
-  | None ->
+  match find_child name parent.children with
+  | n -> n
+  | exception Not_found ->
     let n = make_node name in
     parent.children <- n :: parent.children;
     n
@@ -47,7 +61,7 @@ let time t name f =
        round, and skipping the closure allocation keeps the enabled
        path to two clock reads plus field writes. *)
     let close () =
-      node.total <- node.total +. (t.clock () -. t0);
+      node.total := !(node.total) +. (t.clock () -. t0);
       node.calls <- node.calls + 1;
       t.current <- saved
     in
@@ -61,14 +75,14 @@ let time t name f =
   end
 
 let reset t =
-  t.root.total <- 0.;
+  t.root.total := 0.;
   t.root.calls <- 0;
   t.root.children <- [];
   t.current <- t.root
 
 (* --- report ----------------------------------------------------------- *)
 
-let sum_children node = List.fold_left (fun acc c -> acc +. c.total) 0. node.children
+let sum_children node = List.fold_left (fun acc c -> acc +. !(c.total)) 0. node.children
 
 let report t =
   let buf = Buffer.create 1024 in
@@ -81,17 +95,17 @@ let report t =
     (Printf.sprintf "%-40s %10s %9s %10s %7s\n" "phase" "total ms" "calls" "ms/call" "%");
   let rec walk depth node =
     let children = List.rev node.children in
-    let sorted = List.sort (fun a b -> Float.compare b.total a.total) children in
+    let sorted = List.sort (fun a b -> Float.compare !(b.total) !(a.total)) children in
     List.iter
       (fun c ->
         let indent = String.make (2 * depth) ' ' in
         Buffer.add_string buf
           (Printf.sprintf "%-40s %10.2f %9d %10.4f %6.1f%%\n"
-             (indent ^ c.name) (c.total *. 1e3) c.calls
-             (if c.calls > 0 then c.total *. 1e3 /. float_of_int c.calls else 0.)
-             (c.total /. grand_total *. 100.));
+             (indent ^ c.name) (!(c.total) *. 1e3) c.calls
+             (if c.calls > 0 then !(c.total) *. 1e3 /. float_of_int c.calls else 0.)
+             (!(c.total) /. grand_total *. 100.));
         (* Time inside this phase not attributed to any sub-phase. *)
-        let self = c.total -. sum_children c in
+        let self = !(c.total) -. sum_children c in
         if c.children <> [] && self > 1e-9 then
           Buffer.add_string buf
             (Printf.sprintf "%-40s %10.2f %9s %10s %6.1f%%\n"
@@ -113,7 +127,7 @@ let stats t =
     List.iter
       (fun c ->
         let path = path @ [ c.name ] in
-        acc := { path; seconds = c.total; count = c.calls } :: !acc;
+        acc := { path; seconds = !(c.total); count = c.calls } :: !acc;
         walk path c)
       (List.rev node.children)
   in

@@ -33,7 +33,14 @@ val time : t -> string -> (unit -> 'a) -> 'a
 (** Run the thunk as a phase nested under the current one. Re-entrant
     (a phase may recursively time itself) and exception-safe: the frame
     is popped and its time charged even when the thunk raises. When the
-    profiler is disabled the thunk runs with no bookkeeping at all. *)
+    profiler is disabled the thunk runs with no bookkeeping at all.
+
+    Allocation discipline: after a phase node is interned (first call),
+    [time] itself allocates nothing — totals live in flat [float ref]
+    cells (no per-exit float boxing) and the child scan is closure-free —
+    so a hot loop may keep hooks in place provided the caller passes a
+    preallocated thunk. The clock itself may box its return value; that
+    cost only arises when the profiler is enabled. *)
 
 val reset : t -> unit
 (** Drop every accumulated phase (keeps the enabled flag and clock). *)

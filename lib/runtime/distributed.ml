@@ -118,23 +118,32 @@ type t = {
   mutable stopped : bool;
 }
 
+(* Price agents run Eq. 8, so they take the resource component of a
+   [Split]; controllers run Eq. 9 and take the path component. The
+   wrappers below resolve the family before dispatching, so the two
+   matches only ever see non-[Split] components. *)
 let initial_gamma policy =
   match (policy : Lla.Step_size.policy) with
   | Lla.Step_size.Fixed g -> g
   | Lla.Step_size.Adaptive { initial; _ } -> initial
+  | Lla.Step_size.Split _ -> assert false
 
 let adapt policy gamma ~congested =
   match (policy : Lla.Step_size.policy) with
   | Lla.Step_size.Fixed g -> g
   | Lla.Step_size.Adaptive { initial; multiplier; cap } ->
     if congested then Float.min cap (gamma *. multiplier) else initial
+  | Lla.Step_size.Split _ -> assert false
+
+let resource_policy policy = fst (Lla.Step_size.components policy)
+let path_policy policy = snd (Lla.Step_size.components policy)
 
 (* A restarted agent has lost its price state: it restarts from mu0 and the
    compiled initial latency view, rebuilding both from the next received
    Latency messages (§4.1 asynchrony made crash-tolerant). *)
 let reset_agent t (a : agent) =
   a.price <- t.config.mu0;
-  a.gamma <- initial_gamma t.config.step_policy;
+  a.gamma <- initial_gamma (resource_policy t.config.step_policy);
   a.a_in_span <- None;
   a.a_prev_span <- None;
   Array.iteri (fun slot i -> a.lat_view.(slot) <- t.problem.subtasks.(i).lat_hi) a.local_subtasks
@@ -149,7 +158,8 @@ let reset_controller t (c : controller) =
   Array.fill c.mu_view 0 (Array.length c.mu_view) t.config.mu0;
   Array.fill c.congested_view 0 (Array.length c.congested_view) false;
   Array.iter (fun p -> c.lambda.(p) <- 0.) t.problem.tasks.(c.task).path_indices;
-  Array.fill c.gamma_p 0 (Array.length c.gamma_p) (initial_gamma t.config.step_policy)
+  Array.fill c.gamma_p 0 (Array.length c.gamma_p)
+    (initial_gamma (path_policy t.config.step_policy))
 
 (* Warm restart: rebuild from the last accepted checkpoint instead of from
    mu0, skipping the cold-convergence transient. Falls back to the cold
@@ -227,7 +237,7 @@ let create ?obs ?(config = default_config) ?resilience ?transport engine workloa
         {
           resource = r;
           price = config.mu0;
-          gamma = initial_gamma config.step_policy;
+          gamma = initial_gamma (resource_policy config.step_policy);
           lat_view = Array.map (fun i -> lat.(i)) local;
           local_subtasks = local;
           controllers;
@@ -246,7 +256,7 @@ let create ?obs ?(config = default_config) ?resilience ?transport engine workloa
           gamma_p =
             Array.make
               (Array.length problem.tasks.(ti).path_indices)
-              (initial_gamma config.step_policy);
+              (initial_gamma (path_policy config.step_policy));
           lat;
           controller_endpoint =
             Transport.endpoint transport ~name:(Printf.sprintf "controller:%d" ti);
@@ -445,7 +455,7 @@ let agent_tick t (a : agent) =
     let congested = !used > cap +. 1e-12 in
     let step = a.gamma in
     a.price <- Float.max 0. (a.price -. (a.gamma *. (cap -. !used)));
-    a.gamma <- adapt t.config.step_policy a.gamma ~congested;
+    a.gamma <- adapt (resource_policy t.config.step_policy) a.gamma ~congested;
     Lla_obs.emit_opt t.obs ~at:(Lla_sim.Engine.now t.engine)
       (Lla_obs.Trace.Price_updated
          {
@@ -523,7 +533,9 @@ let controller_tick t (c : controller) =
         let any_congested =
           Array.exists (fun r -> c.congested_view.(r)) path.path_resources
         in
-        c.gamma_p.(local) <- adapt t.config.step_policy c.gamma_p.(local) ~congested:any_congested)
+        c.gamma_p.(local) <-
+          adapt (path_policy t.config.step_policy) c.gamma_p.(local)
+            ~congested:any_congested)
       info.path_indices;
     let guards = ref 0 in
     prof t "solve" (fun () ->
@@ -589,7 +601,7 @@ let enter_safe_mode t sm ~reason =
   Array.iter
     (fun a ->
       if (not (Float.is_finite a.price)) || a.price > heal_cap then a.price <- t.config.mu0;
-      a.gamma <- initial_gamma t.config.step_policy;
+      a.gamma <- initial_gamma (resource_policy t.config.step_policy);
       (* Repair the agent's latency view in place: announcements from down
          controllers may never arrive. *)
       Array.iteri (fun slot i -> a.lat_view.(slot) <- t.lat.(i)) a.local_subtasks)

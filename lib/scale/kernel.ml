@@ -1,0 +1,692 @@
+module P = Lla.Problem
+
+type config = {
+  step_policy : Lla.Step_size.policy;
+  mu0 : float;
+  lambda0 : float;
+  movement_tolerance : float;
+  convergence_window : int;
+  feasibility_tolerance : float;
+}
+
+let default_config =
+  {
+    step_policy = Lla.Step_size.adaptive ~initial:1.0 ();
+    mu0 = 1.0;
+    lambda0 = 0.0;
+    movement_tolerance = 0.01;
+    convergence_window = 50;
+    feasibility_tolerance = 0.005;
+  }
+
+(* At planet scale the two price families need opposite step treatment.
+   The equilibrium price of a hot resource grows with the square of its
+   member count (mu* ~ (sum_i sqrt(w_i p_i) / B_r)^2, easily 1e6+ for
+   thousands of subtasks per resource), so the solver default's 4x step
+   cap leaves Eq. 8 crawling additively toward a far-away optimum:
+   resource steps want a practically unbounded cap to discover that
+   magnitude geometrically. But a path's step doubles while ANY traversed
+   resource is congested, and price discovery on hot resources produces
+   long congested streaks — under the same unbounded cap gamma_p
+   reaches 1e9 and Eq. 9 oscillates violently. Hence Split: escalate
+   resources hard, paths gently (cap 64 — enough for a deadline-tight
+   path's lambda to climb during the congestion streaks it rides on;
+   the paper's default cap of 4 leaves it crawling additively forever).
+
+   The movement tolerance is the neighborhood-convergence knob. With
+   step-escalation caps, dual ascent on a scenario whose active
+   constraints have O(1e6) equilibrium prices does not reach a
+   fixpoint: it settles into a small periodic cycle around the optimum
+   (measured on the seeded 1e5-subtask scenario: period 10, movement
+   0.03-0.59 against latencies of O(1e4), worst transient constraint
+   excess ~5%, recurring fully-feasible ticks every period). [solve]
+   requires movement <= tolerance for a whole window AND Eq. 3/4
+   feasibility at the stopping tick, so a tolerance of 1.0 — above the
+   cycle amplitude, still ~1e-4 relative to the latency scale — makes
+   it terminate at a feasible snapshot of the terminal cycle: the
+   standard best-feasible-iterate readout for subgradient methods. The
+   feasibility tolerance itself stays at the default, so the returned
+   assignment meets Eq. 3/4 as tightly as the solver's answers do. *)
+let scale_config =
+  {
+    default_config with
+    step_policy =
+      Lla.Step_size.split
+        ~resource:(Lla.Step_size.adaptive ~initial:1.0 ~cap:1e9 ())
+        ~path:(Lla.Step_size.adaptive ~initial:1.0 ~cap:64. ());
+    movement_tolerance = 1.0;
+  }
+
+(* Allocation discipline for the tick: everything the three passes touch
+   is a flat [float array] / [int array] cell or an immediate record
+   field, so one tick allocates nothing. In particular:
+   - running float accumulators live in [scratch] (a local [ref] would
+     allocate its cell; float-array stores are unboxed);
+   - [Float.is_finite] / [Float.max] / [Float.min] are hand-inlined —
+     a non-inlined call boxes its float arguments. The inlined forms
+     reproduce the stdlib semantics on every value the tick can see
+     (finiteness via [x -. x = 0.]; NaN propagates through the clamp
+     because every comparison with NaN is false; the projection
+     [if 0. >= v then 0. else v] maps -0. to +0. like [Float.max 0. v]). *)
+type t = {
+  problem : P.t;
+  config : config;
+  n_sub : int;
+  n_res : int;
+  n_path : int;
+  (* subtask state + compacted coefficients *)
+  lat : float array;
+  sub_res : int array;  (* subtask -> resource index *)
+  work : float array;  (* (c + l) of the reciprocal share = Share.lat_min *)
+  lo_b : float array;  (* effective latency bounds at offset 0 *)
+  hi_b : float array;
+  press0 : float array;  (* |utility slope| * aggregation weight *)
+  sp_off : int array;  (* subtask -> global path ids (CSR) *)
+  sp_idx : int array;
+  (* resource state *)
+  mu : float array;
+  cap : float array;  (* capacities, snapshot at construction *)
+  share_sum : float array;  (* cache: share sum as of the last tick *)
+  congested : bool array;
+  gamma_r : float array;
+  rs_off : int array;  (* resource -> subtask indices (ascending; CSR) *)
+  rs_idx : int array;
+  rp_off : int array;  (* resource -> distinct path ids (CSR) *)
+  rp_idx : int array;
+  (* path state *)
+  lambda : float array;
+  gamma_p : float array;
+  path_lat : float array;  (* cache: path latency as of the last tick *)
+  crit : float array;
+  ps_off : int array;  (* path -> subtask indices (CSR) *)
+  ps_idx : int array;
+  path_hot : int array;  (* # traversed resources currently congested *)
+  (* step policy, unpacked per price family (identical unless Split) *)
+  adaptive_r : bool;
+  g_init_r : float;
+  g_mult_r : float;
+  g_cap_r : float;
+  adaptive_p : bool;
+  g_init_p : float;
+  g_mult_p : float;
+  g_cap_p : float;
+  (* dirty-set queues. An id is in the queue for tick [k] iff its mark
+     equals [k]; resources and paths use two buffers (the current tick's
+     queue is scanned while the next tick's fills), subtasks one (their
+     queue is drained before any push for the next tick happens). The
+     [*_dirty] stamps are finer than queue membership: they record that
+     the cached sum itself must be recomputed this tick, not merely that
+     the price update must run. *)
+  sub_q : int array;
+  mutable sub_count : int;
+  sub_mark : int array;
+  mutable res_q : int array;
+  mutable res_count : int;
+  mutable res_q2 : int array;
+  mutable res_count2 : int;
+  res_mark : int array;
+  res_dirty : int array;
+  mutable path_q : int array;
+  mutable path_count : int;
+  mutable path_q2 : int array;
+  mutable path_count2 : int;
+  path_mark : int array;
+  path_dirty : int array;
+  (* tick bookkeeping *)
+  mutable tick : int;
+  mutable guards : int;
+  scratch : float array;  (* 0: running sum, 1: movement of the last tick *)
+  mutable touch_sub : int;
+  mutable touch_res : int;
+  mutable touch_path : int;
+  mutable cum_sub : int;
+  mutable cum_res : int;
+  mutable cum_path : int;
+  (* profiling thunks, preallocated so a profiled tick allocates no
+     closures either *)
+  mutable th_tick : unit -> unit;
+  mutable th_prof : unit -> unit;
+}
+
+(* ------------------------------------------------------------------ *)
+(* The three passes of one tick                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The passes use unchecked array access: every index they dereference is
+   either a CSR entry or a queue element, and both are validated by
+   construction — [csr_of] only stores ids below the family's length,
+   queue counts never exceed the family's length because the mark arrays
+   dedup every push. Bounds checks would cost ~30% of the tick on these
+   loops and can never fire. *)
+(* Primitive externals, not [let]-aliases of [Array.unsafe_get]: a [let]
+   rebinding eta-expands the primitive into a generic function, and every
+   float access then goes through [caml_apply] with a boxed result —
+   measurably slower than the checked access, and it allocates. Declared
+   as externals, each fully-applied use site compiles to the unboxed
+   flat-float-array instruction. *)
+external ug : 'a array -> int -> 'a = "%array_unsafe_get"
+
+external us : 'a array -> int -> 'a -> unit = "%array_unsafe_set"
+
+(* Closed-form allocation (Allocation.closed_form at offset 0) for every
+   queued subtask; queues the resources and paths whose sums changed. *)
+let alloc_pass t =
+  let tick = t.tick in
+  let n = t.sub_count in
+  t.scratch.(1) <- 0.;
+  for k = 0 to n - 1 do
+    let i = ug t.sub_q k in
+    let mu_r = ug t.mu (ug t.sub_res i) in
+    let start = ug t.sp_off i in
+    let stop = ug t.sp_off (i + 1) - 1 in
+    us t.scratch 0 0.;
+    for e = start to stop do
+      us t.scratch 0 (ug t.scratch 0 +. ug t.lambda (ug t.sp_idx e))
+    done;
+    let pressure = ug t.press0 i +. ug t.scratch 0 in
+    let lo = ug t.lo_b i and hi = ug t.hi_b i in
+    let cand =
+      if mu_r <= 0. then if pressure > 0. then lo else hi
+      else if pressure <= 0. then hi
+      else begin
+        let x = sqrt (mu_r *. ug t.work i /. pressure) in
+        let a = if lo >= x then lo else x in
+        if hi <= a then hi else a
+      end
+    in
+    let old = ug t.lat i in
+    let lat' =
+      if cand -. cand = 0. then cand
+      else begin
+        (* Allocation.sanitize: keep the last finite latency, else the
+           conservative upper bound. *)
+        t.guards <- t.guards + 1;
+        if old -. old = 0. then old else hi
+      end
+    in
+    if lat' <> old then begin
+      us t.lat i lat';
+      let denom = if lat' >= 1e-9 then lat' else 1e-9 in
+      let m = Float.abs (lat' -. old) /. denom in
+      if m > ug t.scratch 1 then us t.scratch 1 m;
+      (* the share on i's resource and the latency of i's paths moved *)
+      let r = ug t.sub_res i in
+      us t.res_dirty r tick;
+      if ug t.res_mark r <> tick then begin
+        us t.res_mark r tick;
+        us t.res_q t.res_count r;
+        t.res_count <- t.res_count + 1
+      end;
+      for e = start to stop do
+        let p = ug t.sp_idx e in
+        us t.path_dirty p tick;
+        if ug t.path_mark p <> tick then begin
+          us t.path_mark p tick;
+          us t.path_q t.path_count p;
+          t.path_count <- t.path_count + 1
+        end
+      done
+    end
+  done;
+  t.touch_sub <- n;
+  t.sub_count <- 0
+
+(* Eq. 8 (Price_update.update_resource) for every queued resource:
+   recompute the share sum iff some member latency moved, integrate the
+   slack into mu, maintain the congestion flags / hot-path counters /
+   adaptive step, and queue dependents. *)
+let resource_pass t =
+  let tick = t.tick in
+  let next = tick + 1 in
+  let n = t.res_count in
+  for k = 0 to n - 1 do
+    let r = ug t.res_q k in
+    if not (ug t.mu r -. ug t.mu r = 0.) then begin
+      t.guards <- t.guards + 1;
+      us t.mu r 0.
+    end;
+    let rs_start = ug t.rs_off r in
+    let rs_stop = ug t.rs_off (r + 1) - 1 in
+    let used =
+      if ug t.res_dirty r = tick then begin
+        us t.scratch 0 0.;
+        for e = rs_start to rs_stop do
+          let i = ug t.rs_idx e in
+          let w = ug t.work i in
+          let l = ug t.lat i in
+          (* effective_share at offset 0: w / max lat_min lat *)
+          let arg = if w >= l then w else l in
+          us t.scratch 0 (ug t.scratch 0 +. (w /. arg))
+        done;
+        let s = ug t.scratch 0 in
+        us t.share_sum r s;
+        s
+      end
+      else ug t.share_sum r
+    in
+    if used -. used = 0. then begin
+      let old_mu = ug t.mu r in
+      let v = old_mu -. (ug t.gamma_r r *. (ug t.cap r -. used)) in
+      let mu' = if 0. >= v then 0. else v in
+      if mu' -. mu' = 0. && mu' <> old_mu then begin
+        us t.mu r mu';
+        (* a changed price re-solves every subtask on r next tick *)
+        for e = rs_start to rs_stop do
+          let i = ug t.rs_idx e in
+          if ug t.sub_mark i <> next then begin
+            us t.sub_mark i next;
+            us t.sub_q t.sub_count i;
+            t.sub_count <- t.sub_count + 1
+          end
+        done
+      end
+    end
+    else t.guards <- t.guards + 1;
+    (* NaN compares false, so a guarded resource reads uncongested,
+       exactly like Price_update. *)
+    let now = used > ug t.cap r +. 1e-12 in
+    if now <> ug t.congested r then begin
+      us t.congested r now;
+      let d = if now then 1 else -1 in
+      for e = ug t.rp_off r to ug t.rp_off (r + 1) - 1 do
+        let p = ug t.rp_idx e in
+        us t.path_hot p (ug t.path_hot p + d)
+      done
+    end;
+    if now then
+      (* every path through a congested resource updates this very tick:
+         its step size doubles even when its latency is unchanged *)
+      for e = ug t.rp_off r to ug t.rp_off (r + 1) - 1 do
+        let p = ug t.rp_idx e in
+        if ug t.path_mark p <> tick then begin
+          us t.path_mark p tick;
+          us t.path_q t.path_count p;
+          t.path_count <- t.path_count + 1
+        end
+      done;
+    if t.adaptive_r then
+      us t.gamma_r r
+        (if now then
+           let g = ug t.gamma_r r *. t.g_mult_r in
+           if t.g_cap_r <= g then t.g_cap_r else g
+         else t.g_init_r);
+    (* a live price keeps integrating its slack until it hits 0 *)
+    if ug t.mu r > 0. && ug t.res_mark r <> next then begin
+      us t.res_mark r next;
+      us t.res_q2 t.res_count2 r;
+      t.res_count2 <- t.res_count2 + 1
+    end
+  done;
+  t.touch_res <- t.res_count
+
+(* Eq. 9 (Price_update.update_path) plus the path half of
+   Step_size.observe for every queued path. *)
+let path_pass t =
+  let tick = t.tick in
+  let next = tick + 1 in
+  let n = t.path_count in
+  for k = 0 to n - 1 do
+    let p = ug t.path_q k in
+    if not (ug t.lambda p -. ug t.lambda p = 0.) then begin
+      t.guards <- t.guards + 1;
+      us t.lambda p 0.
+    end;
+    let ps_start = ug t.ps_off p in
+    let ps_stop = ug t.ps_off (p + 1) - 1 in
+    let latency =
+      if ug t.path_dirty p = tick then begin
+        us t.scratch 0 0.;
+        for e = ps_start to ps_stop do
+          us t.scratch 0 (ug t.scratch 0 +. ug t.lat (ug t.ps_idx e))
+        done;
+        let s = ug t.scratch 0 in
+        us t.path_lat p s;
+        s
+      end
+      else ug t.path_lat p
+    in
+    if latency -. latency = 0. then begin
+      let old_l = ug t.lambda p in
+      let v = old_l -. (ug t.gamma_p p *. (1. -. (latency /. ug t.crit p))) in
+      let l' = if 0. >= v then 0. else v in
+      if l' -. l' = 0. && l' <> old_l then begin
+        us t.lambda p l';
+        for e = ps_start to ps_stop do
+          let i = ug t.ps_idx e in
+          if ug t.sub_mark i <> next then begin
+            us t.sub_mark i next;
+            us t.sub_q t.sub_count i;
+            t.sub_count <- t.sub_count + 1
+          end
+        done
+      end
+    end
+    else t.guards <- t.guards + 1;
+    if t.adaptive_p then
+      us t.gamma_p p
+        (if ug t.path_hot p > 0 then
+           let g = ug t.gamma_p p *. t.g_mult_p in
+           if t.g_cap_p <= g then t.g_cap_p else g
+         else t.g_init_p);
+    (* keep the path live while its price or step carries state; a path
+       that drops out satisfies lambda = 0, gamma at initial, members
+       still, slack >= 0 — on which the reference update is the identity *)
+    if
+      (ug t.lambda p > 0. || (t.adaptive_p && ug t.gamma_p p <> t.g_init_p))
+      && ug t.path_mark p <> next
+    then begin
+      us t.path_mark p next;
+      us t.path_q2 t.path_count2 p;
+      t.path_count2 <- t.path_count2 + 1
+    end
+  done;
+  t.touch_path <- t.path_count
+
+let finish t =
+  t.cum_sub <- t.cum_sub + t.touch_sub;
+  t.cum_res <- t.cum_res + t.touch_res;
+  t.cum_path <- t.cum_path + t.touch_path;
+  let q = t.res_q in
+  t.res_q <- t.res_q2;
+  t.res_q2 <- q;
+  t.res_count <- t.res_count2;
+  t.res_count2 <- 0;
+  let q = t.path_q in
+  t.path_q <- t.path_q2;
+  t.path_q2 <- q;
+  t.path_count <- t.path_count2;
+  t.path_count2 <- 0;
+  t.tick <- t.tick + 1
+
+let tick t =
+  alloc_pass t;
+  resource_pass t;
+  path_pass t;
+  finish t
+
+let step t = t.th_tick ()
+
+let run t ~iterations =
+  for _ = 1 to iterations do
+    step t
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let of_problem ?obs ?(config = default_config) (problem : P.t) =
+  let n_sub = P.n_subtasks problem in
+  let n_res = P.n_resources problem in
+  let n_path = P.n_paths problem in
+  let unsupported = ref None in
+  Array.iter
+    (fun (task : P.task) ->
+      if task.P.linear_slope = None && !unsupported = None then
+        unsupported := Some (Printf.sprintf "task %s: non-linear utility" task.P.task_name))
+    problem.P.tasks;
+  Array.iter
+    (fun (s : P.subtask) ->
+      if
+        (not (String.equal s.P.share.Lla_model.Share.name "reciprocal"))
+        && !unsupported = None
+      then unsupported := Some (Printf.sprintf "subtask %s: non-reciprocal share" s.P.name))
+    problem.P.subtasks;
+  match !unsupported with
+  | Some reason -> Error ("Kernel.of_problem: " ^ reason ^ " (closed form does not apply)")
+  | None when n_sub = 0 -> Error "Kernel.of_problem: empty problem"
+  | None ->
+    let unpack = function
+      | Lla.Step_size.Fixed g -> (g, 1., g, false)
+      | Lla.Step_size.Adaptive { initial; multiplier; cap } -> (initial, multiplier, cap, true)
+      | Lla.Step_size.Split _ -> assert false (* components are never Split *)
+    in
+    let (g_init_r, g_mult_r, g_cap_r, adaptive_r), (g_init_p, g_mult_p, g_cap_p, adaptive_p) =
+      match config.step_policy with
+      | Lla.Step_size.Split { resource; path } -> (unpack resource, unpack path)
+      | p -> (unpack p, unpack p)
+    in
+    let sub_res = Array.map (fun (s : P.subtask) -> s.P.resource) problem.P.subtasks in
+    let work =
+      Array.map (fun (s : P.subtask) -> s.P.share.Lla_model.Share.lat_min) problem.P.subtasks
+    in
+    let lo_b =
+      Array.map (fun (s : P.subtask) -> Float.max 1e-9 s.P.lat_lo) problem.P.subtasks
+    in
+    let hi_b =
+      Array.mapi
+        (fun i (s : P.subtask) ->
+          Float.max lo_b.(i)
+            (Float.min s.P.stability problem.P.tasks.(s.P.task).P.critical_time))
+        problem.P.subtasks
+    in
+    let press0 =
+      Array.map
+        (fun (s : P.subtask) ->
+          let slope =
+            match problem.P.tasks.(s.P.task).P.linear_slope with Some v -> v | None -> 0.
+          in
+          Float.abs slope *. s.P.weight)
+        problem.P.subtasks
+    in
+    let csr_of count row =
+      (* count-and-fill CSR over rows 0..count-1 *)
+      let off = Array.make (count + 1) 0 in
+      for i = 0 to count - 1 do
+        off.(i + 1) <- off.(i) + Array.length (row i)
+      done;
+      let idx = Array.make off.(count) 0 in
+      for i = 0 to count - 1 do
+        Array.iteri (fun j v -> idx.(off.(i) + j) <- v) (row i)
+      done;
+      (off, idx)
+    in
+    let sp_off, sp_idx = csr_of n_sub (fun i -> problem.P.subtasks.(i).P.paths) in
+    let rs_off, rs_idx = csr_of n_res (fun r -> problem.P.by_resource.(r)) in
+    let ps_off, ps_idx = csr_of n_path (fun p -> problem.P.paths.(p).P.subtask_indices) in
+    let rp_off, rp_idx =
+      (* invert path_resources (distinct by construction) *)
+      let counts = Array.make n_res 0 in
+      Array.iter
+        (fun (p : P.path) ->
+          Array.iter (fun r -> counts.(r) <- counts.(r) + 1) p.P.path_resources)
+        problem.P.paths;
+      let off = Array.make (n_res + 1) 0 in
+      for r = 0 to n_res - 1 do
+        off.(r + 1) <- off.(r) + counts.(r)
+      done;
+      let idx = Array.make off.(n_res) 0 in
+      let cursor = Array.copy off in
+      Array.iteri
+        (fun p (info : P.path) ->
+          Array.iter
+            (fun r ->
+              idx.(cursor.(r)) <- p;
+              cursor.(r) <- cursor.(r) + 1)
+            info.P.path_resources)
+        problem.P.paths;
+      (off, idx)
+    in
+    let t =
+      {
+        problem;
+        config;
+        n_sub;
+        n_res;
+        n_path;
+        lat = Array.map (fun (s : P.subtask) -> s.P.lat_hi) problem.P.subtasks;
+        sub_res;
+        work;
+        lo_b;
+        hi_b;
+        press0;
+        sp_off;
+        sp_idx;
+        mu = Array.make n_res config.mu0;
+        cap = Array.copy problem.P.capacities;
+        share_sum = Array.make n_res 0.;
+        congested = Array.make n_res false;
+        gamma_r = Array.make n_res g_init_r;
+        rs_off;
+        rs_idx;
+        rp_off;
+        rp_idx;
+        lambda = Array.make n_path config.lambda0;
+        gamma_p = Array.make n_path g_init_p;
+        path_lat = Array.make n_path 0.;
+        crit = Array.map (fun (p : P.path) -> p.P.critical_time) problem.P.paths;
+        ps_off;
+        ps_idx;
+        path_hot = Array.make n_path 0;
+        adaptive_r;
+        g_init_r;
+        g_mult_r;
+        g_cap_r;
+        adaptive_p;
+        g_init_p;
+        g_mult_p;
+        g_cap_p;
+        (* tick 0 visits everything: queues full, every sum dirty *)
+        sub_q = Array.init n_sub Fun.id;
+        sub_count = n_sub;
+        sub_mark = Array.make n_sub 0;
+        res_q = Array.init n_res Fun.id;
+        res_count = n_res;
+        res_q2 = Array.make n_res 0;
+        res_count2 = 0;
+        res_mark = Array.make n_res 0;
+        res_dirty = Array.make n_res 0;
+        path_q = Array.init n_path Fun.id;
+        path_count = n_path;
+        path_q2 = Array.make n_path 0;
+        path_count2 = 0;
+        path_mark = Array.make n_path 0;
+        path_dirty = Array.make n_path 0;
+        tick = 0;
+        guards = 0;
+        scratch = Array.make 2 0.;
+        touch_sub = 0;
+        touch_res = 0;
+        touch_path = 0;
+        cum_sub = 0;
+        cum_res = 0;
+        cum_path = 0;
+        th_tick = (fun () -> ());
+        th_prof = (fun () -> ());
+      }
+    in
+    (match obs with
+    | None -> t.th_tick <- (fun () -> tick t)
+    | Some o ->
+      let p = o.Lla_obs.profile in
+      let th_alloc () = alloc_pass t in
+      let th_res () = resource_pass t in
+      let th_path () = path_pass t in
+      t.th_prof <-
+        (fun () ->
+          Lla_obs.Profile.time p "allocate" th_alloc;
+          Lla_obs.Profile.time p "resource_prices" th_res;
+          Lla_obs.Profile.time p "path_prices" th_path;
+          finish t);
+      t.th_tick <- fun () -> Lla_obs.Profile.time p "kernel.step" t.th_prof);
+    Ok t
+
+let create ?obs ?config workload = of_problem ?obs ?config (P.compile workload)
+
+(* ------------------------------------------------------------------ *)
+(* Read-out                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let problem t = t.problem
+
+let n_subtasks t = t.n_sub
+
+let n_resources t = t.n_res
+
+let n_paths t = t.n_path
+
+let iteration t = t.tick
+
+let movement t = t.scratch.(1)
+
+let guard_events t = t.guards
+
+let utility t = P.total_utility t.problem ~lat:t.lat
+
+let lat_array t = t.lat
+
+let mu_array t = t.mu
+
+let lambda_array t = t.lambda
+
+let violations t =
+  let tol = t.config.feasibility_tolerance in
+  let acc = ref [] in
+  for p = t.n_path - 1 downto 0 do
+    if t.path_lat.(p) > t.crit.(p) *. (1. +. tol) then
+      acc :=
+        Printf.sprintf "task %s path %d misses critical time: %.2f > C=%.2f"
+          t.problem.P.tasks.(t.problem.P.paths.(p).P.task).P.task_name
+          t.problem.P.paths.(p).P.index_in_task t.path_lat.(p) t.crit.(p)
+        :: !acc
+  done;
+  for r = t.n_res - 1 downto 0 do
+    if t.share_sum.(r) > t.cap.(r) *. (1. +. tol) then
+      acc :=
+        Printf.sprintf "resource %s over capacity: share sum %.4f > B=%.4f"
+          (Lla_model.Ids.Resource_id.to_string t.problem.P.resource_ids.(r))
+          t.share_sum.(r) t.cap.(r)
+        :: !acc
+  done;
+  !acc
+
+let feasible t =
+  let ok = ref true in
+  let tol = t.config.feasibility_tolerance in
+  for r = 0 to t.n_res - 1 do
+    if t.share_sum.(r) > t.cap.(r) *. (1. +. tol) then ok := false
+  done;
+  for p = 0 to t.n_path - 1 do
+    if t.path_lat.(p) > t.crit.(p) *. (1. +. tol) then ok := false
+  done;
+  !ok
+
+let solve t ~max_iterations =
+  let window = Stdlib.max 1 t.config.convergence_window in
+  let still = ref 0 in
+  let result = ref None in
+  while !result = None && t.tick < max_iterations do
+    step t;
+    if t.scratch.(1) <= t.config.movement_tolerance then incr still else still := 0;
+    if !still >= window && feasible t then result := Some t.tick
+  done;
+  !result
+
+type touch_stats = {
+  subtasks_touched : int;
+  resources_touched : int;
+  paths_touched : int;
+  subtasks_total : int;
+  resources_total : int;
+  paths_total : int;
+}
+
+let last_touch t =
+  {
+    subtasks_touched = t.touch_sub;
+    resources_touched = t.touch_res;
+    paths_touched = t.touch_path;
+    subtasks_total = t.n_sub;
+    resources_total = t.n_res;
+    paths_total = t.n_path;
+  }
+
+let cumulative_touch t =
+  {
+    subtasks_touched = t.cum_sub;
+    resources_touched = t.cum_res;
+    paths_touched = t.cum_path;
+    subtasks_total = t.n_sub * t.tick;
+    resources_total = t.n_res * t.tick;
+    paths_total = t.n_path * t.tick;
+  }

@@ -1,0 +1,131 @@
+(** Flat-array incremental LLA solve kernel.
+
+    A compacted representation of the synchronous solver's iteration for
+    planet-scale problems: per-subtask records are flattened into plain
+    [float array]s plus four CSR adjacencies (subtask→paths,
+    resource→subtasks, resource→paths, path→subtasks), and one tick —
+    closed-form allocation, Eq. 8 resource prices, Eq. 9 path prices,
+    adaptive step sizes — runs with {b zero allocation} (minor-words
+    delta 0 when built without [?obs]; the property suite asserts this).
+
+    The tick is {b incremental}: dirty sets track which subtasks,
+    resources and paths can possibly change this iteration, and
+    everything else is skipped with cached share sums and path
+    latencies. The skip rule is exact, not approximate — a skipped
+    resource provably satisfies [mu = 0], uncongested, step size at its
+    initial value, and members' latencies unchanged, under which the
+    reference update is the identity (and symmetrically for paths and
+    subtasks). The kernel therefore produces {b bit-identical iterates}
+    to {!Lla.Solver} on any problem both accept; the suite checks
+    element-wise agreement within 1e-9 on random scenarios. See DESIGN
+    §11 for the full equivalence argument.
+
+    Scope: the kernel requires the closed-form allocation structure —
+    every task utility linear (constant slope) and every share function
+    reciprocal, which {!Generator} always emits and {!of_problem}
+    verifies. Error-correction offsets, capacity/rate mutation and the
+    solver's trace series are out of scope; capacities and stability
+    bounds are snapshot at construction. *)
+
+type config = {
+  step_policy : Lla.Step_size.policy;
+  mu0 : float;
+  lambda0 : float;
+  movement_tolerance : float;
+      (** convergence: max relative latency change per tick *)
+  convergence_window : int;  (** consecutive still ticks required *)
+  feasibility_tolerance : float;  (** Eq. 3/4 relative tolerance *)
+}
+
+val default_config : config
+(** Mirrors [Lla.Solver.default_config]: adaptive steps (initial 1,
+    doubling, cap 4), [mu0 = 1], [lambda0 = 0], movement tolerance 0.01
+    over a 50-tick window, feasibility tolerance 0.005. *)
+
+val scale_config : config
+(** [default_config] with a {!Lla.Step_size.split} step policy
+    (resource cap 1e9, path cap 64) and the movement tolerance widened
+    to 0.1. At 10^4+ subtasks the equilibrium prices of hot resources
+    sit orders of magnitude above the solver default's reach (they
+    grow with the square of the per-resource fan-in), and geometric
+    step escalation discovers that magnitude in logarithmically-many
+    ticks where the capped default crawls — but a path's step doubles
+    while any traversed resource is congested, so sharing the
+    unbounded cap with Eq. 9 turns long price-discovery streaks into
+    violent path-price oscillation. The moderate path cap still lets a
+    deadline-tight path's price climb during those streaks, and the
+    wider tolerance (~1e-5 relative against the generator's O(1e4)
+    critical times) rides out the tiny limit cycle the capped steps
+    leave behind. Use for generated scale scenarios; the default
+    remains right for Table-1-sized problems and for element-wise
+    comparison against {!Lla.Solver}. *)
+
+type t
+
+val of_problem : ?obs:Lla_obs.t -> ?config:config -> Lla.Problem.t -> (t, string) result
+(** Compact a compiled problem. [Error] when some task's utility is not
+    linear or some share function is not reciprocal (the closed form
+    does not apply — use {!Lla.Solver}). With [?obs], each tick is timed
+    under [kernel.step] > [allocate] / [resource_prices] / [path_prices]
+    via preallocated thunks (profiling adds clock reads, not garbage;
+    the clock itself may box). *)
+
+val create : ?obs:Lla_obs.t -> ?config:config -> Lla_model.Workload.t -> (t, string) result
+(** [Problem.compile] + {!of_problem}. *)
+
+val problem : t -> Lla.Problem.t
+
+val n_subtasks : t -> int
+
+val n_resources : t -> int
+
+val n_paths : t -> int
+
+val step : t -> unit
+(** One LLA tick over the current dirty sets. *)
+
+val run : t -> iterations:int -> unit
+
+val solve : t -> max_iterations:int -> int option
+(** Step until the movement stays at or below [movement_tolerance] for
+    [convergence_window] consecutive ticks with a feasible allocation;
+    [Some] final iteration count, [None] if the budget runs out. *)
+
+val iteration : t -> int
+
+val movement : t -> float
+(** Max relative latency change of the last tick. *)
+
+val utility : t -> float
+
+val feasible : t -> bool
+(** Eq. 3/4 within [feasibility_tolerance], from the cached share sums
+    and path latencies (exact after any full tick). *)
+
+val violations : t -> string list
+
+val guard_events : t -> int
+(** Non-finite iterate components neutralized, as in the solver. *)
+
+val lat_array : t -> float array
+(** The live latency iterate, indexed like [problem.subtasks]. Exposed
+    for benchmarks and the equivalence suite; treat as read-only. *)
+
+val mu_array : t -> float array
+
+val lambda_array : t -> float array
+
+type touch_stats = {
+  subtasks_touched : int;
+  resources_touched : int;
+  paths_touched : int;
+  subtasks_total : int;
+  resources_total : int;
+  paths_total : int;
+}
+(** How much of the problem one tick (or a whole run) actually visited —
+    the sparsity the dirty sets buy. *)
+
+val last_touch : t -> touch_stats
+
+val cumulative_touch : t -> touch_stats

@@ -53,3 +53,10 @@ echo "ci: $total tests run (floor $floor)"
 # violation and prints the (shrunk) reproducer path for replay with
 # `lla_cli chaos-replay`.
 ./_build/default/bin/lla_cli.exe campaign --runs 25 --seed 42 --out _build/chaos-repro
+
+# Scale-tier smoke: a seeded 10^4-subtask generated scenario must solve
+# to Eq. 3/4 feasibility in the flat-array kernel, agree element-wise
+# with the reference solver after 30 ticks, tick without allocating,
+# and run >= 20x the solver's per-iteration speed (best-of batches, so
+# box jitter does not flake the gate).
+./_build/default/bench/main.exe --json _build scale-smoke
