@@ -539,6 +539,127 @@ let run_campaign () =
   print_newline ();
   if s.Lla_chaos.Campaign.failures <> [] then exit 1
 
+(* ------------------------------------------------------------------ *)
+(* Soak endurance benchmark (BENCH_soak*.json snapshots)               *)
+(* ------------------------------------------------------------------ *)
+
+let soak_bench ~name ~(config : Lla_soak.Soak.config) ~gate () =
+  let module Soak = Lla_soak.Soak in
+  print_string
+    (Lla_experiments.Report.header
+       (Printf.sprintf "Soak endurance (%d subtasks, %d ticks, seed %d)" config.Soak.subtasks
+          config.Soak.horizon config.Soak.seed));
+  match Soak.run config with
+  | Error e ->
+    Printf.printf "  FAIL: soak construction: %s\n" e;
+    exit 1
+  | Ok r ->
+    print_string (Soak.render r);
+    print_newline ();
+    let failed = ref false in
+    let fail msg =
+      Printf.printf "  FAIL: %s\n" msg;
+      failed := true
+    in
+    if gate then begin
+      if r.Soak.violation_count > 0 then
+        fail (Printf.sprintf "%d rolling-oracle violations" r.Soak.violation_count);
+      if r.Soak.chaos_windows < 1 then fail "no chaos window inside the horizon";
+      if r.Soak.admits < 10 then
+        fail (Printf.sprintf "churn barely exercised (%d admits)" r.Soak.admits);
+      if r.Soak.degradations > 0 then
+        fail
+          (Printf.sprintf "degraded %d times under the generous smoke ceilings"
+             r.Soak.degradations);
+      let rss_ceiling = config.Soak.ceilings.Soak.max_rss_kb in
+      if rss_ceiling > 0 && r.Soak.peak_rss_kb > rss_ceiling then
+        fail (Printf.sprintf "peak RSS %d kB over the %d kB ceiling" r.Soak.peak_rss_kb rss_ceiling);
+      let tps_floor = config.Soak.ceilings.Soak.min_ticks_per_s in
+      if tps_floor > 0. && r.Soak.ticks_per_s < tps_floor then
+        fail (Printf.sprintf "throughput %.0f ticks/s under the %.0f floor" r.Soak.ticks_per_s tps_floor);
+      (* steady-state allocation must not grow over the horizon: the late
+         watchdog window may not exceed twice the early one (plus a small
+         absolute floor for sampling noise on near-zero rates) *)
+      if r.Soak.words_per_tick_late > Float.max 50. (2. *. Float.max 1. r.Soak.words_per_tick_early)
+      then
+        fail
+          (Printf.sprintf "minor words/tick grew %.1f -> %.1f over the horizon"
+             r.Soak.words_per_tick_early r.Soak.words_per_tick_late);
+      (* Breach drill: rerun a short horizon under an impossible RSS
+         ceiling — the run must walk the whole degradation ladder into
+         the forced-safe bottom rung and come back with a report, not an
+         exception. *)
+      let breach_config =
+        {
+          config with
+          Soak.horizon = 8_000;
+          baseline_every = 0;
+          ceilings = { Soak.max_rss_kb = 1_000; max_words_per_tick = 0.; min_ticks_per_s = 0. };
+        }
+      in
+      (match Soak.run breach_config with
+      | Error e -> fail ("breach drill construction: " ^ e)
+      | Ok br ->
+        Printf.printf
+          "  breach drill: %d degradations to level %d, %d safe entries, %d trips recorded\n"
+          br.Soak.degradations br.Soak.max_level br.Soak.safe_entries br.Soak.degradations;
+        if
+          br.Soak.degradations < 1
+          || br.Soak.max_level < config.Soak.shed_levels + 1
+          || br.Soak.safe_entries < 1
+        then fail "ceiling breach did not walk the degradation ladder into forced safe mode")
+    end;
+    write_json ~name
+      [
+        ("name", Printf.sprintf "%S" name);
+        ("seed", string_of_int config.Soak.seed);
+        ("subtasks", string_of_int r.Soak.subtasks);
+        ("tasks", string_of_int r.Soak.tasks);
+        ("ticks", string_of_int r.Soak.ticks);
+        ("elapsed_s", Printf.sprintf "%.3f" r.Soak.elapsed_s);
+        ("ticks_per_s", Printf.sprintf "%.1f" r.Soak.ticks_per_s);
+        ("admits", string_of_int r.Soak.admits);
+        ("retires", string_of_int r.Soak.retires);
+        ("chaos_windows", string_of_int r.Soak.chaos_windows);
+        ("stalls", string_of_int r.Soak.stalls);
+        ("guard_events", string_of_int r.Soak.guard_events);
+        ("safe_entries", string_of_int r.Soak.safe_entries);
+        ("safe_exits", string_of_int r.Soak.safe_exits);
+        ("degradations", string_of_int r.Soak.degradations);
+        ("recoveries", string_of_int r.Soak.recoveries);
+        ("max_level", string_of_int r.Soak.max_level);
+        ("oracle_violations", string_of_int r.Soak.violation_count);
+        ("peak_rss_kb", string_of_int r.Soak.peak_rss_kb);
+        ("words_per_tick_early", Printf.sprintf "%.1f" r.Soak.words_per_tick_early);
+        ("words_per_tick_late", Printf.sprintf "%.1f" r.Soak.words_per_tick_late);
+        ("words_per_tick_max", Printf.sprintf "%.1f" r.Soak.words_per_tick_max);
+        ("reconverge_episodes", string_of_int r.Soak.reconverge_episodes);
+        ("worst_settle_ticks", Printf.sprintf "%.0f" r.Soak.worst_settle_ticks);
+        ("baseline_checks", string_of_int r.Soak.baseline_checks);
+        ("worst_drift", Printf.sprintf "%.4f" r.Soak.worst_drift);
+        ("final_utility", Printf.sprintf "%.3f" r.Soak.final_utility);
+        ("final_feasible", string_of_bool r.Soak.final_feasible);
+        ("final_active_tasks", string_of_int r.Soak.final_active_tasks);
+      ];
+    if !failed then exit 1;
+    if gate then print_string "  PASS\n"
+
+let run_soak () = soak_bench ~name:"soak" ~config:Lla_soak.Soak.default_config ~gate:false ()
+
+(* The CI gate: the fixed-seed smoke configuration (>= 50k ticks, three
+   chaos windows, two flash crowds) under explicit ceilings, every
+   rolling oracle green, plus the forced-breach drill. *)
+let run_soak_smoke () =
+  let module Soak = Lla_soak.Soak in
+  let config =
+    {
+      Soak.smoke_config with
+      Soak.ceilings =
+        { Soak.max_rss_kb = 512 * 1024; max_words_per_tick = 200.; min_ticks_per_s = 2_000. };
+    }
+  in
+  soak_bench ~name:"soak_smoke" ~config ~gate:true ()
+
 let experiments =
   [
     ("table1", run_table1);
@@ -561,6 +682,8 @@ let experiments =
     ("micro", run_micro);
     ("scale", run_scale);
     ("scale-smoke", run_scale_smoke);
+    ("soak", run_soak);
+    ("soak-smoke", run_soak_smoke);
   ]
 
 let () =

@@ -575,7 +575,25 @@ let trace_cmd =
              price_updated plus every transport_* record. Matches the 'type' field of the JSONL \
              encoding; emission (and the metrics snapshot) is unaffected.")
   in
-  let run experiment out iterations duration io only =
+  let rotate =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "rotate" ] ~docv:"MIB"
+          ~doc:
+            "With $(b,--out), write through a bounded rotating sink instead of one unbounded \
+             file: the dump rotates every $(docv) MiB (renamed $(i,FILE.1), $(i,FILE.2), ...) \
+             and only $(b,--retain) rotated segments are kept, so disk usage stays bounded on \
+             arbitrarily long runs. Without this flag the single-file default is unchanged.")
+  in
+  let retain =
+    Arg.(
+      value
+      & opt int 3
+      & info [ "retain" ] ~docv:"N"
+          ~doc:"Rotated segments to keep besides the active file (with $(b,--rotate)).")
+  in
+  let run experiment out iterations duration io only rotate retain =
     (* A dump is forensics: include the causal spans alongside the io
        records (both are opt-in for always-on tracing, on for dumps). *)
     let obs = Lla_obs.create ~trace_io:io ~spans:true () in
@@ -591,22 +609,41 @@ let trace_cmd =
           let name = Lla_obs.Trace.event_name r.event in
           List.exists (fun k -> String.starts_with ~prefix:k name) kinds
     in
-    let oc = match out with Some path -> open_out path | None -> stdout in
+    let rotator =
+      match (out, rotate) with
+      | Some path, Some mib -> Some (Lla_obs.Rotate.create ~max_bytes:(mib * 1024 * 1024) ~retain ~path ())
+      | _ -> None
+    in
+    let oc = match (out, rotator) with Some path, None -> open_out path | _ -> stdout in
     (* Stream every record through a sink as it is emitted: the dump is
        complete even when the run outlives the trace ring buffer. *)
     let written = ref 0 in
-    Lla_obs.Trace.attach obs.Lla_obs.trace (fun r ->
-        if keep r then begin
-          incr written;
-          output_string oc (Lla_obs.Trace.record_to_string r);
-          output_char oc '\n'
-        end);
+    (match rotator with
+    | Some rot ->
+      Lla_obs.Trace.attach obs.Lla_obs.trace (fun r ->
+          if keep r then begin
+            incr written;
+            Lla_obs.Rotate.sink rot r
+          end)
+    | None ->
+      Lla_obs.Trace.attach obs.Lla_obs.trace (fun r ->
+          if keep r then begin
+            incr written;
+            output_string oc (Lla_obs.Trace.record_to_string r);
+            output_char oc '\n'
+          end));
     run_scenario ~obs experiment ~iterations ~duration;
-    (match out with
-    | Some path ->
+    (match (rotator, out) with
+    | Some rot, Some path ->
+      Lla_obs.Rotate.close rot;
+      Printf.printf "wrote %d trace records to %s (%d rotations, %d segments on disk)\n" !written
+        path
+        (Lla_obs.Rotate.rotations rot)
+        (List.length (Lla_obs.Rotate.segments rot))
+    | None, Some path ->
       close_out oc;
       Printf.printf "wrote %d trace records to %s\n" !written path
-    | None -> flush oc);
+    | _, None -> flush oc);
     (* Metrics snapshot after the run, Prometheus text exposition. *)
     print_string (Lla_obs.Metrics.expose obs.Lla_obs.metrics)
   in
@@ -615,7 +652,7 @@ let trace_cmd =
        ~doc:
          "Run a scenario with observability on and dump the structured trace (JSONL) plus a \
           metrics snapshot.")
-    Term.(const run $ experiment $ out $ iterations_arg $ duration_arg $ io $ only)
+    Term.(const run $ experiment $ out $ iterations_arg $ duration_arg $ io $ only $ rotate $ retain)
 
 let analyze_cmd =
   let target =
@@ -809,6 +846,145 @@ let solve_scale_cmd =
           feasible convergence within the budget).")
     Term.(const run $ verbose_arg $ workload $ subtasks_arg $ resources_arg $ seed $ iterations)
 
+let soak_cmd =
+  let module Soak = Lla_soak.Soak in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Start from the CI smoke configuration (600 subtasks, 60k ticks, tightened \
+             cadences) instead of the full endurance defaults; explicit options still \
+             override.")
+  in
+  let subtasks =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "subtasks"; "s" ] ~docv:"N" ~doc:"Generated scenario size (default 800).")
+  in
+  let horizon =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "horizon" ] ~docv:"TICKS"
+          ~doc:"Control ticks to drive (default 1,000,000; smoke default 60,000).")
+  in
+  let churn =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "churn" ] ~docv:"TICKS"
+          ~doc:"Ticks between churn steps (admits/retires); $(b,0) disables churn.")
+  in
+  let chaos_every =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chaos-every" ] ~docv:"TICKS"
+          ~doc:"Ticks between recurring chaos windows; $(b,0) disables chaos.")
+  in
+  let ceilings =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ceilings" ] ~docv:"RSS_KB,WORDS,TPS"
+          ~doc:
+            "Resource ceilings: VmRSS in kB, minor GC words allocated per tick, and a \
+             ticks-per-second throughput floor ($(b,0) = unlimited for each). A breach sheds \
+             load down the degradation ladder instead of failing. Default: 2 GiB RSS, no \
+             words/throughput limit.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Record soak transitions (watchdog trips, degradations, safe-mode entries/exits, \
+             chaos windows) through a bounded rotating JSONL sink at $(docv).")
+  in
+  let retain =
+    Arg.(
+      value & opt int 3
+      & info [ "retain" ] ~docv:"N" ~doc:"Rotated trace segments to keep (with $(b,--trace-out)).")
+  in
+  let run verbose smoke subtasks resources seed horizon churn chaos_every ceilings trace_out retain
+      =
+    setup_logs verbose;
+    let base = if smoke then Soak.smoke_config else Soak.default_config in
+    let ceilings =
+      match ceilings with
+      | None -> base.Soak.ceilings
+      | Some spec -> (
+        match String.split_on_char ',' spec |> List.map String.trim with
+        | [ rss; words; tps ] -> (
+          match (int_of_string_opt rss, float_of_string_opt words, float_of_string_opt tps) with
+          | Some max_rss_kb, Some max_words_per_tick, Some min_ticks_per_s ->
+            { Soak.max_rss_kb; max_words_per_tick; min_ticks_per_s }
+          | _ -> or_exit (Error (`Msg (Printf.sprintf "unparsable --ceilings %S" spec))))
+        | _ -> or_exit (Error (`Msg "expected --ceilings RSS_KB,WORDS_PER_TICK,TICKS_PER_S")))
+    in
+    let config =
+      {
+        base with
+        Soak.resources;
+        seed;
+        subtasks = Option.value subtasks ~default:base.Soak.subtasks;
+        horizon = Option.value horizon ~default:base.Soak.horizon;
+        churn =
+          (match churn with
+          | None -> base.Soak.churn
+          | Some every -> { base.Soak.churn with Lla_soak.Churn.every });
+        chaos =
+          (match chaos_every with
+          | None -> base.Soak.chaos
+          | Some every -> { base.Soak.chaos with Lla_soak.Rota.every });
+        ceilings;
+      }
+    in
+    let obs, rotator =
+      match trace_out with
+      | None -> (None, None)
+      | Some path ->
+        let obs = Lla_obs.create () in
+        let rot = Lla_obs.Rotate.create ~retain ~path () in
+        Lla_obs.Trace.attach obs.Lla_obs.trace (Lla_obs.Rotate.sink rot);
+        (Some obs, Some rot)
+    in
+    let last_decile = ref (-1) in
+    let on_progress ~tick =
+      let decile = tick * 10 / max 1 config.Soak.horizon in
+      if decile > !last_decile then begin
+        last_decile := decile;
+        Printf.printf "... tick %d/%d\n%!" tick config.Soak.horizon
+      end
+    in
+    (match Soak.run ?obs ~on_progress config with
+    | Error e -> or_exit (Error (`Msg e))
+    | Ok report ->
+      print_endline (Soak.render report);
+      (match rotator with
+      | Some rot ->
+        Lla_obs.Rotate.close rot;
+        Printf.printf "trace: %d records, %d segments on disk\n"
+          (Lla_obs.Rotate.records_written rot)
+          (List.length (Lla_obs.Rotate.segments rot))
+      | None -> ());
+      if report.Soak.violation_count > 0 then Stdlib.exit 1)
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Long-horizon endurance run: continuous churn plus recurring chaos windows over a \
+          generated scale scenario, judged by rolling health oracles (sustained Eq. 3/4 \
+          feasibility, reconvergence after every episode, utility drift vs the centralized \
+          optimum) under resource ceilings with graceful degradation (exit 0 = no oracle \
+          violations).")
+    Term.(
+      const run $ verbose_arg $ smoke $ subtasks $ resources_arg $ seed_arg ~doc:"Soak seed."
+      $ horizon $ churn $ chaos_every $ ceilings $ trace_out $ retain)
+
 let default =
   Term.(
     ret
@@ -845,4 +1021,5 @@ let () =
             emulate_cmd;
             generate_cmd;
             solve_scale_cmd;
+            soak_cmd;
           ]))

@@ -48,9 +48,16 @@ let resilience_of_setup (s : Schedule.setup) =
       }
 
 let step_policy_of_setup (s : Schedule.setup) =
-  match s.step with
-  | Schedule.Adaptive -> Distributed.default_config.Distributed.step_policy
-  | Schedule.Fixed_gamma g -> Lla.Step_size.fixed g
+  (* components of a Schedule.Split are leaves by Schedule.make, and the
+     adaptive default is itself non-Split, so Step_size.split's
+     no-nesting rule holds *)
+  let rec policy = function
+    | Schedule.Adaptive -> Distributed.default_config.Distributed.step_policy
+    | Schedule.Fixed_gamma g -> Lla.Step_size.fixed g
+    | Schedule.Split { resource; path } ->
+        Lla.Step_size.split ~resource:(policy resource) ~path:(policy path)
+  in
+  policy s.step
 
 let ( let* ) = Result.bind
 

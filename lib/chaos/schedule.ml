@@ -10,7 +10,10 @@ type event =
   | Price_poison of { at : float; resource : int; value : float }
   | Error_spike of { at : float; duration : float; subtask : int; magnitude : float }
 
-type step = Adaptive | Fixed_gamma of float
+type step =
+  | Adaptive
+  | Fixed_gamma of float
+  | Split of { resource : step; path : step }
 
 type setup = {
   safe_mode : bool;
@@ -102,11 +105,21 @@ let validate_event ~horizon e =
       if subtask < 0 then invalid "Schedule.make: negative index %d" subtask);
   ()
 
+(* Mirrors Lla.Step_size.split: one Split of two leaf policies, never
+   nested (the runtime unpacks exactly one resource/path pair). *)
+let validate_step = function
+  | Adaptive | Fixed_gamma _ -> ()
+  | Split { resource; path } ->
+      (match (resource, path) with
+      | (Adaptive | Fixed_gamma _), (Adaptive | Fixed_gamma _) -> ()
+      | _ -> invalid "Schedule.make: Split step components must be adaptive or fixed")
+
 let make ?(setup = robust_setup) ~workload ~horizon ~settle events =
   if not (Float.is_finite horizon && horizon > 0.) then
     invalid "Schedule.make: non-positive horizon %g" horizon;
   if not (Float.is_finite settle && settle >= 0.) then
     invalid "Schedule.make: negative settle %g" settle;
+  validate_step setup.step;
   List.iter (validate_event ~horizon) events;
   let events = List.stable_sort (fun a b -> Float.compare (event_start a) (event_start b)) events in
   { workload; horizon; settle; setup; events }
@@ -166,6 +179,14 @@ let json_of_event e =
           ("magnitude", Num magnitude);
         ]
 
+let rec json_of_step =
+  let open J in
+  function
+  | Adaptive -> Str "adaptive"
+  | Fixed_gamma g -> Num g
+  | Split { resource; path } ->
+      Obj [ ("resource", json_of_step resource); ("path", json_of_step path) ]
+
 let json_of_setup s =
   let open J in
   Obj
@@ -173,7 +194,7 @@ let json_of_setup s =
       ("safe_mode", Bool s.safe_mode);
       ("checkpoints", Bool s.checkpoints);
       ("health", Bool s.health);
-      ("step", (match s.step with Adaptive -> Str "adaptive" | Fixed_gamma g -> Num g));
+      ("step", json_of_step s.step);
       ("transport_seed", Num (float_of_int s.transport_seed));
     ]
 
@@ -305,6 +326,26 @@ let event_of_json j =
     | other -> Error (Printf.sprintf "event: unknown type %S" other))
   | _ -> Error "event: not an object"
 
+(* [component] distinguishes the two nesting levels so a nested Split is
+   rejected in the codec with the same strictness [make] enforces. *)
+let rec step_of_json ~component j =
+  match j with
+  | J.Str "adaptive" -> Ok Adaptive
+  | J.Num g -> Ok (Fixed_gamma g)
+  | J.Str other -> Error (Printf.sprintf "setup: unknown step %S" other)
+  | J.Obj fields when not component ->
+      let what = "setup step" in
+      let* () = known_fields what [ "resource"; "path" ] fields in
+      let* resource_json = field what "resource" j in
+      let* resource = step_of_json ~component:true resource_json in
+      let* path_json = field what "path" j in
+      let* path = step_of_json ~component:true path_json in
+      Ok (Split { resource; path })
+  | _ ->
+      Error
+        (if component then "setup: Split step components must be \"adaptive\" or a number"
+         else "setup: step must be \"adaptive\", a number, or a {resource, path} object")
+
 let setup_of_json j =
   match j with
   | J.Obj fields ->
@@ -316,13 +357,7 @@ let setup_of_json j =
   let* checkpoints = bool_field what "checkpoints" j in
   let* health = bool_field what "health" j in
   let* step_json = field what "step" j in
-  let* step =
-    match step_json with
-    | J.Str "adaptive" -> Ok Adaptive
-    | J.Num g -> Ok (Fixed_gamma g)
-    | J.Str other -> Error (Printf.sprintf "setup: unknown step %S" other)
-    | _ -> Error "setup: step must be \"adaptive\" or a number"
-  in
+  let* step = step_of_json ~component:false step_json in
   let* transport_seed = int_field what "transport_seed" j in
   Ok { safe_mode; checkpoints; health; step; transport_seed }
   | _ -> Error "setup: not an object"
@@ -418,9 +453,13 @@ let pp_event ppf e =
         magnitude
 
 let pp ppf t =
-  let step =
-    match t.setup.step with Adaptive -> "adaptive" | Fixed_gamma g -> Printf.sprintf "fixed %g" g
+  let rec step_string = function
+    | Adaptive -> "adaptive"
+    | Fixed_gamma g -> Printf.sprintf "fixed %g" g
+    | Split { resource; path } ->
+        Printf.sprintf "split(resource=%s, path=%s)" (step_string resource) (step_string path)
   in
+  let step = step_string t.setup.step in
   Format.fprintf ppf "@[<v>workload %s, horizon %gms + settle %gms@,setup: safe_mode=%b checkpoints=%b health=%b step=%s tseed=%d"
     t.workload t.horizon t.settle t.setup.safe_mode t.setup.checkpoints t.setup.health step
     t.setup.transport_seed;

@@ -27,6 +27,7 @@ module Profile = Profile
 module Causal = Causal
 module Series = Series
 module Analyze = Analyze
+module Rotate = Rotate
 
 type t = {
   metrics : Metrics.t;

@@ -210,7 +210,7 @@ let enter t ~now ~reason =
   t.settled_streak <- 0;
   Some (Entered { reason })
 
-let observe_optimizing t ~now ~mu ~lat ~offsets =
+let observe_optimizing t ~now ~mu ~utility ~violating_now =
   (* The streak and oscillation detectors only arm after the grace period:
      a cold start on a tight workload is legitimately infeasible for
      seconds while prices find the constraint surface (measured: >5%
@@ -222,14 +222,12 @@ let observe_optimizing t ~now ~mu ~lat ~offsets =
   let price_blown =
     Array.exists (fun m -> (not (Float.is_finite m)) || m > t.config.mu_cap) mu
   in
-  let utility = Lla.Problem.total_utility t.problem ~lat in
   if price_blown || not (Float.is_finite utility) then
     enter t ~now
       ~reason:(if price_blown then "price divergence" else "non-finite utility")
   else begin
     push_utility t utility;
-    if (not silent) && violating t ~lat ~offsets then
-      t.violation_streak <- t.violation_streak + 1
+    if (not silent) && violating_now () then t.violation_streak <- t.violation_streak + 1
     else t.violation_streak <- 0;
     if t.violation_streak >= t.config.violation_rounds then
       enter t ~now ~reason:"sustained infeasibility"
@@ -262,13 +260,13 @@ let observe_safe t ~now ~since ~mu =
   end
   else None
 
-let observe t ~now ~mu ~lat ~offsets =
+let observe_core t ~now ~mu ~utility ~violating_now =
   if Array.length mu <> Array.length t.prev_mu then
     invalid_arg "Safe_mode.observe: mu length mismatch";
   let event =
     match t.state with
     | Optimizing ->
-      let e = observe_optimizing t ~now ~mu ~lat ~offsets in
+      let e = observe_optimizing t ~now ~mu ~utility ~violating_now in
       (match e with Some (Entered _) -> reset_optimizing_detectors t | _ -> ());
       e
     | Safe { since; _ } -> observe_safe t ~now ~since ~mu
@@ -276,3 +274,11 @@ let observe t ~now ~mu ~lat ~offsets =
   (* Track prices across observations for the settle detector. *)
   Array.blit mu 0 t.prev_mu 0 (Array.length mu);
   event
+
+let observe t ~now ~mu ~lat ~offsets =
+  observe_core t ~now ~mu
+    ~utility:(Lla.Problem.total_utility t.problem ~lat)
+    ~violating_now:(fun () -> violating t ~lat ~offsets)
+
+let observe_signals t ~now ~mu ~feasible ~utility =
+  observe_core t ~now ~mu ~utility ~violating_now:(fun () -> not feasible)

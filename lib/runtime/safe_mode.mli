@@ -99,6 +99,17 @@ val observe : t -> now:float -> mu:float array -> lat:float array -> offsets:flo
     hysteresis, [None] otherwise. The caller is responsible for acting on
     the transition (clamping to {!fallback} / resuming optimization). *)
 
+val observe_signals :
+  t -> now:float -> mu:float array -> feasible:bool -> utility:float -> event option
+(** {!observe} for callers that already hold the derived signals — the
+    soak harness's kernel keeps active-set-aware cached share sums and
+    path latencies, which a full-problem recompute over [lat] would
+    disagree with under churn (retired blocks would be double counted).
+    [feasible] stands in for the Eq. 3/4 check ([violating = not
+    feasible], judged at the caller's tolerance) and [utility] for the
+    utility probe; detector state, grace periods and hysteresis are
+    shared with {!observe}. *)
+
 val state : t -> state
 
 val in_safe_mode : t -> bool

@@ -101,6 +101,19 @@ type t = {
   ps_off : int array;  (* path -> subtask indices (CSR) *)
   ps_idx : int array;
   path_hot : int array;  (* # traversed resources currently congested *)
+  (* churn support: per-task activation plus construction-time copies of
+     every coefficient retirement clobbers, so a re-admitted task block is
+     restored bit-for-bit (see retire_task / admit_task below) *)
+  n_task : int;
+  active : bool array;
+  mutable n_inactive : int;
+  mutable frozen : bool;  (* safe-mode dwell: hold the allocation *)
+  work0 : float array;
+  press00 : float array;
+  lo0 : float array;
+  hi0 : float array;
+  lat0 : float array;
+  crit0 : float array;
   (* step policy, unpacked per price family (identical unless Split) *)
   adaptive_r : bool;
   g_init_r : float;
@@ -174,6 +187,11 @@ let alloc_pass t =
   let tick = t.tick in
   let n = t.sub_count in
   t.scratch.(1) <- 0.;
+  (* safe-mode dwell: every latency is held at the clamped fallback, so
+     the pass reduces to draining the queue. The price passes keep
+     running on the frozen (feasible) allocation, which lets mu/lambda
+     integrate their now-nonnegative slack back toward rest. *)
+  if not t.frozen then
   for k = 0 to n - 1 do
     let i = ug t.sub_q k in
     let mu_r = ug t.mu (ug t.sub_res i) in
@@ -362,9 +380,16 @@ let path_pass t =
       end
     end
     else t.guards <- t.guards + 1;
+    (* the [crit < infinity] guard keeps retired paths (crit pinned at
+       infinity, see retire_task) from escalating their step when a
+       congested shared resource floods them into the queue: a retired
+       path must provably hold lambda = 0 and gamma at initial so that
+       re-admission restores its block bit-for-bit. Live paths always
+       have finite critical times, so the guard is value-neutral for
+       them. *)
     if t.adaptive_p then
       us t.gamma_p p
-        (if ug t.path_hot p > 0 then
+        (if ug t.path_hot p > 0 && ug t.crit p < infinity then
            let g = ug t.gamma_p p *. t.g_mult_p in
            if t.g_cap_p <= g then t.g_cap_p else g
          else t.g_init_p);
@@ -507,6 +532,8 @@ let of_problem ?obs ?(config = default_config) (problem : P.t) =
         problem.P.paths;
       (off, idx)
     in
+    let lat = Array.map (fun (s : P.subtask) -> s.P.lat_hi) problem.P.subtasks in
+    let crit = Array.map (fun (p : P.path) -> p.P.critical_time) problem.P.paths in
     let t =
       {
         problem;
@@ -514,7 +541,7 @@ let of_problem ?obs ?(config = default_config) (problem : P.t) =
         n_sub;
         n_res;
         n_path;
-        lat = Array.map (fun (s : P.subtask) -> s.P.lat_hi) problem.P.subtasks;
+        lat;
         sub_res;
         work;
         lo_b;
@@ -534,10 +561,20 @@ let of_problem ?obs ?(config = default_config) (problem : P.t) =
         lambda = Array.make n_path config.lambda0;
         gamma_p = Array.make n_path g_init_p;
         path_lat = Array.make n_path 0.;
-        crit = Array.map (fun (p : P.path) -> p.P.critical_time) problem.P.paths;
+        crit;
         ps_off;
         ps_idx;
         path_hot = Array.make n_path 0;
+        n_task = P.n_tasks problem;
+        active = Array.make (P.n_tasks problem) true;
+        n_inactive = 0;
+        frozen = false;
+        work0 = Array.copy work;
+        press00 = Array.copy press0;
+        lo0 = Array.copy lo_b;
+        hi0 = Array.copy hi_b;
+        lat0 = Array.copy lat;
+        crit0 = Array.copy crit;
         adaptive_r;
         g_init_r;
         g_mult_r;
@@ -594,6 +631,218 @@ let of_problem ?obs ?(config = default_config) (problem : P.t) =
 let create ?obs ?config workload = of_problem ?obs ?config (P.compile workload)
 
 (* ------------------------------------------------------------------ *)
+(* Churn: incremental admit / retire of task blocks                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Out-of-band mutations run between ticks. After [finish], the upcoming
+   tick's number is [t.tick] and an id is queued for it iff its mark
+   equals [t.tick] — so pushing with mark [t.tick] targets exactly the
+   next tick, and the mark dedup keeps every queue within its family's
+   length. These helpers are not used by the three passes (which inline
+   their pushes against [tick]/[next]). *)
+let queue_sub t i =
+  if t.sub_mark.(i) <> t.tick then begin
+    t.sub_mark.(i) <- t.tick;
+    t.sub_q.(t.sub_count) <- i;
+    t.sub_count <- t.sub_count + 1
+  end
+
+let queue_res t r =
+  if t.res_mark.(r) <> t.tick then begin
+    t.res_mark.(r) <- t.tick;
+    t.res_q.(t.res_count) <- r;
+    t.res_count <- t.res_count + 1
+  end
+
+let queue_path t p =
+  if t.path_mark.(p) <> t.tick then begin
+    t.path_mark.(p) <- t.tick;
+    t.path_q.(t.path_count) <- p;
+    t.path_count <- t.path_count + 1
+  end
+
+let dirty_res t r =
+  t.res_dirty.(r) <- t.tick;
+  queue_res t r
+
+let dirty_path t p =
+  t.path_dirty.(p) <- t.tick;
+  queue_path t p
+
+let n_tasks t = t.n_task
+
+let n_active_tasks t = t.n_task - t.n_inactive
+
+let task_active t k =
+  if k < 0 || k >= t.n_task then invalid_arg "Kernel.task_active: bad task index";
+  t.active.(k)
+
+(* Retirement rewrites task [k]'s block so that every pass update over it
+   is naturally the identity — no hot-path [active] branch needed:
+   - subtasks: work = press0 = 0, bounds and latency pinned at 1. The
+     closed-form candidate is hi = 1 = lat regardless of prices (pressure
+     0, mu arbitrary), so the subtask never reports movement; its share
+     is 0 / max(0, 1) = 0, so it vanishes from Eq. 3 sums.
+   - paths: lambda = 0, gamma at initial, crit = infinity. The slack term
+     is 1 - latency/inf = 1, so the Eq. 9 candidate is max 0 (0 - g) = 0:
+     the update is the identity and the path drops out of the queue; the
+     crit guard in [path_pass] keeps congested shared resources from
+     escalating its step.
+   The block's resources and neighbors stay live: removing the shares
+   perturbs mu on shared resources, which re-queues the neighbors — the
+   genuine cold-zone churn ripple the dirty sets exist for. *)
+let retire_task t k =
+  if k < 0 || k >= t.n_task then invalid_arg "Kernel.retire_task: bad task index";
+  if not t.active.(k) then invalid_arg "Kernel.retire_task: task already retired";
+  t.active.(k) <- false;
+  t.n_inactive <- t.n_inactive + 1;
+  let task = t.problem.P.tasks.(k) in
+  Array.iter
+    (fun i ->
+      t.work.(i) <- 0.;
+      t.press0.(i) <- 0.;
+      t.lo_b.(i) <- 1.;
+      t.hi_b.(i) <- 1.;
+      t.lat.(i) <- 1.;
+      queue_sub t i;
+      dirty_res t t.sub_res.(i))
+    task.P.subtask_indices;
+  Array.iter
+    (fun p ->
+      t.lambda.(p) <- 0.;
+      t.gamma_p.(p) <- t.g_init_p;
+      t.crit.(p) <- infinity;
+      dirty_path t p)
+    task.P.path_indices
+
+(* Re-admission restores the construction-time coefficients and the
+   construction-time initial iterate (lat_hi, lambda0, gamma at initial),
+   then queues the block. Shared resource prices are whatever churn has
+   made them — the block converges into the running system. When the
+   retire was immediate (same inter-tick gap), every restored cell is
+   bit-identical to its pre-retire value and the resulting trajectory is
+   bit-for-bit the one where the admit/retire pair never happened; the
+   property suite checks this. *)
+let admit_task t k =
+  if k < 0 || k >= t.n_task then invalid_arg "Kernel.admit_task: bad task index";
+  if t.active.(k) then invalid_arg "Kernel.admit_task: task already active";
+  t.active.(k) <- true;
+  t.n_inactive <- t.n_inactive - 1;
+  let task = t.problem.P.tasks.(k) in
+  Array.iter
+    (fun i ->
+      t.work.(i) <- t.work0.(i);
+      t.press0.(i) <- t.press00.(i);
+      t.lo_b.(i) <- t.lo0.(i);
+      t.hi_b.(i) <- t.hi0.(i);
+      t.lat.(i) <- t.lat0.(i);
+      queue_sub t i;
+      dirty_res t t.sub_res.(i))
+    task.P.subtask_indices;
+  Array.iter
+    (fun p ->
+      t.lambda.(p) <- t.config.lambda0;
+      t.gamma_p.(p) <- t.g_init_p;
+      t.crit.(p) <- t.crit0.(p);
+      dirty_path t p)
+    task.P.path_indices
+
+(* ------------------------------------------------------------------ *)
+(* Chaos injection + safe-mode support                                  *)
+(* ------------------------------------------------------------------ *)
+
+let poison_price t r value =
+  if r < 0 || r >= t.n_res then invalid_arg "Kernel.poison_price: bad resource index";
+  (* parity with Distributed.poison_price: the raw write lands, and the
+     pass-level finite-value guards heal it on the next tick *)
+  t.mu.(r) <- value;
+  queue_res t r
+
+let capacity t r =
+  if r < 0 || r >= t.n_res then invalid_arg "Kernel.capacity: bad resource index";
+  t.cap.(r)
+
+let set_capacity t r value =
+  if r < 0 || r >= t.n_res then invalid_arg "Kernel.set_capacity: bad resource index";
+  if not (Float.is_finite value && value > 0.) then
+    invalid_arg "Kernel.set_capacity: capacity must be finite and positive";
+  t.cap.(r) <- value;
+  (* members' latencies are unchanged, so the cached share sum stays
+     valid; the price update and congestion flag see the new capacity on
+     the next tick *)
+  queue_res t r
+
+let disturb_latency t i delta =
+  if i < 0 || i >= t.n_sub then invalid_arg "Kernel.disturb_latency: bad subtask index";
+  if t.active.(t.problem.P.subtasks.(i).P.task) then begin
+    let lo = t.lo_b.(i) and hi = t.hi_b.(i) in
+    let v = t.lat.(i) +. delta in
+    let v = if not (Float.is_finite v) then hi else if v < lo then lo else if v > hi then hi else v in
+    if v <> t.lat.(i) then begin
+      t.lat.(i) <- v;
+      queue_sub t i;
+      dirty_res t t.sub_res.(i);
+      Array.iter (fun p -> dirty_path t p) t.problem.P.subtasks.(i).P.paths
+    end
+  end
+
+let set_frozen t frozen = t.frozen <- frozen
+
+let frozen t = t.frozen
+
+let requeue_all t =
+  for i = 0 to t.n_sub - 1 do
+    t.sub_q.(i) <- i;
+    t.sub_mark.(i) <- t.tick
+  done;
+  t.sub_count <- t.n_sub;
+  for r = 0 to t.n_res - 1 do
+    t.res_q.(r) <- r;
+    t.res_mark.(r) <- t.tick;
+    t.res_dirty.(r) <- t.tick
+  done;
+  t.res_count <- t.n_res;
+  for p = 0 to t.n_path - 1 do
+    t.path_q.(p) <- p;
+    t.path_mark.(p) <- t.tick;
+    t.path_dirty.(p) <- t.tick
+  done;
+  t.path_count <- t.n_path
+
+(* Safe-mode entry, with the same healing discipline as
+   Distributed.enter_safe_mode: enact the fallback latencies (clamped to
+   the live bounds, retired blocks untouched), heal non-finite or
+   runaway prices down to mu0 / 0, reset the step sizes, and mark
+   everything dirty so every cache is rebuilt from the clamped state on
+   the next tick. *)
+let enter_fallback t ?heal_above ~lat:fallback () =
+  if Array.length fallback <> t.n_sub then
+    invalid_arg "Kernel.enter_fallback: fallback length mismatch";
+  let heal_cap =
+    match heal_above with
+    | Some v -> v
+    | None -> Float.min 1e6 (1000. *. Float.max 1. t.config.mu0)
+  in
+  for i = 0 to t.n_sub - 1 do
+    if t.active.(t.problem.P.subtasks.(i).P.task) then begin
+      let lo = t.lo_b.(i) and hi = t.hi_b.(i) in
+      let v = fallback.(i) in
+      let v = if not (Float.is_finite v) then hi else if v < lo then lo else if v > hi then hi else v in
+      t.lat.(i) <- v
+    end
+  done;
+  for r = 0 to t.n_res - 1 do
+    let m = t.mu.(r) in
+    if (not (Float.is_finite m)) || m > heal_cap then t.mu.(r) <- t.config.mu0;
+    t.gamma_r.(r) <- t.g_init_r
+  done;
+  for p = 0 to t.n_path - 1 do
+    if not (Float.is_finite t.lambda.(p)) then t.lambda.(p) <- 0.;
+    t.gamma_p.(p) <- t.g_init_p
+  done;
+  requeue_all t
+
+(* ------------------------------------------------------------------ *)
 (* Read-out                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -611,7 +860,17 @@ let movement t = t.scratch.(1)
 
 let guard_events t = t.guards
 
-let utility t = P.total_utility t.problem ~lat:t.lat
+let utility t =
+  if t.n_inactive = 0 then P.total_utility t.problem ~lat:t.lat
+  else begin
+    (* retired blocks hold lat = 1, which is meaningless to their
+       utilities — sum the active tasks only *)
+    let acc = ref 0. in
+    for k = 0 to t.n_task - 1 do
+      if t.active.(k) then acc := !acc +. P.task_utility t.problem k ~lat:t.lat
+    done;
+    !acc
+  end
 
 let lat_array t = t.lat
 
@@ -640,16 +899,26 @@ let violations t =
   done;
   !acc
 
-let feasible t =
+(* Retired blocks read as trivially feasible here: their shares are 0 and
+   their critical times infinity, so only active tasks constrain either
+   check. *)
+let resources_feasible t ~tol =
   let ok = ref true in
-  let tol = t.config.feasibility_tolerance in
   for r = 0 to t.n_res - 1 do
     if t.share_sum.(r) > t.cap.(r) *. (1. +. tol) then ok := false
   done;
+  !ok
+
+let paths_feasible t ~tol =
+  let ok = ref true in
   for p = 0 to t.n_path - 1 do
     if t.path_lat.(p) > t.crit.(p) *. (1. +. tol) then ok := false
   done;
   !ok
+
+let feasible_within t ~tol = resources_feasible t ~tol && paths_feasible t ~tol
+
+let feasible t = feasible_within t ~tol:t.config.feasibility_tolerance
 
 let solve t ~max_iterations =
   let window = Stdlib.max 1 t.config.convergence_window in

@@ -23,9 +23,18 @@
     Scope: the kernel requires the closed-form allocation structure —
     every task utility linear (constant slope) and every share function
     reciprocal, which {!Generator} always emits and {!of_problem}
-    verifies. Error-correction offsets, capacity/rate mutation and the
-    solver's trace series are out of scope; capacities and stability
-    bounds are snapshot at construction. *)
+    verifies. Error-correction offsets and the solver's trace series are
+    out of scope; stability bounds are snapshot at construction.
+
+    Between ticks the kernel additionally supports {b churn} — whole
+    task blocks retired and re-admitted incrementally
+    ({!retire_task} / {!admit_task}), which is what finally gives the
+    dirty sets real cold zones to skip — and the {b chaos / safe-mode
+    hooks} the soak harness drives: price poisoning, capacity mutation
+    and latency disturbance ({!poison_price}, {!set_capacity},
+    {!disturb_latency}), plus a clamped-fallback safe-mode entry with
+    the same price-healing discipline as [Distributed.enter_safe_mode]
+    ({!enter_fallback}, {!set_frozen}). *)
 
 type config = {
   step_policy : Lla.Step_size.policy;
@@ -97,10 +106,26 @@ val movement : t -> float
 (** Max relative latency change of the last tick. *)
 
 val utility : t -> float
+(** Total utility of the {e active} tasks at the live iterate (retired
+    blocks hold placeholder latencies and are excluded). *)
 
 val feasible : t -> bool
 (** Eq. 3/4 within [feasibility_tolerance], from the cached share sums
-    and path latencies (exact after any full tick). *)
+    and path latencies (exact after any full tick). Retired blocks
+    contribute zero share and infinite critical times, so only active
+    tasks constrain the answer. *)
+
+val feasible_within : t -> tol:float -> bool
+(** {!feasible} at an explicit relative tolerance. *)
+
+val resources_feasible : t -> tol:float -> bool
+(** The Eq. 3 half of {!feasible_within} alone: every cached share sum
+    within [cap * (1 + tol)]. The soak harness judges the two halves on
+    different grace schedules — an admission can transiently overshoot a
+    path's deadline (Eq. 4) while its resource floor shares always fit. *)
+
+val paths_feasible : t -> tol:float -> bool
+(** The Eq. 4 half: every cached path latency within [C * (1 + tol)]. *)
 
 val violations : t -> string list
 
@@ -129,3 +154,73 @@ type touch_stats = {
 val last_touch : t -> touch_stats
 
 val cumulative_touch : t -> touch_stats
+
+(** {1 Churn: incremental admit / retire}
+
+    All mutators below run {e between} ticks (they are not part of the
+    zero-allocation hot path; each touches only the task block or entity
+    it names and pushes it onto the next tick's dirty queues). *)
+
+val n_tasks : t -> int
+
+val n_active_tasks : t -> int
+
+val task_active : t -> int -> bool
+
+val retire_task : t -> int -> unit
+(** Remove task [k]'s block from the optimization: its shares vanish
+    from Eq. 3, its deadlines from Eq. 4, its utility from {!utility}.
+    The block's cells are rewritten so every subsequent pass update over
+    them is provably the identity — no per-entity branch is added to the
+    tick. Shared resources see the vanished share and re-price, rippling
+    through the dirty sets exactly like any other local change.
+    @raise Invalid_argument if [k] is out of range or already retired. *)
+
+val admit_task : t -> int -> unit
+(** Restore task [k]'s block with its construction-time coefficients and
+    initial iterate; it converges into the running system. An admit
+    followed by a retire in the same inter-tick gap is bit-for-bit
+    invisible (the property suite checks this).
+    @raise Invalid_argument if [k] is out of range or already active. *)
+
+(** {1 Chaos injection + safe-mode support} *)
+
+val poison_price : t -> int -> float -> unit
+(** Overwrite resource [r]'s price with an arbitrary value (NaN and
+    infinities included) — parity with [Distributed.poison_price]. The
+    pass-level finite-value guards heal the write on the next tick. *)
+
+val capacity : t -> int -> float
+
+val set_capacity : t -> int -> float -> unit
+(** Change resource [r]'s capacity [B_r] online (finite, positive); the
+    price update integrates against the new capacity from the next tick
+    on. *)
+
+val disturb_latency : t -> int -> float -> unit
+(** Shift subtask [i]'s latency iterate by [delta], clamped to its
+    bounds (no-op on retired blocks) — an exogenous disturbance the
+    optimizer then heals. *)
+
+val enter_fallback : t -> ?heal_above:float -> lat:float array -> unit -> unit
+(** Safe-mode entry with [Distributed.enter_safe_mode]'s discipline:
+    clamp every active subtask's latency to [lat] (projected onto its
+    bounds, non-finite entries to the upper bound), heal non-finite or
+    above-[heal_above] resource prices back to [mu0] (default cap:
+    [min 1e6 (1000 * max 1 mu0)]) and non-finite path prices to 0, reset
+    both step-size families, and mark everything dirty so the caches are
+    rebuilt from the clamped state. Typically followed by
+    [set_frozen t true] for the dwell. *)
+
+val set_frozen : t -> bool -> unit
+(** While frozen, the allocation pass holds every latency (movement
+    reads 0) and only the price passes run — prices decay toward rest on
+    the clamped feasible allocation. Unfreezing resumes optimization;
+    call {!requeue_all} alongside so the full problem re-enters the
+    dirty sets. *)
+
+val frozen : t -> bool
+
+val requeue_all : t -> unit
+(** Push every subtask, resource and path onto the next tick's queues
+    with all caches marked stale — a full-problem tick. *)

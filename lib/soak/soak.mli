@@ -1,0 +1,113 @@
+(** Long-horizon endurance runtime: churn at scale + chaos + ceilings.
+
+    {!run} drives a generated scenario through millions of kernel ticks
+    under the full production weather at once:
+
+    - {b continuous churn} — a {!Churn} stream (diurnal + flash-crowd
+      arrival over a task roster) admits and retires task blocks
+      incrementally in the {!Lla_scale.Kernel}, finally exercising the
+      dirty-set machinery on real cold zones;
+    - {b periodic chaos} — a {!Rota} opens recurring
+      {!Lla_chaos.Schedule} windows: price poisons, latency error
+      spikes, capacity dips, lost control ticks;
+    - {b rolling health} — windowed oracles judge the run while it
+      happens: sustained Eq. 3/4 feasibility (transients shorter than
+      [sustain_budget] are the price of churn; longer is a violation),
+      reconvergence after every chaos window / flash crowd / safe-mode
+      exit (utility must settle, per {!Lla_obs.Analyze.settling_time},
+      within [reconverge_budget]), and a utility-drift bound against a
+      periodically recomputed {!Lla_baseline.Centralized} optimum over
+      the currently-active subset;
+    - {b resource ceilings with graceful degradation} — a watchdog
+      samples VmRSS, minor-words-per-tick and ticks-per-second against
+      {!ceilings}; a breach walks one step down the degradation ladder
+      (shedding the lowest-utility roster tasks and barring admissions
+      — every remaining set is schedulable by the generator's
+      feasibility-by-construction, so this is literally walking down
+      the schedulability ladder) instead of dying, with the bottom rung
+      clamping to the {!Lla_runtime.Safe_mode} fallback. Every step is
+      recorded as a trace event ([Watchdog_trip] + a ["soak.degrade"]
+      note); sustained health climbs back up.
+
+    Determinism: the generator, churn and rota all draw from seeded
+    private streams, so a [(config)] pair yields an identical report
+    (modulo the wall-clock and memory fields). *)
+
+type ceilings = {
+  max_rss_kb : int;  (** VmRSS ceiling; [0] = unlimited *)
+  max_words_per_tick : float;
+      (** minor-allocation budget per tick, averaged over a watchdog
+          window ([0.] = unlimited). Windows containing a baseline
+          recompute are exempt — the drift oracle allocates by design. *)
+  min_ticks_per_s : float;  (** throughput floor; [0.] = none *)
+}
+
+type config = {
+  subtasks : int;  (** generated scenario size *)
+  resources : int option;  (** default: {!Lla_scale.Generator.sized}'s *)
+  seed : int;
+  horizon : int;  (** ticks to drive *)
+  churn : Churn.params;
+  chaos : Rota.params;
+  ceilings : ceilings;
+  watchdog_every : int;  (** ticks between watchdog samples *)
+  health_every : int;  (** ticks between health-oracle samples *)
+  reconverge_budget : int;  (** ticks to re-settle after an episode *)
+  sustain_budget : int;  (** ticks Eq. 3/4 may stay violated outside grace *)
+  baseline_every : int;  (** ticks between drift checkpoints; [0] = never *)
+  baseline_iterations : int;
+  drift_tolerance : float;  (** relative utility drift allowed vs baseline *)
+  safe_mode : Lla_runtime.Safe_mode.config;
+  shed_levels : int;  (** ladder rungs before the forced-safe bottom *)
+  shed_fraction : float;  (** roster fraction shed per rung *)
+  recover_after : int;  (** healthy watchdog samples per rung re-ascent *)
+  warmstart_iterations : int;  (** converge before the horizon clock starts *)
+}
+
+val default_config : config
+(** 800 subtasks, 10^6 ticks, default churn/chaos, 2 GiB RSS ceiling. *)
+
+val smoke_config : config
+(** The CI gate's fixed-seed configuration: 600 subtasks, 60k ticks,
+    three chaos windows, two flash crowds, two baseline checkpoints. *)
+
+type report = {
+  ticks : int;
+  elapsed_s : float;
+  ticks_per_s : float;
+  tasks : int;
+  subtasks : int;
+  admits : int;
+  retires : int;
+  chaos_windows : int;
+  stalls : int;
+  guard_events : int;
+  safe_entries : int;
+  safe_exits : int;
+  degradations : int;  (** ladder descents *)
+  recoveries : int;  (** ladder ascents *)
+  max_level : int;  (** deepest rung reached; [shed_levels + 1] = forced safe *)
+  oracle_violations : string list;  (** first 20, newest last *)
+  violation_count : int;
+  peak_rss_kb : int;  (** VmHWM at exit (0 off-Linux) *)
+  words_per_tick_early : float;  (** first clean watchdog window after warmup *)
+  words_per_tick_late : float;  (** last clean window *)
+  words_per_tick_max : float;  (** worst clean window *)
+  reconverge_episodes : int;
+  worst_settle_ticks : float;  (** slowest measured episode settling time *)
+  baseline_checks : int;
+  worst_drift : float;
+  final_utility : float;
+  final_feasible : bool;
+  final_active_tasks : int;
+}
+
+val run : ?obs:Lla_obs.t -> ?on_progress:(tick:int -> unit) -> config -> (report, string) result
+(** [Error] on scenario/kernel construction failure. [on_progress] fires
+    at every watchdog sample. With [?obs], soak-level transitions land
+    in the trace ([Watchdog_trip], [Safe_mode_entered]/[Exited],
+    ["soak.degrade"]/["soak.recover"]/["soak.chaos_window"] notes) —
+    attach an {!Lla_obs.Rotate} sink for disk-bounded capture. *)
+
+val render : report -> string
+(** Multi-line human-readable summary. *)

@@ -60,3 +60,11 @@ echo "ci: $total tests run (floor $floor)"
 # and run >= 20x the solver's per-iteration speed (best-of batches, so
 # box jitter does not flake the gate).
 ./_build/default/bench/main.exe --json _build scale-smoke
+
+# Soak-tier smoke: a 60k-tick endurance run under continuous churn and
+# recurring chaos windows must hold every rolling-health oracle (sustained
+# Eq. 3/4 feasibility, reconvergence budgets, baseline utility drift),
+# stay under its resource ceilings without shedding load, and the forced
+# ceiling-breach drill must walk the degradation ladder into safe mode
+# instead of crashing.
+./_build/default/bench/main.exe --json _build soak-smoke

@@ -74,6 +74,47 @@ let test_codec_rejects_garbage () =
       "{\"version\":1,\"workload\":\"base\",\"horizon\":1000,\"settle\":0,\"setup\":{\"safe_mode\":true,\"checkpoints\":true,\"health\":true,\"step\":\"adaptive\",\"transport_seed\":0},\"events\":[{\"type\":\"meteor\",\"at\":10}]}";
     ]
 
+let test_split_step_roundtrip () =
+  (* the kernel's scale config splits the step policy per price family;
+     reproducers caught at scale must survive the codec *)
+  let setup =
+    {
+      (Schedule.fragile_setup 48. 3) with
+      Schedule.step = Schedule.Split { resource = Schedule.Adaptive; path = Schedule.Fixed_gamma 2.5 };
+    }
+  in
+  let s = Schedule.make ~workload:"base" ~horizon:1_000. ~settle:0. ~setup [] in
+  match Schedule.of_string (Schedule.to_string s) with
+  | Ok s' -> Alcotest.(check bool) "split step round-trips" true (Schedule.equal s s')
+  | Error e -> Alcotest.fail ("decode failed: " ^ e)
+
+let forged_step step =
+  Printf.sprintf
+    "{\"version\":1,\"workload\":\"base\",\"horizon\":1000,\"settle\":0,\"setup\":{\"safe_mode\":true,\"checkpoints\":true,\"health\":true,\"step\":%s,\"transport_seed\":0},\"events\":[]}"
+    step
+
+let test_step_codec_strictness () =
+  (* valid forms *)
+  List.iter
+    (fun step ->
+      match Schedule.of_string (forged_step step) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "rejected valid step %s: %s" step e)
+    [ "\"adaptive\""; "2.5"; "{\"resource\":\"adaptive\",\"path\":2.5}" ];
+  (* unknown tags, unknown fields inside the step object, and nested
+     splits must all be rejected, not silently defaulted *)
+  List.iter
+    (fun step ->
+      match Schedule.of_string (forged_step step) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted invalid step %s" step)
+    [
+      "\"nesterov\"";
+      "{\"resource\":\"adaptive\",\"path\":2.5,\"surprise\":1}";
+      "{\"resource\":\"adaptive\"}";
+      "{\"resource\":{\"resource\":\"adaptive\",\"path\":2},\"path\":\"adaptive\"}";
+    ]
+
 let invalid what thunk =
   match thunk () with
   | (_ : Schedule.t) -> Alcotest.fail ("accepted " ^ what)
@@ -305,6 +346,8 @@ let () =
             test_codec_roundtrip;
           Alcotest.test_case "unknown fields rejected" `Quick test_codec_rejects_unknown_fields;
           Alcotest.test_case "garbage rejected" `Quick test_codec_rejects_garbage;
+          Alcotest.test_case "split step round-trips" `Quick test_split_step_roundtrip;
+          Alcotest.test_case "step codec is strict" `Quick test_step_codec_strictness;
           Alcotest.test_case "make validates and sorts" `Quick test_make_validation;
           Alcotest.test_case "event windows" `Quick test_event_windows;
         ] );
