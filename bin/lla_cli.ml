@@ -212,6 +212,27 @@ let runs_arg =
 
 let seed_arg ~doc = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
 
+(* The chaos and soak commands can swap the deterministic simulator for
+   the OCaml 5 domains-parallel engine; [--domains] sizes its pool. *)
+let engine_arg =
+  Arg.(
+    value
+    & opt (enum [ ("sim", `Sim); ("domains", `Domains) ]) `Sim
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Execution engine: $(b,sim) (the deterministic single-threaded simulator, default) or \
+           $(b,domains) (the OCaml 5 domains-parallel runtime in deterministic-merge mode — \
+           replays are still bit-identical for a fixed $(b,--domains)).")
+
+let domains_arg =
+  Arg.(
+    value
+    & opt int 4
+    & info [ "domains" ] ~docv:"N" ~doc:"Domain-pool size for $(b,--engine domains) (default 4).")
+
+let campaign_engine engine domains : Lla_chaos.Campaign.engine =
+  match engine with `Sim -> `Sim | `Domains -> `Domains domains
+
 let foreach_seed ~runs ~seed f =
   for i = 0 to max 0 (runs - 1) do
     let s = seed + i in
@@ -307,8 +328,9 @@ let campaign_cmd =
             "Run the deliberately breakable deployment (resilience off, aggressive fixed step) \
              instead of the robust one — demonstrates the oracles catching violations.")
   in
-  let run runs seed out fragile =
-    let summary = Lla_chaos.Campaign.run ?out ~fragile ~runs ~seed () in
+  let run runs seed out fragile engine domains =
+    let engine = campaign_engine engine domains in
+    let summary = Lla_chaos.Campaign.run ~engine ?out ~fragile ~runs ~seed () in
     print_string summary.Lla_chaos.Campaign.report;
     match summary.Lla_chaos.Campaign.failures with
     | [] -> ()
@@ -326,7 +348,7 @@ let campaign_cmd =
          "Run a randomized fault campaign: generate seeded fault schedules, execute each \
           against the distributed deployment, judge safety and liveness oracles, and shrink \
           any failure to a minimal JSON reproducer. Exits 1 on any oracle violation.")
-    Term.(const run $ runs $ seed $ out $ fragile)
+    Term.(const run $ runs $ seed $ out $ fragile $ engine_arg $ domains_arg)
 
 let chaos_replay_cmd =
   let path =
@@ -336,8 +358,8 @@ let chaos_replay_cmd =
       & info [] ~docv:"REPRO.json"
           ~doc:"A schedule artifact written by $(b,campaign --out) (or by hand).")
   in
-  let run path =
-    match Lla_chaos.Campaign.replay ~path () with
+  let run path engine domains =
+    match Lla_chaos.Campaign.replay ~engine:(campaign_engine engine domains) ~path () with
     | Error msg ->
         prerr_endline ("chaos-replay: " ^ msg);
         Stdlib.exit 2
@@ -350,8 +372,9 @@ let chaos_replay_cmd =
     (Cmd.info "chaos-replay"
        ~doc:
          "Replay a saved fault schedule and re-judge the oracle suite — deterministic, so a \
-          reproducer fails (exit 1) exactly as it did when the campaign found it.")
-    Term.(const run $ path)
+          reproducer fails (exit 1) exactly as it did when the campaign found it (replay with \
+          the engine the campaign ran on).")
+    Term.(const run $ path $ engine_arg $ domains_arg)
 
 let ablation_cmd =
   let run iterations =
@@ -910,7 +933,7 @@ let soak_cmd =
       & info [ "retain" ] ~docv:"N" ~doc:"Rotated trace segments to keep (with $(b,--trace-out)).")
   in
   let run verbose smoke subtasks resources seed horizon churn chaos_every ceilings trace_out retain
-      =
+      engine domains =
     setup_logs verbose;
     let base = if smoke then Soak.smoke_config else Soak.default_config in
     let ceilings =
@@ -960,7 +983,14 @@ let soak_cmd =
         Printf.printf "... tick %d/%d\n%!" tick config.Soak.horizon
       end
     in
-    (match Soak.run ?obs ~on_progress config with
+    let eng =
+      match engine with
+      | `Sim -> None
+      | `Domains -> Some (Lla_runtime.Engine.domains ~domains ())
+    in
+    let result = Soak.run ?obs ?engine:eng ~on_progress config in
+    Option.iter Lla_runtime.Engine.shutdown eng;
+    (match result with
     | Error e -> or_exit (Error (`Msg e))
     | Ok report ->
       print_endline (Soak.render report);
@@ -983,7 +1013,7 @@ let soak_cmd =
           violations).")
     Term.(
       const run $ verbose_arg $ smoke $ subtasks $ resources_arg $ seed_arg ~doc:"Soak seed."
-      $ horizon $ churn $ chaos_every $ ceilings $ trace_out $ retain)
+      $ horizon $ churn $ chaos_every $ ceilings $ trace_out $ retain $ engine_arg $ domains_arg)
 
 let default =
   Term.(

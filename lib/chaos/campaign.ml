@@ -1,7 +1,10 @@
 module Engine = Lla_sim.Engine
+module Reng = Lla_runtime.Engine
 module Transport = Lla_transport.Transport
 module Distributed = Lla_runtime.Distributed
 module Rng = Lla_stdx.Rng
+
+type engine = [ `Sim | `Domains of int ]
 
 type execution = {
   schedule : Schedule.t;
@@ -96,8 +99,11 @@ let validate_indices (problem : Lla.Problem.t) (sched : Schedule.t) =
 (* Fault and jitter windows may overlap; rather than trying to unwind
    them in closing order we precompute every window boundary and, at each
    one, set the transport to the element-wise max of all windows active
-   at that instant (plus the transport's configured base faults). *)
-let apply_windows engine transport (events : Schedule.event list) =
+   at that instant (plus the transport's configured base faults).
+   Parameterized over how a write is scheduled and applied so the same
+   boundary computation drives the single-transport engine path and the
+   all-shard-transports domains path. *)
+let apply_windows_via ~schedule_at ~set_faults ~set_jitter ~base (events : Schedule.event list) =
   let fault_windows =
     List.filter_map
       (function
@@ -110,7 +116,6 @@ let apply_windows engine transport (events : Schedule.event list) =
         | Schedule.Jitter { at; duration; spread } -> Some (at, at +. duration, spread) | _ -> None)
       events
   in
-  let base = Transport.active_faults transport in
   let faults_at t0 =
     List.fold_left
       (fun (acc : Transport.faults) (s, e, f) ->
@@ -131,15 +136,140 @@ let apply_windows engine transport (events : Schedule.event list) =
   let boundaries windows =
     List.sort_uniq Float.compare (List.concat_map (fun (s, e, _) -> [ s; e ]) windows)
   in
-  List.iter
-    (fun b -> ignore (Engine.schedule engine ~at:b (fun _ -> Transport.set_faults transport (faults_at b))))
-    (boundaries fault_windows);
-  List.iter
-    (fun b ->
-      ignore (Engine.schedule engine ~at:b (fun _ -> Transport.set_extra_jitter transport (jitter_at b))))
-    (boundaries jitter_windows)
+  List.iter (fun b -> schedule_at b (fun () -> set_faults (faults_at b))) (boundaries fault_windows);
+  List.iter (fun b -> schedule_at b (fun () -> set_jitter (jitter_at b))) (boundaries jitter_windows)
 
-let run_schedule ?(oracle = Oracle.default_config) (sched : Schedule.t) =
+let apply_windows engine transport (events : Schedule.event list) =
+  apply_windows_via
+    ~schedule_at:(fun b f -> ignore (Engine.schedule engine ~at:b (fun _ -> f ())))
+    ~set_faults:(Transport.set_faults transport)
+    ~set_jitter:(Transport.set_extra_jitter transport)
+    ~base:(Transport.active_faults transport) events
+
+(* Judge a drained run: final latencies/offsets, Eq. 3/4 excesses, and
+   the oracle verdicts. Shared verbatim between the engine paths — the
+   only inputs that differ are where the records, outage counts and the
+   final clock come from. *)
+let finish ~oracle ~merged ~sched ~workload ~problem ~dist ~records ~outages ~end_time =
+  let subtask_id i = problem.Lla.Problem.subtasks.(i).Lla.Problem.sid in
+  let n_sub = Lla.Problem.n_subtasks problem in
+  let lat = Array.init n_sub (fun i -> Distributed.latency dist (subtask_id i)) in
+  let offsets = Array.init n_sub (fun i -> Distributed.error_offset dist (subtask_id i)) in
+  let relative_excess value bound =
+    let e = (value -. bound) /. bound in
+    if Float.is_finite e then Float.max 0. e else infinity
+  in
+  let max_share_violation = ref 0. in
+  for r = 0 to Lla.Problem.n_resources problem - 1 do
+    let sum = Lla.Problem.share_sum problem r ~lat ~offsets in
+    max_share_violation :=
+      Float.max !max_share_violation (relative_excess sum problem.Lla.Problem.capacities.(r))
+  done;
+  let max_path_violation = ref 0. in
+  for p = 0 to Lla.Problem.n_paths problem - 1 do
+    let l = Lla.Problem.path_latency problem p ~lat in
+    max_path_violation :=
+      Float.max !max_path_violation
+        (relative_excess l problem.Lla.Problem.paths.(p).Lla.Problem.critical_time)
+  done;
+  let setup = sched.Schedule.setup in
+  let outcome =
+    {
+      Oracle.records;
+      last_fault_end = Schedule.last_fault_end sched;
+      end_time;
+      final_utility = Distributed.utility dist;
+      optimum_utility = optimum_utility sched.Schedule.workload workload;
+      in_safe_mode = Distributed.in_safe_mode dist;
+      safe_entries = Distributed.safe_entries dist;
+      warm_restores = Distributed.warm_restores dist;
+      cold_restarts = Distributed.cold_restarts dist;
+      outages;
+      checkpoints_enabled = setup.Schedule.checkpoints;
+      max_share_violation = !max_share_violation;
+      max_path_violation = !max_path_violation;
+    }
+  in
+  Ok { schedule = sched; outcome; verdicts = Oracle.evaluate ~config:oracle ~merged outcome }
+
+(* Domains-parallel execution of a schedule: same workload, setup and
+   events, deployed with [Distributed.create_on] on an
+   [Engine_domains]. Faults, partitions and outages flow through the
+   per-shard transports (shadow endpoints included); poisons, spikes and
+   window boundaries run as barrier ops; the oracles judge the merged
+   trace with the order-calibrated variant. *)
+let run_schedule_domains ~oracle ~domains (sched : Schedule.t) =
+  let* workload = workload_of_name sched.Schedule.workload in
+  let problem = Lla.Problem.compile workload in
+  let* () = validate_indices problem sched in
+  let setup = sched.Schedule.setup in
+  let engine_h = Reng.domains ~domains () in
+  let obs = Lla_obs.create () in
+  let tconfig = { Transport.default_config with Transport.seed = setup.Schedule.transport_seed } in
+  let config =
+    { Distributed.default_config with Distributed.step_policy = step_policy_of_setup setup }
+  in
+  let dist =
+    match resilience_of_setup setup with
+    | Some resilience ->
+        Distributed.create_on ~obs ~config ~resilience ~transport_config:tconfig engine_h workload
+    | None -> Distributed.create_on ~obs ~config ~transport_config:tconfig engine_h workload
+  in
+  let result =
+    apply_windows_via
+      ~schedule_at:(fun b f -> Distributed.schedule_injection dist ~at:b f)
+      ~set_faults:(Distributed.set_faults_all dist)
+      ~set_jitter:(Distributed.set_extra_jitter_all dist)
+      ~base:(Transport.active_faults (Distributed.transports dist).(0))
+      sched.Schedule.events;
+    List.iter
+      (fun e ->
+        match e with
+        | Schedule.Faults _ | Schedule.Jitter _ -> ()
+        | Schedule.Partition { at; duration; agents; controllers } ->
+            Distributed.partition dist ~at ~duration ~agents ~controllers
+        | Schedule.Outage { at; duration; target } ->
+            let tr, ep =
+              match target with
+              | Schedule.Agent i ->
+                  Distributed.agent_home dist problem.Lla.Problem.resource_ids.(i)
+              | Schedule.Controller i ->
+                  Distributed.controller_home dist problem.Lla.Problem.tasks.(i).Lla.Problem.tid
+            in
+            Transport.schedule_outage tr ep ~at ~duration
+        | Schedule.Price_poison { at; resource; value } ->
+            let rid = problem.Lla.Problem.resource_ids.(resource) in
+            Distributed.schedule_injection dist ~at (fun () ->
+                Distributed.poison_price dist rid value)
+        | Schedule.Error_spike { at; duration; subtask; magnitude } ->
+            let sid = problem.Lla.Problem.subtasks.(subtask).Lla.Problem.sid in
+            Distributed.schedule_injection dist ~at (fun () ->
+                Distributed.set_error_offset dist sid magnitude);
+            Distributed.schedule_injection dist ~at:(at +. duration) (fun () ->
+                Distributed.set_error_offset dist sid 0.))
+      sched.Schedule.events;
+    Distributed.run dist ~duration:(Schedule.duration sched);
+    Distributed.stop dist;
+    Reng.drain engine_h;
+    let outages =
+      Array.fold_left
+        (fun acc tr ->
+          List.fold_left (fun acc ep -> acc + Transport.outages tr ep) acc (Transport.endpoints tr))
+        0 (Distributed.transports dist)
+    in
+    finish ~oracle ~merged:true ~sched ~workload ~problem ~dist
+      ~records:(Distributed.merged_records dist) ~outages ~end_time:(Reng.now engine_h)
+  in
+  (* Worker domains are a bounded OS resource: always release them, even
+     though [result] is built eagerly above. *)
+  Reng.shutdown engine_h;
+  result
+
+let run_schedule ?(oracle = Oracle.default_config) ?(engine = (`Sim : engine))
+    (sched : Schedule.t) =
+  match engine with
+  | `Domains domains -> run_schedule_domains ~oracle ~domains sched
+  | `Sim ->
   let* workload = workload_of_name sched.Schedule.workload in
   let problem = Lla.Problem.compile workload in
   let* () = validate_indices problem sched in
@@ -194,48 +324,12 @@ let run_schedule ?(oracle = Oracle.default_config) (sched : Schedule.t) =
      past the horizon (outage restarts, window closings) so the run ends
      in a quiescent, fully healed state. *)
   Engine.run engine ();
-  let n_sub = Lla.Problem.n_subtasks problem in
-  let lat = Array.init n_sub (fun i -> Distributed.latency dist (subtask_id i)) in
-  let offsets = Array.init n_sub (fun i -> Distributed.error_offset dist (subtask_id i)) in
-  let relative_excess value bound =
-    let e = (value -. bound) /. bound in
-    if Float.is_finite e then Float.max 0. e else infinity
-  in
-  let max_share_violation = ref 0. in
-  for r = 0 to Lla.Problem.n_resources problem - 1 do
-    let sum = Lla.Problem.share_sum problem r ~lat ~offsets in
-    max_share_violation :=
-      Float.max !max_share_violation (relative_excess sum problem.Lla.Problem.capacities.(r))
-  done;
-  let max_path_violation = ref 0. in
-  for p = 0 to Lla.Problem.n_paths problem - 1 do
-    let l = Lla.Problem.path_latency problem p ~lat in
-    max_path_violation :=
-      Float.max !max_path_violation
-        (relative_excess l problem.Lla.Problem.paths.(p).Lla.Problem.critical_time)
-  done;
   let outages =
     List.fold_left (fun acc ep -> acc + Transport.outages transport ep) 0
       (Transport.endpoints transport)
   in
-  let outcome =
-    {
-      Oracle.records = collected ();
-      last_fault_end = Schedule.last_fault_end sched;
-      end_time = Engine.now engine;
-      final_utility = Distributed.utility dist;
-      optimum_utility = optimum_utility sched.Schedule.workload workload;
-      in_safe_mode = Distributed.in_safe_mode dist;
-      safe_entries = Distributed.safe_entries dist;
-      warm_restores = Distributed.warm_restores dist;
-      cold_restarts = Distributed.cold_restarts dist;
-      outages;
-      checkpoints_enabled = setup.Schedule.checkpoints;
-      max_share_violation = !max_share_violation;
-      max_path_violation = !max_path_violation;
-    }
-  in
-  Ok { schedule = sched; outcome; verdicts = Oracle.evaluate ~config:oracle outcome }
+  finish ~oracle ~merged:false ~sched ~workload ~problem ~dist ~records:(collected ()) ~outages
+    ~end_time:(Engine.now engine)
 
 (* ---------- generator ---------- *)
 
@@ -330,8 +424,8 @@ let generate ?(fragile = false) ~seed () =
 
 let failing_oracles verdicts = List.map (fun v -> v.Oracle.oracle) (Oracle.failures verdicts)
 
-let reproduces ?oracle ~failing sched =
-  match run_schedule ?oracle sched with
+let reproduces ?oracle ?engine ~failing sched =
+  match run_schedule ?oracle ?engine sched with
   | Error _ -> false
   | Ok exec -> List.exists (fun o -> List.mem o failing) (failing_oracles exec.verdicts)
 
@@ -389,13 +483,13 @@ let simplify_event (e : Schedule.event) =
            else []);
         ]
 
-let shrink ?oracle ?(max_attempts = 120) ~failing (sched : Schedule.t) =
+let shrink ?oracle ?engine ?(max_attempts = 120) ~failing (sched : Schedule.t) =
   let attempts = ref 0 in
   let test events =
     if !attempts >= max_attempts then false
     else begin
       incr attempts;
-      reproduces ?oracle ~failing { sched with Schedule.events }
+      reproduces ?oracle ?engine ~failing { sched with Schedule.events }
     end
   in
   (* ddmin over the event list. *)
@@ -483,7 +577,7 @@ type summary = {
 
 let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
 
-let run ?oracle ?(fragile = false) ?shrink_attempts ?out ~runs ~seed () =
+let run ?oracle ?engine ?(fragile = false) ?shrink_attempts ?out ~runs ~seed () =
   let buf = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
   let failures = ref [] in
@@ -511,7 +605,7 @@ let run ?oracle ?(fragile = false) ?shrink_attempts ?out ~runs ~seed () =
         :: !failures
     end
     else
-      match run_schedule ?oracle sched with
+      match run_schedule ?oracle ?engine sched with
       | Error msg -> line "run %02d seed %d: ERROR %s" i run_seed msg
       | Ok exec -> (
           match failing_oracles exec.verdicts with
@@ -519,7 +613,7 @@ let run ?oracle ?(fragile = false) ?shrink_attempts ?out ~runs ~seed () =
           | failing ->
               line "run %02d seed %d: FAIL [%s] (events=%d)" i run_seed (String.concat "," failing)
                 n_events;
-              let shrunk = shrink ?oracle ?max_attempts:shrink_attempts ~failing sched in
+              let shrunk = shrink ?oracle ?engine ?max_attempts:shrink_attempts ~failing sched in
               let repro_path, shrunk_path =
                 match out with
                 | None -> (None, None)
@@ -542,6 +636,6 @@ let run ?oracle ?(fragile = false) ?shrink_attempts ?out ~runs ~seed () =
     (if fragile then ", fragile setup" else "");
   { runs; base_seed = seed; fragile; failures; report = Buffer.contents buf }
 
-let replay ?oracle ~path () =
+let replay ?oracle ?engine ~path () =
   let* sched = Schedule.load ~path in
-  run_schedule ?oracle sched
+  run_schedule ?oracle ?engine sched

@@ -8,6 +8,14 @@
     across invocations (it contains no wall-clock times and no
     filesystem paths). *)
 
+type engine = [ `Sim | `Domains of int ]
+(** Execution engine for a schedule run. [`Sim] (the default everywhere)
+    is the deterministic single-threaded simulator; [`Domains n] deploys
+    the same schedule with {!Lla_runtime.Distributed.create_on} on an
+    [n]-domain deterministic-merge {!Lla_runtime.Engine_domains}, judging
+    the merged per-shard trace with the order-calibrated oracles
+    ({!Oracle.evaluate} [~merged:true]). *)
+
 type execution = {
   schedule : Schedule.t;
   outcome : Oracle.outcome;
@@ -18,7 +26,8 @@ val workload_of_name : string -> (Lla_model.Workload.t, string) result
 (** ["base"] (the paper's 3-task workload), ["six"] (two copies),
     ["prototype"], or ["random:<seed>"] ({!Lla_workloads.Random_gen}). *)
 
-val run_schedule : ?oracle:Oracle.config -> Schedule.t -> (execution, string) result
+val run_schedule :
+  ?oracle:Oracle.config -> ?engine:engine -> Schedule.t -> (execution, string) result
 (** Execute one schedule: resolve and compile its workload (validating
     every event index against it), build a fresh engine + traced
     deployment with the schedule's {!Schedule.setup}, inject the events,
@@ -28,7 +37,12 @@ val run_schedule : ?oracle:Oracle.config -> Schedule.t -> (execution, string) re
     all-failing ones) are [Ok].
 
     The offline optimum ({!Lla_baseline.Centralized}) is computed once
-    per workload name and cached for the process lifetime. *)
+    per workload name and cached for the process lifetime.
+
+    Under [`Domains n] the transport-level events apply to every shard
+    transport (fault/jitter windows via barrier ops, partitions across
+    real and shadow endpoints, outages on the target's home transport),
+    and the run drains and joins its worker domains before judging. *)
 
 val generate : ?fragile:bool -> seed:int -> unit -> Schedule.t
 (** Sample a random schedule on the ["base"] workload: 1–4 events drawn
@@ -39,12 +53,18 @@ val generate : ?fragile:bool -> seed:int -> unit -> Schedule.t
     the deliberately breakable deployment used to prove the oracles
     bite. Same [seed] (and flag), same schedule. *)
 
-val reproduces : ?oracle:Oracle.config -> failing:string list -> Schedule.t -> bool
+val reproduces :
+  ?oracle:Oracle.config -> ?engine:engine -> failing:string list -> Schedule.t -> bool
 (** Does running the schedule fail at least one of the named oracles?
     [false] on runner errors. *)
 
 val shrink :
-  ?oracle:Oracle.config -> ?max_attempts:int -> failing:string list -> Schedule.t -> Schedule.t
+  ?oracle:Oracle.config ->
+  ?engine:engine ->
+  ?max_attempts:int ->
+  failing:string list ->
+  Schedule.t ->
+  Schedule.t
 (** Minimize a failing schedule while it still {!reproduces} one of
     [failing]: delta-debugging (ddmin) over the event list, then
     per-event simplification passes (halve durations, spreads and
@@ -74,6 +94,7 @@ type summary = {
 
 val run :
   ?oracle:Oracle.config ->
+  ?engine:engine ->
   ?fragile:bool ->
   ?shrink_attempts:int ->
   ?out:string ->
@@ -88,5 +109,6 @@ val run :
     [repro-<seed>.json] / [repro-<seed>.min.json] (the directory is
     created if needed). *)
 
-val replay : ?oracle:Oracle.config -> path:string -> unit -> (execution, string) result
+val replay :
+  ?oracle:Oracle.config -> ?engine:engine -> path:string -> unit -> (execution, string) result
 (** Load a saved schedule artifact and {!run_schedule} it. *)

@@ -85,8 +85,13 @@ type outcome = {
 type verdict = { oracle : string; violations : string list }
 (** Empty [violations] = pass. *)
 
-val evaluate : ?config:config -> outcome -> verdict list
-(** All oracles, in a fixed order. *)
+val evaluate : ?config:config -> ?merged:bool -> outcome -> verdict list
+(** All oracles, in a fixed order. [merged] (default [false]) calibrates
+    the order-sensitive [trace-monotone] oracle for records assembled by
+    {!Lla_obs.Trace.merge} from several per-shard streams: per-shard
+    sequence counters interleave in a healthy merged stream, so only
+    global time-sortedness is judged there. All other oracles are
+    order-insensitive and run unchanged. *)
 
 val failures : verdict list -> verdict list
 

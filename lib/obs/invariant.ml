@@ -66,6 +66,42 @@ let spans_well_formed records =
     records;
   !ok
 
+(* The merged-stream variant of [spans_well_formed]. A merge of per-shard
+   traces interleaves the shards' strided span-id progressions, so global
+   id monotonicity — an ordering artifact of the single-threaded emitter,
+   not a causal property — no longer holds and must not be required.
+   What must still hold on any correct merge: ids are globally unique
+   (the strided allocation guarantees it), kinds are valid, no span is
+   its own parent, and a child agrees with its parent's trace id whenever
+   the parent is present in the stream (it may legally predate it). *)
+let spans_well_formed_merged records =
+  let seen = Hashtbl.create 256 in
+  let ok = ref true in
+  (* Pass 1: uniqueness, kind validity, self-parenting. *)
+  List.iter
+    (fun (r : Trace.record) ->
+      match r.event with
+      | Trace.Span { span; trace; parent; kind; _ } ->
+        if Hashtbl.mem seen span then ok := false;
+        if not (List.mem kind [ "price"; "alloc"; "msg" ]) then ok := false;
+        if parent = span then ok := false;
+        Hashtbl.replace seen span trace
+      | _ -> ())
+    records;
+  (* Pass 2: parent/child trace agreement, wherever the parent landed in
+     the merged order (a child on a fast shard may precede its parent's
+     record at the same timestamp). *)
+  List.iter
+    (fun (r : Trace.record) ->
+      match r.event with
+      | Trace.Span { span = _; parent; trace; _ } -> (
+        match Hashtbl.find_opt seen parent with
+        | Some parent_trace -> if parent_trace <> trace then ok := false
+        | None -> ())
+      | _ -> ())
+    records;
+  !ok
+
 let monotone records =
   let rec go = function
     | (a : Trace.record) :: (b : Trace.record) :: rest ->

@@ -34,6 +34,17 @@ val spans_well_formed : Trace.record list -> bool
     window) or an earlier span of the {e same} trace with a smaller id.
     Vacuously true without spans. *)
 
+val spans_well_formed_merged : Trace.record list -> bool
+(** The {!Trace.merge}-stream variant of {!spans_well_formed}. Global
+    span-id monotonicity is an ordering artifact of a single-threaded
+    emitter; a merge of per-shard traces interleaves the shards' strided
+    id progressions, so it is deliberately {e not} required here. What
+    is: ids globally unique, kinds valid, no self-parenting, and every
+    child whose parent appears {e anywhere} in the stream agrees with
+    the parent's trace id (order-independent, two-pass). The engine
+    test battery keeps a repro showing [spans_well_formed] tripping on
+    a correct merged stream that this oracle accepts. *)
+
 val monotone : Trace.record list -> bool
 (** Sequence numbers strictly increase and times never decrease — the
     well-formedness every other replay assumes. *)

@@ -36,15 +36,23 @@ type t = {
   spans : bool;
   profile : Profile.t;
   mutable next_span : int;
+  mutable span_stride : int;
 }
 (** One handle bundles the registry, the tracer and the profiler so
     call sites thread a single [?obs] argument. [trace_io] opts into
     per-message happy-path transport records; [spans] gates causal
-    span emission; [next_span] backs {!alloc_span} (not for direct
-    use). *)
+    span emission; [next_span]/[span_stride] back {!alloc_span} (not
+    for direct use). *)
 
 val create :
-  ?trace_capacity:int -> ?trace_io:bool -> ?spans:bool -> ?profile:Profile.t -> unit -> t
+  ?trace_capacity:int ->
+  ?trace_io:bool ->
+  ?spans:bool ->
+  ?profile:Profile.t ->
+  ?span_base:int ->
+  ?span_stride:int ->
+  unit ->
+  t
 (** Fresh registry + ring buffer (default capacity 4096 records).
 
     [trace_io] (default [false]) additionally records every
@@ -65,11 +73,24 @@ val create :
     discrete-event wall clock.
 
     [profile] defaults to {!Profile.disabled} — instrumented phases pay
-    one branch until a caller passes an enabled profiler. *)
+    one branch until a caller passes an enabled profiler.
+
+    [span_base] / [span_stride] (defaults [0] / [1]) put the handle's
+    span ids on the arithmetic progression [base, base + stride, ...].
+    The domains-parallel runtime gives each shard's handle the shard
+    index as base and the shard count as stride, so span ids stay
+    globally unique across per-shard traces without any cross-domain
+    coordination — each handle stays single-writer. *)
 
 val alloc_span : t -> int
 (** Next span id: deterministic, strictly increasing, unique per
     handle. Used by the instrumented layers when they open a span. *)
+
+val set_span_stride : t -> base:int -> stride:int -> unit
+(** Re-key an unused handle onto the [base + k * stride] progression —
+    the domains runtime applies this to the caller's handle when it
+    becomes shard 0 of a pool. @raise Invalid_argument if a span was
+    already allocated or [stride < 1]. *)
 
 val emit : t -> at:float -> Trace.event -> unit
 (** [Trace.emit] on the handle's tracer. *)

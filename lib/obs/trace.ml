@@ -343,6 +343,21 @@ let memory_sink () =
   let acc = ref [] in
   ((fun r -> acc := r :: !acc), fun () -> List.rev !acc)
 
+let merge streams =
+  (* (at, stream index, seq): the same total order the deterministic-merge
+     engine imposes on cross-shard deliveries. List.stable_sort on the
+     tagged concatenation keeps equal keys (impossible by construction:
+     (stream, seq) is unique) in input order anyway. *)
+  let tagged =
+    List.concat (List.mapi (fun shard rs -> List.map (fun r -> (shard, r)) rs) streams)
+  in
+  let cmp (sa, (ra : record)) (sb, (rb : record)) =
+    match Float.compare ra.at rb.at with
+    | 0 -> ( match Int.compare sa sb with 0 -> Int.compare ra.seq rb.seq | c -> c)
+    | c -> c
+  in
+  List.map snd (List.stable_sort cmp tagged)
+
 (* --- decoding (inverse of record_to_json) ----------------------------- *)
 
 exception Decode of string

@@ -115,3 +115,16 @@ val write_jsonl : t -> out_channel -> unit
 
 val memory_sink : unit -> (record -> unit) * (unit -> record list)
 (** An unbounded collecting sink and its chronological reader. *)
+
+val merge : record list list -> record list
+(** Deterministically merge per-shard trace streams into one global
+    stream, ordered by [(at, stream index, seq)]. Each input stream must
+    be in its own emission order (as {!records} and {!memory_sink}
+    readers produce). Records keep their per-stream [seq] stamps, so the
+    merged stream's [seq] values are {e not} globally monotone — use
+    {!Invariant.spans_well_formed_merged} (not [spans_well_formed] /
+    [monotone]) on merged streams.
+
+    The [(at, stream, seq)] order is the same total order the
+    deterministic-merge engine imposes on cross-shard deliveries, so a
+    replayed run merges to an identical stream. *)

@@ -48,7 +48,23 @@
       optimization.
 
     When [?resilience] is omitted nothing is scheduled beyond the legacy
-    loops and the trajectory is bit-for-bit the pre-resilience one. *)
+    loops and the trajectory is bit-for-bit the pre-resilience one.
+
+    {2 Engines}
+
+    The deployment runs on a pluggable {!Engine}: {!create} is the
+    legacy single-shard path over a caller-owned [Lla_sim.Engine.t]
+    (bit-for-bit the pre-engine behaviour), while {!create_on} deploys
+    onto any engine — on a domains engine the agents and controllers
+    shard round-robin across the shard cores, each shard owning a
+    private transport, obs handle, meter set, checkpoint store and
+    failure detector. Cross-shard messages leave through the source
+    shard's transport to an always-up {e shadow endpoint} standing in
+    for the remote actor (so source-side faults, partitions and
+    last-write-wins staleness apply unchanged), then cross the barrier
+    via {!Engine.post} and check the real destination's liveness on its
+    home shard. The safe-mode watchdog and chaos injections run as
+    barrier operations with every shard at rest. *)
 
 open Lla_model
 
@@ -107,6 +123,33 @@ val create :
     leaves the event schedule bit-for-bit the legacy one — a supplied
     [transport] is never re-instrumented. *)
 
+val create_on :
+  ?obs:Lla_obs.t ->
+  ?config:config ->
+  ?resilience:resilience ->
+  ?transport_config:Lla_transport.Transport.config ->
+  Engine.t ->
+  Lla_model.Workload.t ->
+  t
+(** Deploy onto an arbitrary engine, one transport per shard (built from
+    [transport_config], defaulting to the zero-fault constant-delay one;
+    shard [s]'s transport RNG is seeded [seed + s]). Actors shard
+    round-robin by index, so a single-shard engine reproduces {!create}
+    with a self-built transport exactly.
+
+    With [?obs]: the caller's handle becomes shard 0's and its span ids
+    are re-keyed to stride by the shard count ({!Lla_obs.set_span_stride}
+    — pass a fresh handle), shards [s > 0] get private handles with span
+    base [s], and every shard's trace additionally feeds an internal
+    memory sink so {!merged_records} can reassemble the deployment-wide
+    stream. Judge merged streams with
+    {!Lla_obs.Invariant.spans_well_formed_merged}, not the single-stream
+    oracles.
+
+    For timing-exact parallel runs, pick a domains-engine quantum no
+    larger than the minimum cross-shard link delay (see
+    {!Engine_domains}). *)
+
 val start : t -> unit
 (** Controllers announce initial latencies; agents and controllers begin
     their periodic ticks (plus the detector and watchdog when
@@ -123,12 +166,50 @@ val run : t -> duration:float -> unit
 (** Convenience: {!start} on first use, then advance the engine. *)
 
 val transport : t -> Lla_transport.Transport.t
+(** Shard 0's transport (the caller's on the legacy path). On a sharded
+    deployment see {!transports} and the [*_home] accessors. *)
+
+val engine_handle : t -> Engine.t
+
+val shard_count : t -> int
+
+val transports : t -> Lla_transport.Transport.t array
+(** One per shard, index-aligned with the engine's shard cores. *)
 
 val agent_endpoint : t -> Ids.Resource_id.t -> Lla_transport.Transport.endpoint
 (** The price agent's transport endpoint — crash it, partition it, or give
     its links a heterogeneous delay model. *)
 
 val controller_endpoint : t -> Ids.Task_id.t -> Lla_transport.Transport.endpoint
+
+val agent_home : t -> Ids.Resource_id.t -> Lla_transport.Transport.t * Lla_transport.Transport.endpoint
+(** The transport that owns the agent's endpoint — the one outages and
+    link faults for this actor must be scheduled on. *)
+
+val controller_home :
+  t -> Ids.Task_id.t -> Lla_transport.Transport.t * Lla_transport.Transport.endpoint
+
+val schedule_injection : t -> at:float -> (unit -> unit) -> unit
+(** Run a chaos write at simulated time [at] with every shard at rest: an
+    ordinary scheduled event on a single-shard engine, a barrier op on a
+    domains engine — the engine-generic way to drive {!poison_price},
+    {!set_error_offset}, {!set_faults_all} and friends mid-run. *)
+
+val set_faults_all : t -> Lla_transport.Transport.faults -> unit
+(** Set the fault profile on every shard transport. *)
+
+val set_extra_jitter_all : t -> float -> unit
+
+val partition :
+  t -> at:float -> duration:float -> agents:int list -> controllers:int list -> unit
+(** Partition the listed actors (by index) from everything else — on
+    every shard transport, with the listed actors' shadow endpoints on
+    the matching side, so cross-shard traffic respects the cut. *)
+
+val merged_records : t -> Lla_obs.Trace.record list
+(** All shards' trace records merged by {!Lla_obs.Trace.merge}. Only
+    populated for {!create_on} with [?obs]; [[]] otherwise (the legacy
+    path leaves sinks to the caller). *)
 
 val latency : t -> Ids.Subtask_id.t -> float
 

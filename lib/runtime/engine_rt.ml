@@ -1,0 +1,86 @@
+(* Wall-clock real-time engine stub: the same single-core scheduling as
+   Engine_sim (identical event order, identical trajectories), paced so
+   one simulated millisecond takes [1 / speedup] wall milliseconds. The
+   pacing layer only ever *waits* — it never reorders, drops or
+   time-warps events — so at any speedup the fired sequence is exactly
+   the sim engine's. A deadline already in the past (the loop fell
+   behind) fires immediately; the engine does not try to catch up by
+   skipping work. *)
+
+type t = {
+  core : Lla_sim.Engine.t;
+  speedup : float;  (* simulated ms per wall ms; 1.0 = real time *)
+  mutable wall_anchor : float;  (* Unix.gettimeofday at the pacing origin *)
+  mutable sim_anchor : float;  (* core clock at the pacing origin *)
+  mutable anchored : bool;
+}
+
+let create ?(speedup = 1.0) ?start_time () =
+  if not (Float.is_finite speedup) || speedup <= 0. then
+    invalid_arg "Engine_rt.create: speedup must be positive";
+  {
+    core = Lla_sim.Engine.create ?start_time ();
+    speedup;
+    wall_anchor = 0.;
+    sim_anchor = 0.;
+    anchored = false;
+  }
+
+let core t = t.core
+
+let speedup t = t.speedup
+
+let now t = Lla_sim.Engine.now t.core
+
+(* The pacing origin is (re-)anchored lazily at the first run after
+   creation, so construction/setup time is not counted as lag. *)
+let anchor t =
+  if not t.anchored then begin
+    t.wall_anchor <- Unix.gettimeofday ();
+    t.sim_anchor <- Lla_sim.Engine.now t.core;
+    t.anchored <- true
+  end
+
+let wall_deadline t sim_time =
+  t.wall_anchor +. ((sim_time -. t.sim_anchor) /. t.speedup /. 1000.)
+
+let pace t sim_time =
+  let wait = wall_deadline t sim_time -. Unix.gettimeofday () in
+  if wait > 0. then Unix.sleepf wait
+
+let run_until t horizon =
+  anchor t;
+  let rec loop () =
+    match Lla_sim.Engine.next_time t.core with
+    | Some at when at <= horizon ->
+      pace t at;
+      ignore (Lla_sim.Engine.step t.core);
+      loop ()
+    | Some _ | None ->
+      pace t horizon;
+      Lla_sim.Engine.run_until t.core horizon
+  in
+  loop ()
+
+let drain ?(max_events = max_int) t =
+  anchor t;
+  let rec loop remaining =
+    if remaining > 0 then
+      match Lla_sim.Engine.next_time t.core with
+      | Some at ->
+        pace t at;
+        ignore (Lla_sim.Engine.step t.core);
+        loop (remaining - 1)
+      | None -> ()
+  in
+  loop max_events
+
+let pending t = Lla_sim.Engine.pending t.core
+
+let events_fired t = Lla_sim.Engine.events_fired t.core
+
+let lag_ms t =
+  if not t.anchored then 0.
+  else
+    let behind = Unix.gettimeofday () -. wall_deadline t (Lla_sim.Engine.now t.core) in
+    Float.max 0. (behind *. 1000.)

@@ -1,0 +1,46 @@
+(** Wall-clock real-time engine (stub).
+
+    Shares the scheduling core with {!Engine_sim} — the same
+    [(time, seq)]-ordered event heap, so the fired sequence at any
+    [speedup] is exactly the sim engine's — and adds a pacing layer
+    that sleeps until each event's wall-clock deadline:
+    [wall = anchor + (sim_time - sim_anchor) / speedup] (sim ms, wall
+    seconds). The pacing origin anchors lazily at the first
+    {!run_until}, so setup time is not counted as lag; a loop that
+    falls behind fires late events immediately rather than skipping
+    them ({!lag_ms} reports how far behind it is).
+
+    This is the deployment-shaped engine: the paper's control plane on
+    real clocks. It is deliberately minimal — single-core, no I/O
+    integration — but runs the full runtime today ([Distributed.create_on]
+    with an [Engine.rt]) at any speedup, which is how the test battery
+    exercises it without waiting out real milliseconds. *)
+
+type t
+
+val create : ?speedup:float -> ?start_time:float -> unit -> t
+(** [speedup] (default [1.0] = real time): simulated milliseconds per
+    wall millisecond. Use a large value (e.g. [1e6]) to run a
+    simulation-sized trajectory through the real-time path in
+    negligible wall time. @raise Invalid_argument unless positive and
+    finite. *)
+
+val core : t -> Lla_sim.Engine.t
+
+val speedup : t -> float
+
+val now : t -> float
+
+val run_until : t -> float -> unit
+(** Fire every event with time <= horizon, sleeping until each one's
+    wall deadline, then advance the clock to the horizon (also paced). *)
+
+val drain : ?max_events:int -> t -> unit
+
+val pending : t -> int
+
+val events_fired : t -> int
+
+val lag_ms : t -> float
+(** Wall milliseconds the loop is currently behind its pacing schedule
+    (0 when keeping up or never run). *)

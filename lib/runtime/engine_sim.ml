@@ -1,0 +1,23 @@
+(* The deterministic single-threaded engine: a thin identity wrapper over
+   one [Lla_sim.Engine.t] core. Everything the runtime schedules in sim
+   mode goes straight onto that core, so a trajectory driven through the
+   [Engine] interface is bit-for-bit the pre-interface one — the golden
+   tests in test/test_engine.ml hold it to that. *)
+
+type t = { core : Lla_sim.Engine.t }
+
+let create ?start_time () = { core = Lla_sim.Engine.create ?start_time () }
+
+let of_core core = { core }
+
+let core t = t.core
+
+let now t = Lla_sim.Engine.now t.core
+
+let run_until t horizon = Lla_sim.Engine.run_until t.core horizon
+
+let drain ?max_events t = Lla_sim.Engine.run t.core ?max_events ()
+
+let pending t = Lla_sim.Engine.pending t.core
+
+let events_fired t = Lla_sim.Engine.events_fired t.core

@@ -50,8 +50,12 @@ val create :
     named after its subtask), so solver iterations and correction rounds
     land in the shared trace. *)
 
-val start : t -> unit
-(** Run warmup, enact, and schedule the periodic rounds. *)
+val start : ?engine:Engine.t -> t -> unit
+(** Run warmup, enact, and schedule the periodic rounds. A supplied
+    [engine] must own the cluster's scheduling core as shard 0
+    (@raise Invalid_argument otherwise); the rounds then run on that
+    engine's clock — pass it when the surrounding deployment is driven
+    through an {!Engine} handle rather than the raw core. *)
 
 val solver : t -> Lla.Solver.t
 

@@ -80,4 +80,18 @@ let run t ?(max_events = max_int) () =
 
 let pending t = t.live_count
 
+let next_time t =
+  (* Dead events are popped here rather than skipped so repeated peeks on
+     a cancel-heavy queue stay amortized O(log n); [step] tolerates the
+     missing entries (it skips dead events anyway). *)
+  let rec peek () =
+    match Lla_stdx.Heap.peek t.queue with
+    | Some e when not e.live ->
+      ignore (Lla_stdx.Heap.pop t.queue);
+      peek ()
+    | Some e -> Some e.time
+    | None -> None
+  in
+  peek ()
+
 let events_fired t = t.fired

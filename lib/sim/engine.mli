@@ -37,4 +37,9 @@ val run : t -> ?max_events:int -> unit -> unit
 val pending : t -> int
 (** Number of live (non-cancelled) scheduled events. *)
 
+val next_time : t -> float option
+(** Time of the earliest live pending event, without firing it. The
+    wall-clock and domains-parallel engines use this to pace and to
+    bound their quantum loops. *)
+
 val events_fired : t -> int

@@ -143,7 +143,7 @@ let status_kb key =
       close_in ic;
       !v
 
-let run ?obs ?on_progress config =
+let run ?obs ?engine ?on_progress config =
   if config.horizon <= 0 then Error "Soak.run: non-positive horizon"
   else if config.watchdog_every <= 0 || config.health_every <= 0 then
     Error "Soak.run: non-positive watchdog/health cadence"
@@ -441,7 +441,7 @@ let run ?obs ?on_progress config =
         let t0 = Unix.gettimeofday () in
         last_wd_time := t0;
         last_words := Gc.minor_words ();
-        for now = 0 to config.horizon - 1 do
+        let tick now =
           (* flash-crowd episode edges: grace + a reconvergence probe at
              the end of each crowd *)
           let flash = Churn.in_flash churn ~now in
@@ -495,7 +495,24 @@ let run ?obs ?on_progress config =
           end;
           if now > 0 && now mod config.watchdog_every = 0 then watchdog now;
           if now > 0 && now mod config.health_every = 0 then health now
-        done;
+        in
+        (match engine with
+        | None -> for now = 0 to config.horizon - 1 do tick now done
+        | Some eng ->
+            (* Drive the same tick stream through an engine handle: one
+               scheduled event per tick on shard 0's core (1 tick = 1 ms
+               of engine time), so the soak coexists with whatever else
+               the engine runs — including a domains engine's barrier
+               loop — without changing a single decision the ticks make. *)
+            let core = Lla_runtime.Engine.core eng ~shard:0 in
+            let rec at now =
+              ignore
+                (Lla_sim.Engine.schedule core ~at:(float_of_int now) (fun _ ->
+                     tick now;
+                     if now + 1 < config.horizon then at (now + 1)))
+            in
+            at 0;
+            Lla_runtime.Engine.run_until eng (float_of_int config.horizon));
 
         let elapsed = Unix.gettimeofday () -. t0 in
         Ok

@@ -102,12 +102,24 @@ type report = {
   final_active_tasks : int;
 }
 
-val run : ?obs:Lla_obs.t -> ?on_progress:(tick:int -> unit) -> config -> (report, string) result
+val run :
+  ?obs:Lla_obs.t ->
+  ?engine:Lla_runtime.Engine.t ->
+  ?on_progress:(tick:int -> unit) ->
+  config ->
+  (report, string) result
 (** [Error] on scenario/kernel construction failure. [on_progress] fires
     at every watchdog sample. With [?obs], soak-level transitions land
     in the trace ([Watchdog_trip], [Safe_mode_entered]/[Exited],
     ["soak.degrade"]/["soak.recover"]/["soak.chaos_window"] notes) —
-    attach an {!Lla_obs.Rotate} sink for disk-bounded capture. *)
+    attach an {!Lla_obs.Rotate} sink for disk-bounded capture.
+
+    With [?engine], the tick loop runs as scheduled events on the
+    engine's shard-0 core (1 tick = 1 ms of engine time) instead of a
+    plain loop — every tick makes the same decisions either way, so
+    reports agree field-for-field modulo the wall-clock and memory
+    entries. The caller keeps ownership: shut a domains engine down
+    after the run. *)
 
 val render : report -> string
 (** Multi-line human-readable summary. *)

@@ -27,6 +27,7 @@ type config = {
   policy : policy;
   seed : int;
   delay_window : int;
+  channel_metrics : bool;
 }
 
 let default_config =
@@ -36,6 +37,7 @@ let default_config =
     policy = fire_and_forget;
     seed = 0;
     delay_window = 1024;
+    channel_metrics = true;
   }
 
 type endpoint = {
@@ -60,15 +62,13 @@ type counters = {
 let zero_counters =
   { sent = 0; delivered = 0; dropped = 0; cut = 0; lost_down = 0; duplicated = 0; retried = 0; stale = 0 }
 
-(* A directed (src, dst) link, created lazily on first send. Counters live
-   in the metrics registry (shared with [obs] when supplied); the [_id]
-   labels keep channels distinct even when endpoint names collide. *)
-type channel = {
-  src : endpoint;
-  dst : endpoint;
-  mutable link_delay : Delay_model.t option;  (* overrides the transport default *)
-  mutable next_seq : int;
-  applied : (int, int) Hashtbl.t;  (* message key -> newest applied seq *)
+(* Per-channel counter block + delay window. With [config.channel_metrics]
+   (the default) every channel gets its own, labelled [src]/[dst] (the
+   [_id] labels keep channels distinct even when endpoint names collide);
+   with it off, all channels of the transport share one aggregate block —
+   a memory valve for 10^5-channel scale scenarios, where per-channel
+   registry records would dominate the heap. *)
+type chan_metrics = {
   c_sent : Metrics.counter;
   c_delivered : Metrics.counter;
   c_dropped : Metrics.counter;
@@ -78,6 +78,17 @@ type channel = {
   c_retried : Metrics.counter;
   c_stale : Metrics.counter;
   window : Window.t;
+}
+
+(* A directed (src, dst) link, created lazily on first send. Counters live
+   in the metrics registry (shared with [obs] when supplied). *)
+type channel = {
+  src : endpoint;
+  dst : endpoint;
+  mutable link_delay : Delay_model.t option;  (* overrides the transport default *)
+  mutable next_seq : int;
+  applied : (int, int) Hashtbl.t;  (* message key -> newest applied seq *)
+  cm : chan_metrics;
 }
 
 type partition_spec = {
@@ -106,6 +117,7 @@ type t = {
      guarantee for transports that never touch them. *)
   mutable faults : faults;
   mutable extra_jitter : float;
+  mutable shared_cm : chan_metrics option;  (* lazy, only when channel_metrics = false *)
 }
 
 let create ?obs ?(config = default_config) engine =
@@ -129,6 +141,7 @@ let create ?obs ?(config = default_config) engine =
     all_window = Window.create ~capacity:config.delay_window;
     faults = config.faults;
     extra_jitter = 0.;
+    shared_cm = None;
   }
 
 let config t = t.config
@@ -167,20 +180,43 @@ let endpoint_name e = e.name
 
 let endpoints t = List.rev t.endpoint_list
 
+let make_cm t ~labels =
+  let c name help = Metrics.counter t.registry name ~help ~labels in
+  {
+    c_sent = c "lla_transport_sent_total" "send calls on this channel.";
+    c_delivered = c "lla_transport_delivered_total" "Payloads applied at the destination.";
+    c_dropped = c "lla_transport_dropped_total" "Attempts lost to the drop probability.";
+    c_cut = c "lla_transport_cut_total" "Attempts lost to a partition.";
+    c_lost_down = c "lla_transport_lost_down_total" "Attempts lost to a down endpoint.";
+    c_duplicated = c "lla_transport_duplicated_total" "Extra copies injected.";
+    c_retried = c "lla_transport_retried_total" "Retransmission attempts scheduled.";
+    c_stale = c "lla_transport_stale_total" "Deliveries discarded by last-write-wins.";
+    window = Window.create ~capacity:t.config.delay_window;
+  }
+
+let channel_cm t src dst =
+  if t.config.channel_metrics then
+    make_cm t
+      ~labels:
+        [
+          ("src", src.name);
+          ("src_id", string_of_int src.eid);
+          ("dst", dst.name);
+          ("dst_id", string_of_int dst.eid);
+        ]
+  else
+    match t.shared_cm with
+    | Some cm -> cm
+    | None ->
+      let cm = make_cm t ~labels:[ ("src", "*"); ("dst", "*") ] in
+      t.shared_cm <- Some cm;
+      cm
+
 let channel t src dst =
   let key = (src.eid, dst.eid) in
   match Hashtbl.find_opt t.channels key with
   | Some ch -> ch
   | None ->
-    let labels =
-      [
-        ("src", src.name);
-        ("src_id", string_of_int src.eid);
-        ("dst", dst.name);
-        ("dst_id", string_of_int dst.eid);
-      ]
-    in
-    let c name help = Metrics.counter t.registry name ~help ~labels in
     let ch =
       {
         src;
@@ -188,15 +224,7 @@ let channel t src dst =
         link_delay = None;
         next_seq = 0;
         applied = Hashtbl.create 8;
-        c_sent = c "lla_transport_sent_total" "send calls on this channel.";
-        c_delivered = c "lla_transport_delivered_total" "Payloads applied at the destination.";
-        c_dropped = c "lla_transport_dropped_total" "Attempts lost to the drop probability.";
-        c_cut = c "lla_transport_cut_total" "Attempts lost to a partition.";
-        c_lost_down = c "lla_transport_lost_down_total" "Attempts lost to a down endpoint.";
-        c_duplicated = c "lla_transport_duplicated_total" "Extra copies injected.";
-        c_retried = c "lla_transport_retried_total" "Retransmission attempts scheduled.";
-        c_stale = c "lla_transport_stale_total" "Deliveries discarded by last-write-wins.";
-        window = Window.create ~capacity:t.config.delay_window;
+        cm = channel_cm t src dst;
       }
     in
     Hashtbl.add t.channels key ch;
@@ -297,12 +325,12 @@ let deliver t ch ?key ~seq ~span ~delay payload ~on_lost =
       | _ -> false
     in
     if stale then begin
-      Metrics.incr ch.c_stale;
+      Metrics.incr ch.cm.c_stale;
       emit t (dropped_event ch "stale")
     end
     else begin
-      Metrics.incr ch.c_delivered;
-      Window.add ch.window delay;
+      Metrics.incr ch.cm.c_delivered;
+      Window.add ch.cm.window delay;
       Window.add t.all_window delay;
       Metrics.observe t.delay_h delay;
       emit_io t
@@ -315,17 +343,17 @@ let rec attempt t ch ?key ~seq ~span ~n payload =
   let lost reason =
     (match reason with
     | `Drop ->
-      Metrics.incr ch.c_dropped;
+      Metrics.incr ch.cm.c_dropped;
       emit t (dropped_event ch "drop")
     | `Cut ->
-      Metrics.incr ch.c_cut;
+      Metrics.incr ch.cm.c_cut;
       emit t (dropped_event ch "cut")
     | `Down ->
-      Metrics.incr ch.c_lost_down;
+      Metrics.incr ch.cm.c_lost_down;
       emit t (dropped_event ch "down"));
     match t.config.policy.retry with
     | Some r when n + 1 < r.max_attempts && ch.src.up ->
-      Metrics.incr ch.c_retried;
+      Metrics.incr ch.cm.c_retried;
       let wait = r.timeout *. (r.backoff ** float_of_int n) in
       ignore
         (Engine.schedule_after t.engine ~delay:wait (fun _ ->
@@ -333,7 +361,7 @@ let rec attempt t ch ?key ~seq ~span ~n payload =
     | _ -> ()
   in
   if not ch.src.up then begin
-    Metrics.incr ch.c_lost_down;
+    Metrics.incr ch.cm.c_lost_down;
     emit t (dropped_event ch "down")
   end
   else if partitioned t ~src:ch.src ~dst:ch.dst then lost `Cut
@@ -357,14 +385,14 @@ let rec attempt t ch ?key ~seq ~span ~n payload =
     in
     schedule_copy ();
     if hit t t.faults.duplicate then begin
-      Metrics.incr ch.c_duplicated;
+      Metrics.incr ch.cm.c_duplicated;
       schedule_copy ()
     end
   end
 
 let send_traced ?key ?span t ~src ~dst payload =
   let ch = channel t src dst in
-  Metrics.incr ch.c_sent;
+  Metrics.incr ch.cm.c_sent;
   emit_io t (Lla_obs.Trace.Transport_send { src = src.name; dst = dst.name });
   let seq = ch.next_seq in
   ch.next_seq <- seq + 1;
@@ -374,16 +402,28 @@ let send ?key t ~src ~dst payload = send_traced ?key t ~src ~dst (fun _ -> paylo
 
 (* --- inspection ------------------------------------------------------ *)
 
+let counters_of_cm (cm : chan_metrics) =
+  {
+    sent = Metrics.value cm.c_sent;
+    delivered = Metrics.value cm.c_delivered;
+    dropped = Metrics.value cm.c_dropped;
+    cut = Metrics.value cm.c_cut;
+    lost_down = Metrics.value cm.c_lost_down;
+    duplicated = Metrics.value cm.c_duplicated;
+    retried = Metrics.value cm.c_retried;
+    stale = Metrics.value cm.c_stale;
+  }
+
 let counters_of ch =
   {
-    sent = Metrics.value ch.c_sent;
-    delivered = Metrics.value ch.c_delivered;
-    dropped = Metrics.value ch.c_dropped;
-    cut = Metrics.value ch.c_cut;
-    lost_down = Metrics.value ch.c_lost_down;
-    duplicated = Metrics.value ch.c_duplicated;
-    retried = Metrics.value ch.c_retried;
-    stale = Metrics.value ch.c_stale;
+    sent = Metrics.value ch.cm.c_sent;
+    delivered = Metrics.value ch.cm.c_delivered;
+    dropped = Metrics.value ch.cm.c_dropped;
+    cut = Metrics.value ch.cm.c_cut;
+    lost_down = Metrics.value ch.cm.c_lost_down;
+    duplicated = Metrics.value ch.cm.c_duplicated;
+    retried = Metrics.value ch.cm.c_retried;
+    stale = Metrics.value ch.cm.c_stale;
   }
 
 let add_counters a b =
@@ -398,7 +438,13 @@ let add_counters a b =
     stale = a.stale + b.stale;
   }
 
-let totals t = Hashtbl.fold (fun _ ch acc -> add_counters acc (counters_of ch)) t.channels zero_counters
+let totals t =
+  if t.config.channel_metrics then
+    Hashtbl.fold (fun _ ch acc -> add_counters acc (counters_of ch)) t.channels zero_counters
+  else
+    (* All channels share one block; folding it per channel would
+       multiply every count by the channel population. *)
+    match t.shared_cm with Some cm -> counters_of_cm cm | None -> zero_counters
 
 let channel_counters t ~src ~dst =
   match Hashtbl.find_opt t.channels (src.eid, dst.eid) with
@@ -414,7 +460,7 @@ let delay_percentile t ~p = Window.percentile t.all_window ~p
 
 let channel_delay_percentile t ~src ~dst ~p =
   match Hashtbl.find_opt t.channels (src.eid, dst.eid) with
-  | Some ch -> Window.percentile ch.window ~p
+  | Some ch -> Window.percentile ch.cm.window ~p
   | None -> None
 
 let pp_counters fmt c =

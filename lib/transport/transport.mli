@@ -70,11 +70,21 @@ type config = {
   policy : policy;
   seed : int;  (** seeds the transport's private RNG. *)
   delay_window : int;  (** samples kept per delay histogram. *)
+  channel_metrics : bool;
+      (** [true] (default): every channel owns labelled counters and a
+          delay window. [false]: all channels share one aggregate
+          counter block (labelled [src="*"], [dst="*"]) — a memory
+          valve for scale scenarios with 10^5+ channels, where
+          per-channel registry records would dominate the heap.
+          Message routing, randomness and scheduling are identical;
+          only attribution granularity changes ({!totals} stays exact,
+          {!channel_counters} / {!channels} report the shared
+          aggregate for every channel). *)
 }
 
 val default_config : config
 (** Constant 1 ms delay, no faults, {!fire_and_forget}, seed 0,
-    1024-sample histograms. *)
+    1024-sample histograms, per-channel metrics on. *)
 
 (** {1 Transport and endpoints} *)
 

@@ -54,6 +54,14 @@ echo "ci: $total tests run (floor $floor)"
 # `lla_cli chaos-replay`.
 ./_build/default/bin/lla_cli.exe campaign --runs 25 --seed 42 --out _build/chaos-repro
 
+# The same campaign engine against the domains-parallel runtime: every
+# schedule deploys onto a 2-domain Engine_domains in deterministic-merge
+# mode and is judged by the merged-trace oracle calibration. A domains
+# run costs ~25x a sim run, so CI keeps a 5-run rota (the full 25-run
+# sweep passes; re-run it with --runs 25 when touching the engine).
+./_build/default/bin/lla_cli.exe campaign --runs 5 --seed 42 --engine domains --domains 2 \
+  --out _build/chaos-repro-domains
+
 # Scale-tier smoke: a seeded 10^4-subtask generated scenario must solve
 # to Eq. 3/4 feasibility in the flat-array kernel, agree element-wise
 # with the reference solver after 30 ticks, tick without allocating,
@@ -68,3 +76,13 @@ echo "ci: $total tests run (floor $floor)"
 # ceiling-breach drill must walk the degradation ladder into safe mode
 # instead of crashing.
 ./_build/default/bench/main.exe --json _build soak-smoke
+
+# Parallel-engine smoke: the 100k-subtask scenario deployed on
+# Engine_domains at 1/2/4 domains. Gates replay determinism (two
+# same-seed 4-domain runs bit-for-bit) and scaling: >= 1.6x agents/sec
+# at 4 domains vs 1 on a >= 4-core host, best-parallel >= 1.1x on
+# smaller hosts (the floor actually applied is printed and stamped in
+# BENCH_parallel_smoke.json). The fat minor heap keeps the domains'
+# stop-the-world GC rendezvous off the critical path; OCaml 5 only
+# reads it at startup, hence the env var.
+OCAMLRUNPARAM='s=8M' ./_build/default/bench/main.exe --json _build parallel-smoke
