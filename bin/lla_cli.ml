@@ -1015,6 +1015,328 @@ let soak_cmd =
       const run $ verbose_arg $ smoke $ subtasks $ resources_arg $ seed_arg ~doc:"Soak seed."
       $ horizon $ churn $ chaos_every $ ceilings $ trace_out $ retain $ engine_arg $ domains_arg)
 
+(* --- streaming telemetry commands ------------------------------------ *)
+
+(* Interpolated percentile over a sorted array — the live price pane's
+   estimator (exact, unlike the bucketed histogram quantiles). *)
+let percentile_sorted a q =
+  let n = Array.length a in
+  if n = 0 then nan
+  else begin
+    let rank = q *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    (a.(lo) *. (1. -. frac)) +. (a.(hi) *. frac)
+  end
+
+(* Build the distributed / chaos scenario with obs (and optionally a
+   streaming monitor) attached, leaving stepping to the caller — the
+   live commands render or rewrite between engine steps. Mirrors
+   [run_scenario] so `top distributed` watches exactly the scenario
+   `trace distributed` dumps. *)
+let build_scenario_deployment ~obs ?monitor ~chaos engine ~horizon =
+  let workload = Lla_workloads.Paper_sim.base () in
+  let d =
+    if chaos then begin
+      let module Transport = Lla_transport.Transport in
+      let transport =
+        Transport.create ~obs engine
+          ~config:
+            {
+              Transport.default_config with
+              faults = { Transport.no_faults with drop = 0.05 };
+              seed = 42;
+            }
+      in
+      let d =
+        Lla_runtime.Distributed.create ~obs ?monitor ~transport
+          ~resilience:Lla_runtime.Distributed.default_resilience engine workload
+      in
+      let victim_id = (List.hd workload.Lla_model.Workload.resources).Lla_model.Resource.id in
+      let victim = Lla_runtime.Distributed.agent_endpoint d victim_id in
+      Transport.schedule_outage transport victim ~at:(horizon /. 3.) ~duration:(horizon /. 10.);
+      d
+    end
+    else Lla_runtime.Distributed.create ~obs ?monitor engine workload
+  in
+  (workload, d)
+
+let refresh_arg =
+  Arg.(
+    value
+    & opt float 1.0
+    & info [ "refresh" ] ~docv:"SECONDS"
+        ~doc:
+          "Seconds between frames: simulated control time for the scenario targets, wall-clock \
+           time for $(b,soak).")
+
+let frames_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "frames" ] ~docv:"N"
+        ~doc:"Stop rendering after $(docv) frames (the run itself completes either way).")
+
+let no_ansi_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "no-ansi" ]
+        ~doc:
+          "Append frames instead of redrawing in place — for logs, pipes and CI (no escape \
+           codes emitted).")
+
+let clear_frame no_ansi = if no_ansi then print_newline () else print_string "\027[2J\027[H"
+
+let frames_done frames frame = match frames with Some n -> frame >= n | None -> false
+
+let top_scenario ~chaos ~duration ~refresh ~frames ~no_ansi =
+  let engine = Lla_sim.Engine.create () in
+  let obs = Lla_obs.create ~spans:true () in
+  let horizon = duration *. 1000. in
+  let monitor =
+    Lla_obs.Monitor.create
+      ~tasks:(List.length (Lla_workloads.Paper_sim.base ()).Lla_model.Workload.tasks)
+      ()
+  in
+  let workload, d = build_scenario_deployment ~obs ~monitor ~chaos engine ~horizon in
+  Lla_runtime.Distributed.start d;
+  let period = max 1e-3 (refresh *. 1000.) in
+  let frame = ref 0 in
+  let last_words = ref (Gc.minor_words ()) in
+  let last_rounds = ref 0 in
+  let buf = Buffer.create 1024 in
+  let render () =
+    incr frame;
+    Buffer.clear buf;
+    Printf.bprintf buf "lla top — %s  t=%.0f/%.0f ms  frame %d%s\n"
+      (if chaos then "chaos" else "distributed")
+      (Lla_sim.Engine.now engine) horizon !frame
+      (match frames with Some n -> Printf.sprintf "/%d" n | None -> "");
+    Printf.bprintf buf "tasks %d  resources %d  utility %.3f  safe-mode %b\n"
+      (List.length workload.Lla_model.Workload.tasks)
+      (List.length workload.Lla_model.Workload.resources)
+      (Lla_runtime.Distributed.utility d)
+      (Lla_runtime.Distributed.in_safe_mode d);
+    let mus =
+      Array.of_list
+        (List.map
+           (fun (r : Lla_model.Resource.t) -> Lla_runtime.Distributed.mu d r.Lla_model.Resource.id)
+           workload.Lla_model.Workload.resources)
+    in
+    Array.sort compare mus;
+    Printf.bprintf buf "prices: p50 %.4f  p99 %.4f  (%d agents)\n" (percentile_sorted mus 0.5)
+      (percentile_sorted mus 0.99) (Array.length mus);
+    (match Lla_obs.Metrics.find_histogram obs.Lla_obs.metrics "lla_control_latency_ms" with
+    | Some h ->
+      Buffer.add_string buf (Lla_obs.Metrics.summary ~name:"control latency (ms)" h);
+      Buffer.add_char buf '\n'
+    | None -> ());
+    let words = Gc.minor_words () in
+    let rounds =
+      Lla_runtime.Distributed.price_rounds d + Lla_runtime.Distributed.allocation_rounds d
+    in
+    let drounds = rounds - !last_rounds in
+    Printf.bprintf buf "rounds %d (+%d)  messages %d  words/round %.0f  shards %d\n" rounds drounds
+      (Lla_runtime.Distributed.messages_sent d)
+      (if drounds > 0 then (words -. !last_words) /. float_of_int drounds else 0.)
+      (Lla_runtime.Distributed.shard_count d);
+    last_words := words;
+    last_rounds := rounds;
+    Buffer.add_string buf (Lla_obs.Monitor.render monitor);
+    clear_frame no_ansi;
+    print_string (Buffer.contents buf);
+    flush stdout
+  in
+  let rec loop t =
+    if t > horizon +. 1e-9 || frames_done frames !frame then ()
+    else begin
+      Lla_sim.Engine.run_until engine (Float.min t horizon);
+      render ();
+      loop (t +. period)
+    end
+  in
+  loop period;
+  if Lla_sim.Engine.now engine < horizon then Lla_sim.Engine.run_until engine horizon;
+  Lla_runtime.Distributed.stop d;
+  Lla_sim.Engine.run engine ()
+
+let top_soak ~refresh ~frames ~no_ansi =
+  let module Soak = Lla_soak.Soak in
+  let obs = Lla_obs.create () in
+  let monitor = Lla_obs.Monitor.create () in
+  let config = Soak.smoke_config in
+  let frame = ref 0 in
+  let quiet = ref false in
+  let last_wall = ref (Unix.gettimeofday ()) in
+  let last_tick = ref 0 in
+  let last_words = ref (Gc.minor_words ()) in
+  let buf = Buffer.create 1024 in
+  let gauge name =
+    match Lla_obs.Metrics.find_gauge obs.Lla_obs.metrics name with
+    | Some g -> Lla_obs.Metrics.gauge_value g
+    | None -> nan
+  in
+  let count name =
+    match Lla_obs.Metrics.find_counter obs.Lla_obs.metrics name with
+    | Some c -> Lla_obs.Metrics.value c
+    | None -> 0
+  in
+  let on_progress ~tick =
+    let wall = Unix.gettimeofday () in
+    if (not !quiet) && (wall -. !last_wall >= refresh || tick >= config.Soak.horizon) then begin
+      incr frame;
+      Buffer.clear buf;
+      let dtick = tick - !last_tick in
+      let dwall = wall -. !last_wall in
+      let words = Gc.minor_words () in
+      Printf.bprintf buf "lla top — soak  tick %d/%d  frame %d%s\n" tick config.Soak.horizon !frame
+        (match frames with Some n -> Printf.sprintf "/%d" n | None -> "");
+      Printf.bprintf buf "active tasks %.0f  utility %.3f  movement %.2e\n"
+        (gauge "lla_kernel_active_tasks") (gauge "lla_kernel_utility") (gauge "lla_kernel_movement");
+      Printf.bprintf buf "ticks/s %.0f  words/tick %.0f  (shard 0)\n"
+        (if dwall > 0. then float_of_int dtick /. dwall else 0.)
+        (if dtick > 0 then (words -. !last_words) /. float_of_int dtick else 0.);
+      Printf.bprintf buf "kernel ticks %d  touched: %d sub / %d res / %d path  guards %d\n"
+        (count "lla_kernel_ticks_total")
+        (count "lla_kernel_touched_subtasks_total")
+        (count "lla_kernel_touched_resources_total")
+        (count "lla_kernel_touched_paths_total")
+        (count "lla_kernel_guard_events_total");
+      Buffer.add_string buf (Lla_obs.Monitor.render monitor);
+      clear_frame no_ansi;
+      print_string (Buffer.contents buf);
+      flush stdout;
+      last_wall := wall;
+      last_tick := tick;
+      last_words := words;
+      if frames_done frames !frame then quiet := true
+    end
+  in
+  match Soak.run ~obs ~monitor ~on_progress config with
+  | Error e -> or_exit (Error (`Msg e))
+  | Ok report ->
+    print_newline ();
+    print_endline (Soak.render report);
+    if report.Soak.violation_count > 0 then Stdlib.exit 1
+
+let top_cmd =
+  let target =
+    Arg.(
+      value
+      & pos 0 string "distributed"
+      & info [] ~docv:"TARGET"
+          ~doc:
+            "$(b,distributed) or $(b,chaos) (the observability scenarios, watched live on the \
+             simulator) or $(b,soak) (the smoke-config endurance run, watched at the watchdog \
+             cadence).")
+  in
+  let run target duration refresh frames no_ansi =
+    match target with
+    | "distributed" -> top_scenario ~chaos:false ~duration ~refresh ~frames ~no_ansi
+    | "chaos" -> top_scenario ~chaos:true ~duration ~refresh ~frames ~no_ansi
+    | "soak" -> top_soak ~refresh ~frames ~no_ansi
+    | other ->
+      or_exit (Error (`Msg (Printf.sprintf "unknown top target %S (distributed|chaos|soak)" other)))
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live view of a running deployment: active tasks, price percentiles, the \
+          control-latency histogram, allocation/word rates and the streaming monitor's alert \
+          pane, refreshed in place (use $(b,--no-ansi) for append-only output).")
+    Term.(const run $ target $ duration_arg $ refresh_arg $ frames_arg $ no_ansi_arg)
+
+let serve_metrics_cmd =
+  let target =
+    Arg.(
+      value
+      & pos 0 string "distributed"
+      & info [] ~docv:"TARGET" ~doc:("$(b,soak) (smoke config) or a scenario: " ^ scenario_doc))
+  in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Exposition file. Each rewrite goes to $(docv).tmp first and is renamed into place, \
+             so a scraper never reads a torn snapshot.")
+  in
+  let every =
+    Arg.(
+      value
+      & opt float 1.0
+      & info [ "every" ] ~docv:"SECONDS"
+          ~doc:
+            "Rewrite cadence: simulated control time for the scenario targets, wall-clock time \
+             for $(b,soak). $(b,fig5) runs to completion and writes once.")
+  in
+  let run target out every iterations duration =
+    let obs = Lla_obs.create () in
+    let writes = ref 0 in
+    let write_file registry =
+      let tmp = out ^ ".tmp" in
+      let oc = open_out tmp in
+      output_string oc (Lla_obs.Metrics.expose registry);
+      close_out oc;
+      Sys.rename tmp out;
+      incr writes
+    in
+    (match target with
+    | "fig5" | "solver" ->
+      run_scenario ~obs target ~iterations ~duration;
+      write_file obs.Lla_obs.metrics
+    | "distributed" | "chaos" ->
+      let engine = Lla_sim.Engine.create () in
+      let horizon = duration *. 1000. in
+      let _workload, d =
+        build_scenario_deployment ~obs ~chaos:(target = "chaos") engine ~horizon
+      in
+      Lla_runtime.Distributed.start d;
+      let period = max 1e-3 (every *. 1000.) in
+      let rec loop t =
+        if t > horizon +. 1e-9 then ()
+        else begin
+          Lla_sim.Engine.run_until engine (Float.min t horizon);
+          write_file obs.Lla_obs.metrics;
+          loop (t +. period)
+        end
+      in
+      loop period;
+      Lla_runtime.Distributed.stop d;
+      Lla_sim.Engine.run engine ();
+      write_file obs.Lla_obs.metrics
+    | "soak" ->
+      let module Soak = Lla_soak.Soak in
+      let monitor = Lla_obs.Monitor.create () in
+      let last_wall = ref 0. in
+      let on_progress ~tick:_ =
+        let wall = Unix.gettimeofday () in
+        if wall -. !last_wall >= every then begin
+          last_wall := wall;
+          write_file obs.Lla_obs.metrics
+        end
+      in
+      (match Soak.run ~obs ~monitor ~on_progress Soak.smoke_config with
+      | Error e -> or_exit (Error (`Msg e))
+      | Ok report ->
+        write_file obs.Lla_obs.metrics;
+        print_endline (Soak.render report))
+    | other ->
+      or_exit
+        (Error (`Msg (Printf.sprintf "unknown serve-metrics target %S (see --help)" other))));
+    Printf.printf "wrote %s (%d atomic rewrites)\n" out !writes
+  in
+  Cmd.v
+    (Cmd.info "serve-metrics"
+       ~doc:
+         "Run a scenario (or the smoke soak) and keep a Prometheus text exposition of its \
+          metrics registry fresh on disk — every rewrite is atomic (tmp file + rename), at the \
+          $(b,--every) cadence.")
+    Term.(const run $ target $ out $ every $ iterations_arg $ duration_arg)
+
 let default =
   Term.(
     ret
@@ -1052,4 +1374,6 @@ let () =
             generate_cmd;
             solve_scale_cmd;
             soak_cmd;
+            top_cmd;
+            serve_metrics_cmd;
           ]))

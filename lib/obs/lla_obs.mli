@@ -28,6 +28,8 @@ module Causal = Causal
 module Series = Series
 module Analyze = Analyze
 module Rotate = Rotate
+module Monitor = Monitor
+module Shard_registry = Shard_registry
 
 type t = {
   metrics : Metrics.t;

@@ -1,6 +1,10 @@
 type counter = { c_labels : (string * string) list; mutable c_value : int }
 
-type gauge = { g_labels : (string * string) list; mutable g_value : float }
+type gauge = {
+  g_labels : (string * string) list;
+  mutable g_value : float;
+  mutable g_at : float;  (* last-writer stamp for the shard merge; -inf = never stamped *)
+}
 
 type histogram = {
   h_labels : (string * string) list;
@@ -70,7 +74,7 @@ let gauge t ?(help = "") ?(labels = []) name =
   | Some (Gauge g) -> g
   | Some _ -> assert false
   | None ->
-    let g = { g_labels = labels; g_value = 0. } in
+    let g = { g_labels = labels; g_value = 0.; g_at = neg_infinity } in
     f.instances <- Gauge g :: f.instances;
     g
 
@@ -114,6 +118,12 @@ let add c n =
   c.c_value <- c.c_value + n
 
 let set g v = g.g_value <- v
+
+let set_at g ~at v =
+  g.g_value <- v;
+  g.g_at <- at
+
+let gauge_at g = g.g_at
 
 let observe h v =
   (* NaN falls through every [v <= bound] test into the +Inf bucket — it is
@@ -202,6 +212,53 @@ let find_gauge t ?labels name =
 let find_histogram t ?labels name =
   match find t ?labels name with Some (Histogram h) -> Some h | _ -> None
 
+(* --- shard merge ------------------------------------------------------ *)
+
+(* Barrier-time snapshot merge of per-shard registries. Counters sum,
+   histograms add bucket-wise (find-or-create re-raises on a layout
+   mismatch), gauges resolve last-writer-wins by (stamp, shard index in
+   the input list). The inputs are read-only; family order is shard 0's
+   with later shards' novel families appended. *)
+let merge ts =
+  let out = create () in
+  let gauge_src = Hashtbl.create 16 in
+  List.iteri
+    (fun shard t ->
+      List.iter
+        (fun f ->
+          List.iter
+            (fun inst ->
+              match inst with
+              | Counter c ->
+                let c' = counter out ~help:f.f_help ~labels:c.c_labels f.f_name in
+                c'.c_value <- c'.c_value + c.c_value
+              | Gauge g ->
+                let g' = gauge out ~help:f.f_help ~labels:g.g_labels f.f_name in
+                let key = (f.f_name, g.g_labels) in
+                let take =
+                  match Hashtbl.find_opt gauge_src key with
+                  | None -> true
+                  | Some (at0, _) -> g.g_at >= at0
+                  (* shards are visited in index order, so >= on the stamp
+                     keeps the highest (at, shard) writer *)
+                in
+                if take then begin
+                  Hashtbl.replace gauge_src key (g.g_at, shard);
+                  g'.g_value <- g.g_value;
+                  g'.g_at <- g.g_at
+                end
+              | Histogram h ->
+                let h' =
+                  histogram out ~help:f.f_help ~labels:h.h_labels ~buckets:h.bounds f.f_name
+                in
+                Array.iteri (fun i n -> h'.counts.(i) <- h'.counts.(i) + n) h.counts;
+                h'.h_sum <- h'.h_sum +. h.h_sum;
+                h'.h_count <- h'.h_count + h.h_count)
+            (List.rev f.instances))
+        (List.rev t.order))
+    ts;
+  out
+
 (* --- Prometheus text exposition -------------------------------------- *)
 
 let escape_label_value s =
@@ -237,12 +294,25 @@ let render_float x =
   else if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
   else Printf.sprintf "%.17g" x
 
+(* HELP text escapes only backslash and newline per the text format
+   (quotes are legal there, unlike in label values). *)
+let escape_help s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 let expose t =
   let buf = Buffer.create 4096 in
   List.iter
     (fun f ->
       if not (String.equal f.f_help "") then
-        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" f.f_name f.f_help);
+        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" f.f_name (escape_help f.f_help));
       Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" f.f_name f.f_kind);
       let instances =
         List.sort

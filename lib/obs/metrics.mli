@@ -51,6 +51,18 @@ val add : counter -> int -> unit
     monotone). *)
 
 val set : gauge -> float -> unit
+(** Plain write; leaves the gauge's last-writer stamp untouched (see
+    {!set_at}). *)
+
+val set_at : gauge -> at:float -> float -> unit
+(** Write plus a last-writer stamp. {!merge} resolves gauges registered
+    by several shards in favour of the highest [(at, shard)] writer, so
+    any gauge that can be written from more than one shard should be set
+    through [set_at] with the engine clock. Stamps start at [-inf] (a
+    never-stamped gauge always loses to a stamped one). *)
+
+val gauge_at : gauge -> float
+(** The last-writer stamp ([-inf] when the gauge was never {!set_at}). *)
 
 val observe : histogram -> float -> unit
 
@@ -96,5 +108,21 @@ val find_gauge : t -> ?labels:(string * string) list -> string -> gauge option
 
 val find_histogram : t -> ?labels:(string * string) list -> string -> histogram option
 
+val merge : t list -> t
+(** Snapshot-merge per-shard registries into one fresh registry (the
+    {!Shard_registry} barrier-time merge): counters with the same
+    identity sum, histograms add bucket-wise (their layouts must match),
+    and gauges resolve last-writer-wins by [(stamp, shard)] — the shard
+    index is the position in the input list, so ties between never-
+    stamped copies go to the highest shard, deterministically. Family
+    order follows the first list element (shard 0), with families only
+    later shards registered appended after. The inputs are not modified
+    and must be at rest (merge at a barrier, not mid-phase).
+    @raise Invalid_argument when the same name is registered with
+    different kinds, or a histogram identity with different layouts,
+    across shards. *)
+
 val expose : t -> string
-(** Prometheus text exposition of every registered metric. *)
+(** Prometheus text exposition of every registered metric. Label values
+    are escaped per the text format (backslash, double quote, newline);
+    [# HELP] text escapes backslash and newline. *)

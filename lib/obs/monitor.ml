@@ -1,0 +1,496 @@
+(* Online SLO monitors. Each observation updates O(1) detector state;
+   readouts that need the tail half of a series replay a retained
+   compact (unboxed, doubling) buffer through the offline Analyze code,
+   so the two tiers cannot drift apart. *)
+
+(* --- growable unboxed float pairs ------------------------------------- *)
+
+module Fbuf = struct
+  type t = { mutable ats : float array; mutable vs : float array; mutable n : int }
+
+  let create () = { ats = Array.make 64 0.; vs = Array.make 64 0.; n = 0 }
+
+  let push b ~at v =
+    if b.n = Array.length b.ats then begin
+      let grow a =
+        let a' = Array.make (2 * b.n) 0. in
+        Array.blit a 0 a' 0 b.n;
+        a'
+      in
+      b.ats <- grow b.ats;
+      b.vs <- grow b.vs
+    end;
+    b.ats.(b.n) <- at;
+    b.vs.(b.n) <- v;
+    b.n <- b.n + 1
+
+  let to_series b = List.init b.n (fun i -> (b.ats.(i), b.vs.(i)))
+
+  let last b = if b.n = 0 then None else Some b.vs.(b.n - 1)
+end
+
+(* --- shared detector primitives --------------------------------------- *)
+
+module Settle = struct
+  type t = {
+    target : float;
+    tolerance : float;
+    mutable cand : float option;  (* start of the current all-within suffix *)
+    mutable any : bool;
+  }
+
+  let create ?(tolerance = Analyze.default_tolerance) ~target () =
+    { target; tolerance; cand = None; any = false }
+
+  (* Invariant: [cand] is the [at] of the first sample of the longest
+     suffix whose samples all sit inside the band — i.e. exactly the
+     index Analyze.settling_time's backwards scan stops at. *)
+  let observe t ~at v =
+    t.any <- true;
+    if not (Float.is_finite t.target) then ()
+    else begin
+      let scale = Float.max (Float.abs t.target) 1e-12 in
+      let within = Float.is_finite v && Float.abs (v -. t.target) <= t.tolerance *. scale in
+      if within then (match t.cand with None -> t.cand <- Some at | Some _ -> ())
+      else t.cand <- None
+    end
+
+  let settled_since t = if t.any then t.cand else None
+end
+
+module Streak = struct
+  type t = { budget : int; mutable acc : int }
+
+  let create ~budget = { budget; acc = 0 }
+
+  let observe t ~ok ~step =
+    if ok then begin
+      t.acc <- 0;
+      None
+    end
+    else begin
+      t.acc <- t.acc + step;
+      if t.acc > t.budget then begin
+        let streak = t.acc in
+        t.acc <- 0;
+        Some streak
+      end
+      else None
+    end
+
+  let reset t = t.acc <- 0
+
+  let current t = t.acc
+end
+
+module Probe = struct
+  type t = { t0 : float; buf : Fbuf.t }
+
+  let start ~at = { t0 = at; buf = Fbuf.create () }
+
+  let started_at t = t.t0
+
+  let sample t ~at ~value = Fbuf.push t.buf ~at value
+
+  let samples t = t.buf.Fbuf.n
+
+  let settling ?tolerance t =
+    match Fbuf.last t.buf with
+    | None -> None
+    | Some target ->
+      let s = Settle.create ?tolerance ~target () in
+      for i = 0 to t.buf.Fbuf.n - 1 do
+        Settle.observe s ~at:t.buf.Fbuf.ats.(i) t.buf.Fbuf.vs.(i)
+      done;
+      Settle.settled_since s
+end
+
+let drift ~baseline v = Float.abs (v -. baseline) /. Float.max 1. (Float.abs baseline)
+
+(* --- the monitor ------------------------------------------------------- *)
+
+type severity = Info | Warning | Critical
+
+let severity_label = function Info -> "info" | Warning -> "warning" | Critical -> "critical"
+
+type config = {
+  tolerance : float;
+  infeasibility_tolerance : float;
+  overload_threshold : float;
+  sustain_budget : float;
+  clear_after : float;
+  oscillation_window : int;
+  oscillation_threshold : float;
+  min_reversals : int;
+  drift_tolerance : float;
+  warmup : float;
+}
+
+let default_config =
+  {
+    tolerance = Analyze.default_tolerance;
+    infeasibility_tolerance = 0.05;
+    overload_threshold = 1.;
+    sustain_budget = 200.;
+    clear_after = 500.;
+    oscillation_window = 32;
+    oscillation_threshold = 0.2;
+    min_reversals = 8;
+    drift_tolerance = 0.25;
+    warmup = 0.;
+  }
+
+(* Asymmetric hysteresis state: [bad]/[good] accumulate contiguous
+   condition time; entering needs [bad >= enter_after], leaving needs
+   [good >= exit_after]. Time deltas come from the observation stamps,
+   so replaying a trace reproduces every transition. *)
+type alert = {
+  a_name : string;
+  a_severity : severity;
+  enter_after : float;
+  exit_after : float;
+  mutable a_active : bool;
+  mutable a_since : float;
+  mutable a_value : float;
+  mutable a_raised : int;
+  mutable a_cleared : int;
+  mutable bad : float;
+  mutable good : float;
+  mutable last_at : float;  (* nan until the first observation *)
+}
+
+type res_state = {
+  mutable ep_open : (float * float) option;  (* current overload episode *)
+  mutable eps_rev : (float * float) list;  (* closed episodes, newest first *)
+  mutable infeasible : bool;  (* load > 1 + tol at the last sample *)
+}
+
+type t = {
+  config : config;
+  mutable emit : (at:float -> Trace.event -> unit) option;
+  (* utility stream *)
+  series : Fbuf.t;
+  settle : Settle.t option;
+  tasks : int option;
+  latest : (int, float) Hashtbl.t;  (* task -> latest local utility *)
+  mutable latest_sum : float;
+  mutable saw_iteration : bool;
+  (* oscillation window *)
+  ring : float array;
+  mutable ring_pos : int;
+  mutable ring_len : int;
+  (* Eq. 3/4 state *)
+  res : (int, res_state) Hashtbl.t;
+  mutable res_order : int list;  (* reverse first-seen *)
+  mutable res_bad : int;  (* resources currently infeasible *)
+  path_bad : (int, unit) Hashtbl.t;
+  mutable baseline : float option;
+  (* alert bus, fixed order *)
+  a_eq3 : alert;
+  a_eq4 : alert;
+  a_osc : alert;
+  a_drift : alert;
+  a_div : alert;
+}
+
+let mk_alert config ~name ~severity ~enter =
+  {
+    a_name = name;
+    a_severity = severity;
+    enter_after = enter;
+    exit_after = config.clear_after;
+    a_active = false;
+    a_since = Float.nan;
+    a_value = Float.nan;
+    a_raised = 0;
+    a_cleared = 0;
+    bad = 0.;
+    good = 0.;
+    last_at = Float.nan;
+  }
+
+let create ?(config = default_config) ?target ?baseline ?tasks () =
+  if config.oscillation_window < 4 then invalid_arg "Monitor.create: oscillation_window < 4";
+  {
+    config;
+    emit = None;
+    series = Fbuf.create ();
+    settle = Option.map (fun target -> Settle.create ~tolerance:config.tolerance ~target ()) target;
+    tasks;
+    latest = Hashtbl.create 64;
+    latest_sum = 0.;
+    saw_iteration = false;
+    ring = Array.make config.oscillation_window 0.;
+    ring_pos = 0;
+    ring_len = 0;
+    res = Hashtbl.create 16;
+    res_order = [];
+    res_bad = 0;
+    path_bad = Hashtbl.create 16;
+    baseline;
+    a_eq3 = mk_alert config ~name:"eq3_sustained" ~severity:Critical ~enter:config.sustain_budget;
+    a_eq4 = mk_alert config ~name:"eq4_sustained" ~severity:Critical ~enter:config.sustain_budget;
+    a_osc = mk_alert config ~name:"oscillation" ~severity:Warning ~enter:0.;
+    a_drift =
+      mk_alert config ~name:"utility_drift" ~severity:Warning ~enter:config.sustain_budget;
+    a_div = mk_alert config ~name:"diverged" ~severity:Critical ~enter:0.;
+  }
+
+let on_alert t f = t.emit <- Some f
+
+let emit_transition t ~at event =
+  match t.emit with None -> () | Some f -> f ~at event
+
+let raise_alert t a ~at =
+  a.a_active <- true;
+  a.a_since <- at;
+  a.a_raised <- a.a_raised + 1;
+  a.good <- 0.;
+  emit_transition t ~at
+    (Trace.Alert_raised
+       { alert = a.a_name; severity = severity_label a.a_severity; value = a.a_value })
+
+let clear_alert t a ~at =
+  a.a_active <- false;
+  a.a_cleared <- a.a_cleared + 1;
+  a.bad <- 0.;
+  emit_transition t ~at (Trace.Alert_cleared { alert = a.a_name; value = a.a_value })
+
+(* One hysteresis step. [value] is the signal quoted in transitions. *)
+let observe_alert t a ~at ~ok ~value =
+  if at >= t.config.warmup then begin
+    let dt = if Float.is_nan a.last_at then 0. else Float.max 0. (at -. a.last_at) in
+    a.last_at <- at;
+    a.a_value <- value;
+    if ok then begin
+      a.bad <- 0.;
+      if a.a_active then begin
+        a.good <- a.good +. dt;
+        if a.good >= a.exit_after then clear_alert t a ~at
+      end
+    end
+    else begin
+      a.good <- 0.;
+      a.bad <- a.bad +. dt;
+      if (not a.a_active) && a.bad >= a.enter_after then raise_alert t a ~at
+    end
+  end
+
+(* Windowed oscillation, the Safe_mode shape: relative spread of the
+   last [oscillation_window] utility samples plus a direction-reversal
+   count, so a monotone transient (large spread, no reversals) does not
+   read as a limit cycle. *)
+let oscillating t =
+  t.ring_len = Array.length t.ring
+  &&
+  let n = Array.length t.ring in
+  let start = t.ring_pos in
+  let v k = t.ring.((start + k) mod n) in
+  let lo = ref infinity and hi = ref neg_infinity and sum = ref 0. in
+  for k = 0 to n - 1 do
+    let x = v k in
+    if x < !lo then lo := x;
+    if x > !hi then hi := x;
+    sum := !sum +. x
+  done;
+  let mean = !sum /. float_of_int n in
+  let spread = (!hi -. !lo) /. Float.max 1. (Float.abs mean) in
+  spread > t.config.oscillation_threshold
+  &&
+  let reversals = ref 0 and dir = ref 0 and prev = ref (v 0) in
+  for k = 1 to n - 1 do
+    let x = v k in
+    let d = compare x !prev in
+    if d <> 0 then begin
+      if !dir <> 0 && d <> !dir then incr reversals;
+      dir := d
+    end;
+    prev := x
+  done;
+  !reversals >= t.config.min_reversals
+
+let ring_spread t =
+  if t.ring_len = 0 then 0.
+  else begin
+    let lo = ref infinity and hi = ref neg_infinity and sum = ref 0. in
+    for k = 0 to t.ring_len - 1 do
+      let x = t.ring.(k) in
+      if x < !lo then lo := x;
+      if x > !hi then hi := x;
+      sum := !sum +. x
+    done;
+    (!hi -. !lo) /. Float.max 1. (Float.abs (!sum /. float_of_int t.ring_len))
+  end
+
+let observe_utility t ~at v =
+  Fbuf.push t.series ~at v;
+  (match t.settle with Some s -> Settle.observe s ~at v | None -> ());
+  if Float.is_finite v then begin
+    t.ring.(t.ring_pos) <- v;
+    t.ring_pos <- (t.ring_pos + 1) mod Array.length t.ring;
+    if t.ring_len < Array.length t.ring then t.ring_len <- t.ring_len + 1
+  end;
+  observe_alert t t.a_div ~at ~ok:(Float.is_finite v) ~value:v;
+  observe_alert t t.a_osc ~at ~ok:(not (oscillating t)) ~value:(ring_spread t);
+  match t.baseline with
+  | Some b ->
+    let d = drift ~baseline:b v in
+    observe_alert t t.a_drift ~at ~ok:(d <= t.config.drift_tolerance) ~value:d
+  | None -> ()
+
+let res_state t resource =
+  match Hashtbl.find_opt t.res resource with
+  | Some st -> st
+  | None ->
+    let st = { ep_open = None; eps_rev = []; infeasible = false } in
+    Hashtbl.add t.res resource st;
+    t.res_order <- resource :: t.res_order;
+    st
+
+let observe_load t ~at ~resource ~load =
+  let st = res_state t resource in
+  (* overload episodes: Analyze.episodes semantics, online *)
+  if load > t.config.overload_threshold then
+    st.ep_open <- (match st.ep_open with None -> Some (at, at) | Some (s, _) -> Some (s, at))
+  else (
+    match st.ep_open with
+    | None -> ()
+    | Some ep ->
+      st.eps_rev <- ep :: st.eps_rev;
+      st.ep_open <- None);
+  (* Eq. 3 sustained-infeasibility: a resource is bad while its load
+     exceeds 1 + tol; the alert sees the aggregate verdict. *)
+  let bad = load > 1. +. t.config.infeasibility_tolerance in
+  if bad && not st.infeasible then t.res_bad <- t.res_bad + 1
+  else if (not bad) && st.infeasible then t.res_bad <- t.res_bad - 1;
+  st.infeasible <- bad;
+  observe_alert t t.a_eq3 ~at ~ok:(t.res_bad = 0) ~value:(float_of_int t.res_bad)
+
+let observe_path_slack t ~at ~path ~latency ~critical_time =
+  let bad = latency > critical_time *. (1. +. t.config.infeasibility_tolerance) in
+  if bad then Hashtbl.replace t.path_bad path () else Hashtbl.remove t.path_bad path;
+  observe_alert t t.a_eq4 ~at
+    ~ok:(Hashtbl.length t.path_bad = 0)
+    ~value:(float_of_int (Hashtbl.length t.path_bad))
+
+let observe_feasible t ~at ~resources_ok ~paths_ok =
+  observe_alert t t.a_eq3 ~at ~ok:resources_ok ~value:(if resources_ok then 0. else 1.);
+  observe_alert t t.a_eq4 ~at ~ok:paths_ok ~value:(if paths_ok then 0. else 1.)
+
+let set_baseline t ~at v =
+  t.baseline <- Some v;
+  emit_transition t ~at (Trace.Note { name = "monitor.baseline"; value = v })
+
+(* --- trace-driven feed ------------------------------------------------- *)
+
+let sink t (r : Trace.record) =
+  match r.Trace.event with
+  | Trace.Iteration { utility; _ } ->
+    t.saw_iteration <- true;
+    observe_utility t ~at:r.Trace.at utility
+  | Trace.Allocation_solved { task; utility } ->
+    if not t.saw_iteration then begin
+      (* Rebuild the global objective as Series.utility does, but with
+         the expected task count supplied up front: sample once every
+         task has reported, keeping a running sum (O(1) per event). *)
+      let prev = Hashtbl.find_opt t.latest task in
+      Hashtbl.replace t.latest task utility;
+      t.latest_sum <- t.latest_sum +. utility -. Option.value ~default:0. prev;
+      match t.tasks with
+      | Some n when Hashtbl.length t.latest >= n ->
+        observe_utility t ~at:r.Trace.at t.latest_sum
+      | _ -> ()
+    end
+  | Trace.Price_updated { resource; share_sum; capacity; _ } ->
+    observe_load t ~at:r.Trace.at ~resource
+      ~load:(if capacity > 0. then share_sum /. capacity else infinity)
+  | Trace.Path_price_updated { path; latency; critical_time; _ } ->
+    observe_path_slack t ~at:r.Trace.at ~path ~latency ~critical_time
+  | Trace.Alert_raised _ | Trace.Alert_cleared _ -> ()
+  | _ -> ()
+
+let attach t trace =
+  Trace.attach trace (sink t);
+  t.emit <- Some (fun ~at event -> Trace.emit trace ~at event)
+
+(* --- readouts ---------------------------------------------------------- *)
+
+let settling_tick t =
+  match t.settle with
+  | Some s -> Settle.settled_since s
+  | None -> (
+    (* no known optimum: judge against the final value, as offline *)
+    match Fbuf.last t.series with
+    | None -> None
+    | Some target ->
+      let s = Settle.create ~tolerance:t.config.tolerance ~target () in
+      for i = 0 to t.series.Fbuf.n - 1 do
+        Settle.observe s ~at:t.series.Fbuf.ats.(i) t.series.Fbuf.vs.(i)
+      done;
+      Settle.settled_since s)
+
+let oscillation t = Analyze.oscillation (Fbuf.to_series t.series)
+
+let dispersion t = Analyze.dispersion (Fbuf.to_series t.series)
+
+let overload_episodes t ~resource =
+  match Hashtbl.find_opt t.res resource with
+  | None -> []
+  | Some st ->
+    List.rev (match st.ep_open with None -> st.eps_rev | Some ep -> ep :: st.eps_rev)
+
+let resources_seen t = List.rev t.res_order
+
+let utility_samples t = t.series.Fbuf.n
+
+let last_utility t = Fbuf.last t.series
+
+(* --- alert bus readouts ------------------------------------------------ *)
+
+type alert_view = {
+  name : string;
+  severity : severity;
+  active : bool;
+  since : float;
+  last_value : float;
+  raised : int;
+  cleared : int;
+}
+
+let all_alerts t = [ t.a_eq3; t.a_eq4; t.a_osc; t.a_drift; t.a_div ]
+
+let view (a : alert) =
+  {
+    name = a.a_name;
+    severity = a.a_severity;
+    active = a.a_active;
+    since = a.a_since;
+    last_value = a.a_value;
+    raised = a.a_raised;
+    cleared = a.a_cleared;
+  }
+
+let alerts t = List.map view (all_alerts t)
+
+let active_alerts t = List.filter (fun v -> v.active) (alerts t)
+
+let alerts_raised t = List.fold_left (fun acc a -> acc + a.a_raised) 0 (all_alerts t)
+
+let alerts_cleared t = List.fold_left (fun acc a -> acc + a.a_cleared) 0 (all_alerts t)
+
+let render t =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (a : alert) ->
+      Printf.bprintf buf "[%s] %-15s %s  raised=%d cleared=%d%s\n"
+        (match a.a_severity with Info -> "INFO" | Warning -> "WARN" | Critical -> "CRIT")
+        a.a_name
+        (if a.a_active then Printf.sprintf "ACTIVE since %.0f" a.a_since else "ok")
+        a.a_raised a.a_cleared
+        (if Float.is_nan a.a_value then "" else Printf.sprintf " value=%.4g" a.a_value))
+    (all_alerts t);
+  Printf.bprintf buf "utility: %s over %d samples; settling: %s\n"
+    (match last_utility t with Some u -> Printf.sprintf "%.6f" u | None -> "n/a")
+    (utility_samples t)
+    (match settling_tick t with Some s -> Printf.sprintf "%.0f" s | None -> "not settled");
+  Buffer.contents buf

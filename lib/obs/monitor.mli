@@ -1,0 +1,232 @@
+(** Streaming telemetry: online versions of the {!Analyze} detectors
+    feeding an alert bus.
+
+    {!Analyze} computes settling time, oscillation and overload episodes
+    from a complete trace, after the run. [Monitor] maintains the same
+    signals incrementally while the system runs — O(1) state updates per
+    observation (readouts that need the tail half of the series, like
+    {!oscillation}, replay a retained compact series on demand) — and
+    drives a small set of named alerts with severity levels and
+    asymmetric enter/exit hysteresis, the same shape as
+    [Lla_runtime.Safe_mode]: a condition must hold for
+    [sustain_budget] time units to raise, and the opposite condition for
+    [clear_after] units to clear, so a flapping signal cannot flap the
+    alert. Every transition is emitted as a {!Trace.Alert_raised} /
+    {!Trace.Alert_cleared} event on the attached trace, so a replayed
+    trace reproduces the exact alert timeline.
+
+    The online detectors agree with the offline ones sample-for-sample:
+    {!Settle.settled_since} equals [Analyze.settling_time] on the same
+    series, {!overload_episodes} equals [Analyze.episodes] on the same
+    load series, and {!oscillation} {e is} [Analyze.oscillation] over
+    the retained series (property tests in [test/test_monitor.ml] hold
+    both directions). The soak harness's rolling-health oracles are
+    expressed over the same primitives ({!Streak}, {!Probe}), so soak
+    and live monitoring share one detector implementation.
+
+    A monitor can be fed two ways, freely mixed:
+    - {!attach} it to a {!Trace.t}: the sink decodes [Iteration] /
+      [Allocation_solved] / [Price_updated] / [Path_price_updated]
+      events into observations (and ignores alert events, so replaying
+      an annotated trace does not echo);
+    - call {!observe_utility} / {!observe_load} / {!observe_feasible}
+      directly from a host that has no trace stream (the scale kernel,
+      the soak harness).
+
+    Feeding a monitor never mutates the observed system; omitting it
+    keeps trajectories bit-for-bit identical (the standing [?obs]
+    guarantee extends to [?monitor]). *)
+
+(** {1 Shared detector primitives} *)
+
+(** Online suffix-stable settling: the earliest time from which the
+    series never leaves the [tolerance]-band around [target] — exactly
+    [Analyze.settling_time]'s criterion, in O(1) per sample. *)
+module Settle : sig
+  type t
+
+  val create : ?tolerance:float -> target:float -> unit -> t
+  (** Band is [tolerance * max |target| 1e-12] (default
+      [Analyze.default_tolerance]); a non-finite [target] never
+      settles, as offline. *)
+
+  val observe : t -> at:float -> float -> unit
+
+  val settled_since : t -> float option
+  (** Equal to [Analyze.settling_time ~tolerance ~target] on the series
+      observed so far. *)
+end
+
+(** Sustained-condition budget counter with the soak harness's exact
+    semantics: each bad observation adds [step] to the streak, a good
+    one zeroes it, and exceeding [budget] reports the streak length and
+    resets (so the violation can re-fire). *)
+module Streak : sig
+  type t
+
+  val create : budget:int -> t
+
+  val observe : t -> ok:bool -> step:int -> int option
+  (** [Some streak] exactly when the accumulated streak exceeds the
+      budget (the streak then resets). *)
+
+  val reset : t -> unit
+  (** Zero the streak (grace windows). *)
+
+  val current : t -> int
+end
+
+(** A reconvergence probe: collect the trajectory after a disturbance,
+    then judge settling against the latest sample as target (the target
+    is only known at judgement time, so the probe retains its samples
+    and replays them through {!Settle}). *)
+module Probe : sig
+  type t
+
+  val start : at:float -> t
+
+  val started_at : t -> float
+
+  val sample : t -> at:float -> value:float -> unit
+
+  val samples : t -> int
+
+  val settling : ?tolerance:float -> t -> float option
+  (** Absolute settling time of the collected series against its final
+      value; [None] when it never settles (or no samples). Equals
+      [Analyze.settling_time ~tolerance ~target:final] on the same
+      series. *)
+end
+
+val drift : baseline:float -> float -> float
+(** [|v - baseline| / max 1 |baseline|] — the soak baseline-drift
+    normalization. *)
+
+(** {1 The monitor} *)
+
+type severity = Info | Warning | Critical
+
+val severity_label : severity -> string
+(** ["info"] / ["warning"] / ["critical"] — the encoding used in
+    {!Trace.Alert_raised}. *)
+
+type config = {
+  tolerance : float;  (** settling band (default [Analyze.default_tolerance]). *)
+  infeasibility_tolerance : float;
+      (** relative Eq. 3/4 slack before a sample counts as infeasible
+          (default 0.05, matching [Safe_mode]). *)
+  overload_threshold : float;
+      (** load factor opening an overload episode (default 1.0,
+          matching [Analyze.episodes]). *)
+  sustain_budget : float;
+      (** time units a condition must hold before its alert raises
+          (default 200). *)
+  clear_after : float;
+      (** time units of health before an active alert clears — the
+          asymmetric exit hysteresis (default 500). *)
+  oscillation_window : int;  (** utility ring length (default 32). *)
+  oscillation_threshold : float;
+      (** relative spread of the window that reads as oscillation
+          (default 0.2). *)
+  min_reversals : int;
+      (** direction reversals the window must also contain (default 8) —
+          a monotone transient has spread but no reversals. *)
+  drift_tolerance : float;
+      (** relative drift vs the baseline checkpoint (default 0.25). *)
+  warmup : float;
+      (** alerts stay silent before this time; detector readouts are
+          unaffected (default 0). *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> ?target:float -> ?baseline:float -> ?tasks:int -> unit -> t
+(** [target]: the known optimum, arming the O(1) online settling
+    detector (without it {!settling_tick} replays the retained series
+    against its final value, as offline [analyze] does). [baseline]:
+    initial [Lla_baseline] checkpoint for the drift alert (none until
+    {!set_baseline} otherwise). [tasks]: expected task count, letting
+    the sink rebuild the global objective from per-task
+    [Allocation_solved] events exactly when every task has reported —
+    required for utility tracking on distributed traces, which emit no
+    global [Iteration] events. *)
+
+val attach : t -> Trace.t -> unit
+(** Subscribe the monitor to a trace: its sink observes every emission,
+    and alert transitions are emitted back into the same trace (stored
+    ring-first, so the annotated stream stays in sequence order). Attach
+    the monitor {e after} file sinks so dump files list each transition
+    after the record that triggered it. *)
+
+val sink : t -> Trace.record -> unit
+(** The record observer behind {!attach}, usable directly to replay a
+    collected stream. Ignores [Alert_raised]/[Alert_cleared]. *)
+
+val on_alert : t -> (at:float -> Trace.event -> unit) -> unit
+(** Route alert transitions somewhere other than an attached trace
+    (e.g. the soak harness's [emit_opt]). Replaces the previous route. *)
+
+(** {2 Direct observation (trace-less hosts)} *)
+
+val observe_utility : t -> at:float -> float -> unit
+
+val observe_load : t -> at:float -> resource:int -> load:float -> unit
+(** [load] is share_sum / capacity, as [Series.congestion] computes it
+    (infinite when capacity is 0). Drives the per-resource overload
+    episodes and the Eq. 3 sustained-infeasibility alert. *)
+
+val observe_path_slack : t -> at:float -> path:int -> latency:float -> critical_time:float -> unit
+(** Drives the Eq. 4 sustained-infeasibility alert. *)
+
+val observe_feasible : t -> at:float -> resources_ok:bool -> paths_ok:bool -> unit
+(** Aggregate feasibility feed for hosts that already know the verdict
+    (the scale kernel's O(1) dirty-set checks). *)
+
+val set_baseline : t -> at:float -> float -> unit
+(** Install/refresh the drift alert's reference checkpoint. *)
+
+(** {2 Readouts (agree with {!Analyze} on the same stream)} *)
+
+val settling_tick : t -> float option
+
+val oscillation : t -> Analyze.oscillation option
+
+val dispersion : t -> float
+
+val overload_episodes : t -> resource:int -> (float * float) list
+
+val resources_seen : t -> int list
+(** Resource ids with at least one load observation, first-seen order. *)
+
+val utility_samples : t -> int
+
+val last_utility : t -> float option
+
+(** {2 Alert bus} *)
+
+type alert_view = {
+  name : string;
+  severity : severity;
+  active : bool;
+  since : float;  (** raise time of the current episode (nan if never). *)
+  last_value : float;
+  raised : int;
+  cleared : int;
+}
+
+val alerts : t -> alert_view list
+(** All alerts, fixed order: [eq3_sustained], [eq4_sustained],
+    [oscillation], [utility_drift], [diverged]. *)
+
+val active_alerts : t -> alert_view list
+
+val alerts_raised : t -> int
+(** Total raise transitions across all alerts. *)
+
+val alerts_cleared : t -> int
+
+val render : t -> string
+(** One line per alert plus a detector summary — the `lla_cli top`
+    alert pane. *)

@@ -1,0 +1,17 @@
+type t = { regs : Metrics.t array }
+
+let create ~shards =
+  if shards < 1 then invalid_arg "Shard_registry.create: shards < 1";
+  { regs = Array.init shards (fun _ -> Metrics.create ()) }
+
+let of_registries regs =
+  if Array.length regs = 0 then invalid_arg "Shard_registry.of_registries: empty";
+  { regs }
+
+let shards t = Array.length t.regs
+
+let registry t ~shard = t.regs.(shard)
+
+let merge t = Metrics.merge (Array.to_list t.regs)
+
+let expose t = Metrics.expose (merge t)

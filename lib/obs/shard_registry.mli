@@ -1,0 +1,37 @@
+(** Per-shard metrics registries with a barrier-time snapshot merge.
+
+    Under [Engine_domains] each shard must own its metrics outright — a
+    shared registry would put lock-free mutable counters on the parallel
+    hot path. [Shard_registry] holds one {!Metrics.t} per shard (each
+    written only by its owning domain during a parallel phase) and
+    produces a merged global snapshot via {!Metrics.merge} when all
+    shards are at rest (at a barrier, or after the run): counters sum,
+    histograms add bucket-wise, gauges resolve last-writer by
+    [(stamp, shard)] (see {!Metrics.set_at}).
+
+    The merge allocates a fresh registry and never mutates the
+    per-shard ones, so it can run at any barrier without perturbing the
+    next parallel phase. *)
+
+type t
+
+val create : shards:int -> t
+(** [shards] fresh registries. @raise Invalid_argument when
+    [shards < 1]. *)
+
+val of_registries : Metrics.t array -> t
+(** Wrap existing per-shard registries (index = shard id). The array is
+    not copied. @raise Invalid_argument on an empty array. *)
+
+val shards : t -> int
+
+val registry : t -> shard:int -> Metrics.t
+(** The registry owned by [shard]. Only that shard's domain may write
+    through it during a parallel phase. *)
+
+val merge : t -> Metrics.t
+(** Merged snapshot of all shards ({!Metrics.merge} semantics). Call
+    only when the shards are at rest. *)
+
+val expose : t -> string
+(** [Metrics.expose (merge t)]. *)

@@ -30,6 +30,8 @@ type event =
   | Health_transition of { endpoint : string; alive : bool }
   | Span of { span : int; parent : int; trace : int; kind : string; actor : string }
   | Note of { name : string; value : float }
+  | Alert_raised of { alert : string; severity : string; value : float }
+  | Alert_cleared of { alert : string; value : float }
 
 type record = { seq : int; at : float; event : event }
 
@@ -166,6 +168,15 @@ let store t i = function
     t.tags.(i) <- 17;
     t.sa.(i) <- name;
     t.fa.(i) <- value
+  | Alert_raised { alert; severity; value } ->
+    t.tags.(i) <- 18;
+    t.sa.(i) <- alert;
+    t.sb.(i) <- severity;
+    t.fa.(i) <- value
+  | Alert_cleared { alert; value } ->
+    t.tags.(i) <- 19;
+    t.sa.(i) <- alert;
+    t.fa.(i) <- value
 
 let load t i =
   match t.tags.(i) with
@@ -207,19 +218,26 @@ let load t i =
   | 16 ->
     Span
       { span = t.ia.(i); parent = t.ib.(i); trace = t.ic.(i); kind = t.sa.(i); actor = t.sb.(i) }
-  | _ -> Note { name = t.sa.(i); value = t.fa.(i) }
+  | 17 -> Note { name = t.sa.(i); value = t.fa.(i) }
+  | 18 -> Alert_raised { alert = t.sa.(i); severity = t.sb.(i); value = t.fa.(i) }
+  | _ -> Alert_cleared { alert = t.sa.(i); value = t.fa.(i) }
 
+(* Store before fanning out: a sink may re-enter [emit] (the Monitor
+   alert bus stamps transitions into the stream it observes), and this
+   order gives the nested record the next slot and sequence number
+   instead of colliding with its trigger's. *)
 let emit t ~at event =
-  (match t.sinks with
-  | [] -> ()
-  | sinks ->
-    let r = { seq = t.emitted; at; event } in
-    List.iter (fun sink -> sink r) sinks);
+  let seq = t.emitted in
   t.ats.(t.pos) <- at;
   store t t.pos event;
   t.pos <- (t.pos + 1) mod t.capacity;
   if t.len < t.capacity then t.len <- t.len + 1;
-  t.emitted <- t.emitted + 1
+  t.emitted <- seq + 1;
+  match t.sinks with
+  | [] -> ()
+  | sinks ->
+    let r = { seq; at; event } in
+    List.iter (fun sink -> sink r) sinks
 
 (* Appending keeps the list in attach order so the hot path never
    reverses; attaching is rare. *)
@@ -267,6 +285,8 @@ let event_name = function
   | Health_transition _ -> "health_transition"
   | Span _ -> "span"
   | Note _ -> "note"
+  | Alert_raised _ -> "alert_raised"
+  | Alert_cleared _ -> "alert_cleared"
 
 let event_fields = function
   | Iteration { iteration; utility; movement; guards } ->
@@ -322,6 +342,10 @@ let event_fields = function
       ("actor", Jsonl.Str actor);
     ]
   | Note { name; value } -> [ ("name", Jsonl.Str name); ("value", Jsonl.Num value) ]
+  | Alert_raised { alert; severity; value } ->
+    [ ("alert", Jsonl.Str alert); ("severity", Jsonl.Str severity); ("value", Jsonl.Num value) ]
+  | Alert_cleared { alert; value } ->
+    [ ("alert", Jsonl.Str alert); ("value", Jsonl.Num value) ]
 
 let record_to_json r =
   Jsonl.Obj
@@ -425,6 +449,9 @@ let decode_event ty json =
         actor = str "actor";
       }
   | "note" -> Note { name = str "name"; value = num "value" }
+  | "alert_raised" ->
+    Alert_raised { alert = str "alert"; severity = str "severity"; value = num "value" }
+  | "alert_cleared" -> Alert_cleared { alert = str "alert"; value = num "value" }
   | other -> raise (Decode (Printf.sprintf "unknown event type %S" other))
 
 let record_of_json json =

@@ -63,6 +63,13 @@ type event =
           controller) or ["msg"] (a transport delivery that was applied);
           [actor] names the endpoint doing the work. See {!Causal}. *)
   | Note of { name : string; value : float }  (** free-form escape hatch. *)
+  | Alert_raised of { alert : string; severity : string; value : float }
+      (** a {!Monitor} alert entered its active state. [severity] is
+          ["info"], ["warning"] or ["critical"]; [value] is the signal
+          that crossed the threshold (streak length, spread, drift...). *)
+  | Alert_cleared of { alert : string; value : float }
+      (** the alert's exit hysteresis released; [value] is the signal at
+          clear time. *)
 
 type record = { seq : int; at : float; event : event }
 
@@ -77,6 +84,12 @@ val create : ?capacity:int -> unit -> t
     @raise Invalid_argument on a non-positive capacity. *)
 
 val emit : t -> at:float -> event -> unit
+(** Stamp, store and fan out one event. The record is stored in the ring
+    {e before} the sinks run, so a sink may itself call [emit] (the
+    {!Monitor} alert bus does, to stamp transitions into the stream it
+    observes): the nested record lands after its trigger in the ring and
+    gets the next sequence number. Sinks attached before the re-entrant
+    one still see records in sequence order. *)
 
 val attach : t -> (record -> unit) -> unit
 (** Add a sink; sinks run synchronously in attach order on every emit. *)

@@ -102,6 +102,7 @@ type t
 
 val create :
   ?obs:Lla_obs.t ->
+  ?monitor:Lla_obs.Monitor.t ->
   ?config:config ->
   ?resilience:resilience ->
   ?transport:Lla_transport.Transport.t ->
@@ -121,10 +122,17 @@ val create :
     checkpoint restore emits a typed {!Lla_obs.Trace} record stamped
     with the engine clock. Omitting it (the default) emits nothing and
     leaves the event schedule bit-for-bit the legacy one — a supplied
-    [transport] is never re-instrumented. *)
+    [transport] is never re-instrumented.
+
+    [monitor] subscribes a streaming {!Lla_obs.Monitor} to the trace: it
+    consumes every emitted record online and writes alert transitions
+    back into the stream. It needs [obs] to see anything, observes
+    without perturbing (no schedule effect, no extra messages), and
+    omitting it keeps the trace byte-for-byte the unmonitored one. *)
 
 val create_on :
   ?obs:Lla_obs.t ->
+  ?monitor:Lla_obs.Monitor.t ->
   ?config:config ->
   ?resilience:resilience ->
   ?transport_config:Lla_transport.Transport.config ->
@@ -148,7 +156,16 @@ val create_on :
 
     For timing-exact parallel runs, pick a domains-engine quantum no
     larger than the minimum cross-shard link delay (see
-    {!Engine_domains}). *)
+    {!Engine_domains}).
+
+    With [?monitor] on a domains engine, each shard's records are
+    buffered during parallel phases and drained through the monitor's
+    sink at barriers (every [config.controller_period]), merged to the
+    global [(at, shard, seq)] order — the online detectors see exactly
+    the stream an offline pass over {!merged_records} would, just in
+    periodic installments. Alerts are emitted on shard 0's trace at the
+    barrier. {!run} and {!stop} flush the buffered tail, so readouts
+    are current once a run returns. *)
 
 val start : t -> unit
 (** Controllers announce initial latencies; agents and controllers begin
@@ -231,8 +248,20 @@ val allocation_rounds : t -> int
     ticks are not counted). *)
 
 val metrics : t -> Lla_obs.Metrics.t
-(** The registry holding the [lla_runtime_*] counter families — the
-    [obs] one when supplied, otherwise the runtime's private one. *)
+(** Shard 0's registry — the [obs] one when supplied, otherwise the
+    runtime's private one. On a sharded deployment each shard owns a
+    private registry; see {!merged_metrics} for the global view. *)
+
+val merged_metrics : t -> Lla_obs.Metrics.t
+(** Snapshot-merge of every shard's registry
+    ({!Lla_obs.Shard_registry} semantics: counters sum, histograms add
+    bucket-wise, gauges resolve last-writer by [(stamp, shard)]). Call
+    with the shards at rest — between runs, or from
+    {!schedule_injection}. On a single-shard deployment the merge is a
+    copy of {!metrics}. *)
+
+val monitor : t -> Lla_obs.Monitor.t option
+(** The streaming monitor supplied at creation, if any. *)
 
 (** {2 Resilience inspection} *)
 

@@ -43,12 +43,21 @@ val default_config : config
 type t
 
 val create :
-  ?obs:Lla_obs.t -> ?config:config -> cluster:Cluster.t -> dispatcher:Dispatcher.t -> unit -> t
+  ?obs:Lla_obs.t ->
+  ?monitor:Lla_obs.Monitor.t ->
+  ?config:config ->
+  cluster:Cluster.t ->
+  dispatcher:Dispatcher.t ->
+  unit ->
+  t
 (** Registers a subtask-latency observer on the dispatcher (for the
     correctors) and prepares a solver over the cluster's workload. [obs]
     is forwarded to the solver and to the per-subtask correctors (each
     named after its subtask), so solver iterations and correction rounds
-    land in the shared trace. *)
+    land in the shared trace. [monitor] attaches a streaming
+    {!Lla_obs.Monitor} to that trace (it needs [obs] to see anything);
+    the online detectors then follow every solver iteration live, and
+    alert transitions are written back into the same trace. *)
 
 val start : ?engine:Engine.t -> t -> unit
 (** Run warmup, enact, and schedule the periodic rounds. A supplied

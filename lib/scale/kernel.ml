@@ -57,6 +57,23 @@ let scale_config =
     movement_tolerance = 1.0;
   }
 
+(* Per-tick meters (PR 9): registered in the [?obs] registry and bumped
+   by the tick thunk itself — integer counter adds, so the zero-alloc
+   discipline below survives. Gauges box their float on [set], so they
+   are written only by [publish_metrics] (call it at a health cadence,
+   never per tick). *)
+type kmeters = {
+  k_ticks : Lla_obs.Metrics.counter;
+  k_sub : Lla_obs.Metrics.counter;
+  k_res : Lla_obs.Metrics.counter;
+  k_path : Lla_obs.Metrics.counter;
+  k_guards : Lla_obs.Metrics.counter;
+  mutable k_guards_seen : int;  (* cumulative guards already exported *)
+  k_util : Lla_obs.Metrics.gauge;
+  k_move : Lla_obs.Metrics.gauge;
+  k_active : Lla_obs.Metrics.gauge;
+}
+
 (* Allocation discipline for the tick: everything the three passes touch
    is a flat [float array] / [int array] cell or an immediate record
    field, so one tick allocates nothing. In particular:
@@ -159,6 +176,7 @@ type t = {
      closures either *)
   mutable th_tick : unit -> unit;
   mutable th_prof : unit -> unit;
+  mutable km : kmeters option;  (* Some iff built with [?obs] *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -610,11 +628,31 @@ let of_problem ?obs ?(config = default_config) (problem : P.t) =
         cum_path = 0;
         th_tick = (fun () -> ());
         th_prof = (fun () -> ());
+        km = None;
       }
     in
     (match obs with
     | None -> t.th_tick <- (fun () -> tick t)
     | Some o ->
+      let reg = o.Lla_obs.metrics in
+      let counter name help = Lla_obs.Metrics.counter reg name ~help in
+      let gauge name help = Lla_obs.Metrics.gauge reg name ~help in
+      let m =
+        {
+          k_ticks = counter "lla_kernel_ticks_total" "Kernel ticks executed.";
+          k_sub = counter "lla_kernel_touched_subtasks_total" "Subtask visits across all ticks.";
+          k_res = counter "lla_kernel_touched_resources_total" "Resource visits across all ticks.";
+          k_path = counter "lla_kernel_touched_paths_total" "Path visits across all ticks.";
+          k_guards =
+            counter "lla_kernel_guard_events_total"
+              "Non-finite iterate components neutralized by the kernel guards.";
+          k_guards_seen = 0;
+          k_util = gauge "lla_kernel_utility" "Total utility of the active tasks (at last publish).";
+          k_move = gauge "lla_kernel_movement" "Max relative latency movement (at last publish).";
+          k_active = gauge "lla_kernel_active_tasks" "Active (non-retired) tasks (at last publish).";
+        }
+      in
+      t.km <- Some m;
       let p = o.Lla_obs.profile in
       let th_alloc () = alloc_pass t in
       let th_res () = resource_pass t in
@@ -625,7 +663,17 @@ let of_problem ?obs ?(config = default_config) (problem : P.t) =
           Lla_obs.Profile.time p "resource_prices" th_res;
           Lla_obs.Profile.time p "path_prices" th_path;
           finish t);
-      t.th_tick <- fun () -> Lla_obs.Profile.time p "kernel.step" t.th_prof);
+      t.th_tick <-
+        (fun () ->
+          Lla_obs.Profile.time p "kernel.step" t.th_prof;
+          Lla_obs.Metrics.incr m.k_ticks;
+          Lla_obs.Metrics.add m.k_sub t.touch_sub;
+          Lla_obs.Metrics.add m.k_res t.touch_res;
+          Lla_obs.Metrics.add m.k_path t.touch_path;
+          if t.guards <> m.k_guards_seen then begin
+            Lla_obs.Metrics.add m.k_guards (t.guards - m.k_guards_seen);
+            m.k_guards_seen <- t.guards
+          end));
     Ok t
 
 let create ?obs ?config workload = of_problem ?obs ?config (P.compile workload)
@@ -871,6 +919,14 @@ let utility t =
     done;
     !acc
   end
+
+let publish_metrics t ~at =
+  match t.km with
+  | None -> ()
+  | Some m ->
+    Lla_obs.Metrics.set_at m.k_util ~at (utility t);
+    Lla_obs.Metrics.set_at m.k_move ~at t.scratch.(1);
+    Lla_obs.Metrics.set_at m.k_active ~at (float_of_int (t.n_task - t.n_inactive))
 
 let lat_array t = t.lat
 

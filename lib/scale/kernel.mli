@@ -77,7 +77,13 @@ val of_problem : ?obs:Lla_obs.t -> ?config:config -> Lla.Problem.t -> (t, string
     does not apply — use {!Lla.Solver}). With [?obs], each tick is timed
     under [kernel.step] > [allocate] / [resource_prices] / [path_prices]
     via preallocated thunks (profiling adds clock reads, not garbage;
-    the clock itself may box). *)
+    the clock itself may box), and the tick thunk also bumps the
+    [lla_kernel_*_total] counters in the handle's registry — ticks,
+    touched subtasks/resources/paths, guard events — as plain integer
+    adds on preallocated instances, keeping the hot path
+    allocation-free. Gauges ([lla_kernel_utility] / [_movement] /
+    [_active_tasks]) box on write and are therefore only refreshed by
+    {!publish_metrics}. *)
 
 val create : ?obs:Lla_obs.t -> ?config:config -> Lla_model.Workload.t -> (t, string) result
 (** [Problem.compile] + {!of_problem}. *)
@@ -131,6 +137,14 @@ val violations : t -> string list
 
 val guard_events : t -> int
 (** Non-finite iterate components neutralized, as in the solver. *)
+
+val publish_metrics : t -> at:float -> unit
+(** Refresh the [lla_kernel_utility] / [lla_kernel_movement] /
+    [lla_kernel_active_tasks] gauges (stamped [at] for
+    {!Lla_obs.Metrics.merge}'s last-writer rule). A no-op without
+    [?obs]. Gauge writes box their float, so this belongs at a health /
+    publish cadence, never inside the tick loop; {!utility} is
+    O(active tasks). *)
 
 val lat_array : t -> float array
 (** The live latency iterate, indexed like [problem.subtasks]. Exposed

@@ -2,7 +2,7 @@ module Kernel = Lla_scale.Kernel
 module Generator = Lla_scale.Generator
 module Safe_mode = Lla_runtime.Safe_mode
 module Trace = Lla_obs.Trace
-module Analyze = Lla_obs.Analyze
+module Monitor = Lla_obs.Monitor
 module P = Lla.Problem
 
 type ceilings = {
@@ -121,6 +121,8 @@ type report = {
   final_utility : float;
   final_feasible : bool;
   final_active_tasks : int;
+  alerts_raised : int;
+  alerts_cleared : int;
 }
 
 (* A field of /proc/self/status in kB; 0 when absent (non-Linux). *)
@@ -143,7 +145,7 @@ let status_kb key =
       close_in ic;
       !v
 
-let run ?obs ?engine ?on_progress config =
+let run ?obs ?monitor ?engine ?on_progress config =
   if config.horizon <= 0 then Error "Soak.run: non-positive horizon"
   else if config.watchdog_every <= 0 || config.health_every <= 0 then
     Error "Soak.run: non-positive watchdog/health cadence"
@@ -175,6 +177,14 @@ let run ?obs ?engine ?on_progress config =
 
         let tol = config.safe_mode.Safe_mode.infeasibility_tolerance in
         let emit now event = Lla_obs.emit_opt obs ~at:(float_of_int now) event in
+        (* A supplied streaming monitor rides along at the health cadence
+           (utility + Eq. 3/4 feasibility) and gets each Lla_baseline
+           checkpoint as its drift reference; its alert transitions land
+           in the [?obs] trace. Feeding it reads kernel state only, so
+           every decision the ticks make is unchanged. *)
+        (match monitor with
+        | Some m -> Monitor.on_alert m (fun ~at ev -> Lla_obs.emit_opt obs ~at ev)
+        | None -> ());
         let viols = ref [] and viol_n = ref 0 in
         let violate now msg =
           incr viol_n;
@@ -198,7 +208,12 @@ let run ?obs ?engine ?on_progress config =
         let warmup_until = config.reconverge_budget in
         let grace_until = ref warmup_until in
         let extend_grace until_ = if until_ > !grace_until then grace_until := until_ in
-        let res_bad = ref 0 and path_bad = ref 0 in
+        (* Sustained Eq. 3/4 budgets and the reconvergence probe are the
+           shared [Lla_obs.Monitor] detector primitives — one
+           implementation for the soak oracles and the live alert bus
+           (the agreement with offline [Analyze] is property-tested). *)
+        let res_streak = Monitor.Streak.create ~budget:config.sustain_budget in
+        let path_streak = Monitor.Streak.create ~budget:config.sustain_budget in
         let probe = ref None in
         let reconv = ref 0 and worst_settle = ref 0. in
         let base_checks = ref 0 and worst_drift = ref 0. in
@@ -208,7 +223,7 @@ let run ?obs ?engine ?on_progress config =
         let abandon_probe () = probe := None in
         let start_probe now =
           if !frozen_by = `None && now + config.reconverge_budget < config.horizon then
-            probe := Some (now, ref [])
+            probe := Some (now, Monitor.Probe.start ~at:(float_of_int now))
         in
 
         let freeze now ~owner ~reason =
@@ -218,8 +233,8 @@ let run ?obs ?engine ?on_progress config =
           frozen_by := owner;
           incr safe_entries;
           abandon_probe ();
-          res_bad := 0;
-          path_bad := 0
+          Monitor.Streak.reset res_streak;
+          Monitor.Streak.reset path_streak
         in
         let unfreeze now =
           Kernel.set_frozen kernel false;
@@ -303,7 +318,10 @@ let run ?obs ?engine ?on_progress config =
                 in
                 let b = result.Lla_baseline.Centralized.utility in
                 let k_u = Kernel.utility kernel in
-                let drift = Float.abs (k_u -. b) /. Float.max 1. (Float.abs b) in
+                (match monitor with
+                | Some m -> Monitor.set_baseline m ~at:(float_of_int now) b
+                | None -> ());
+                let drift = Monitor.drift ~baseline:b k_u in
                 incr base_checks;
                 if drift > !worst_drift then worst_drift := drift;
                 if drift > config.drift_tolerance then
@@ -388,14 +406,21 @@ let run ?obs ?engine ?on_progress config =
         in
 
         let health now =
+          (* One sample per oracle pass: the probe, the streaming monitor
+             and both streaks read the same kernel state, and utility is
+             O(active tasks) — compute each readout once and share. *)
+          let res_ok = Kernel.resources_feasible kernel ~tol in
+          let path_ok = Kernel.paths_feasible kernel ~tol in
+          let need_u =
+            (match !probe with Some _ -> true | None -> false) || Option.is_some monitor
+          in
+          let u = if need_u then Kernel.utility kernel else nan in
           (match !probe with
-          | Some (start, samples) ->
-              samples := (float_of_int now, Kernel.utility kernel) :: !samples;
+          | Some (start, p) ->
+              Monitor.Probe.sample p ~at:(float_of_int now) ~value:u;
               if now - start >= config.reconverge_budget then begin
-                let target = match !samples with (_, u) :: _ -> u | [] -> Float.nan in
-                let series = List.rev !samples in
                 incr reconv;
-                (match Analyze.settling_time ~tolerance:0.02 ~target series with
+                (match Monitor.Probe.settling ~tolerance:0.02 p with
                 | Some ts ->
                     let settle = ts -. float_of_int start in
                     if settle > !worst_settle then worst_settle := settle;
@@ -412,29 +437,26 @@ let run ?obs ?engine ?on_progress config =
                 probe := None
               end
           | None -> ());
+          (match monitor with
+          | Some m ->
+              let at = float_of_int now in
+              Monitor.observe_utility m ~at u;
+              Monitor.observe_feasible m ~at ~resources_ok:res_ok ~paths_ok:path_ok;
+              Kernel.publish_metrics kernel ~at
+          | None -> ());
           if now >= !grace_until && !frozen_by = `None then begin
-            if Kernel.resources_feasible kernel ~tol then res_bad := 0
-            else begin
-              res_bad := !res_bad + config.health_every;
-              if !res_bad > config.sustain_budget then begin
-                violate now
-                  (Printf.sprintf "sustained Eq.3 infeasibility for ~%d ticks" !res_bad);
-                res_bad := 0
-              end
-            end;
-            if Kernel.paths_feasible kernel ~tol then path_bad := 0
-            else begin
-              path_bad := !path_bad + config.health_every;
-              if !path_bad > config.sustain_budget then begin
-                violate now
-                  (Printf.sprintf "sustained Eq.4 infeasibility for ~%d ticks" !path_bad);
-                path_bad := 0
-              end
-            end
+            (match Monitor.Streak.observe res_streak ~ok:res_ok ~step:config.health_every with
+            | Some streak ->
+                violate now (Printf.sprintf "sustained Eq.3 infeasibility for ~%d ticks" streak)
+            | None -> ());
+            match Monitor.Streak.observe path_streak ~ok:path_ok ~step:config.health_every with
+            | Some streak ->
+                violate now (Printf.sprintf "sustained Eq.4 infeasibility for ~%d ticks" streak)
+            | None -> ()
           end
           else begin
-            res_bad := 0;
-            path_bad := 0
+            Monitor.Streak.reset res_streak;
+            Monitor.Streak.reset path_streak
           end
         in
 
@@ -546,6 +568,8 @@ let run ?obs ?engine ?on_progress config =
             final_utility = Kernel.utility kernel;
             final_feasible = Kernel.feasible_within kernel ~tol;
             final_active_tasks = Kernel.n_active_tasks kernel;
+            alerts_raised = (match monitor with Some m -> Monitor.alerts_raised m | None -> 0);
+            alerts_cleared = (match monitor with Some m -> Monitor.alerts_cleared m | None -> 0);
           }
 
 let render r =
@@ -563,6 +587,8 @@ let render r =
     "  oracles: %d reconvergence episodes (worst settle %.0f ticks), %d baseline checks (worst \
      drift %.4f)\n"
     r.reconverge_episodes r.worst_settle_ticks r.baseline_checks r.worst_drift;
+  if r.alerts_raised > 0 || r.alerts_cleared > 0 then
+    Printf.bprintf b "  alerts: %d raised, %d cleared\n" r.alerts_raised r.alerts_cleared;
   Printf.bprintf b "  final: utility %.3f, feasible %b, %d active tasks\n" r.final_utility
     r.final_feasible r.final_active_tasks;
   if r.violation_count = 0 then Buffer.add_string b "  violations: none"

@@ -100,10 +100,13 @@ type report = {
   final_utility : float;
   final_feasible : bool;
   final_active_tasks : int;
+  alerts_raised : int;  (** streaming-monitor raise transitions; 0 without [?monitor] *)
+  alerts_cleared : int;
 }
 
 val run :
   ?obs:Lla_obs.t ->
+  ?monitor:Lla_obs.Monitor.t ->
   ?engine:Lla_runtime.Engine.t ->
   ?on_progress:(tick:int -> unit) ->
   config ->
@@ -113,6 +116,17 @@ val run :
     in the trace ([Watchdog_trip], [Safe_mode_entered]/[Exited],
     ["soak.degrade"]/["soak.recover"]/["soak.chaos_window"] notes) —
     attach an {!Lla_obs.Rotate} sink for disk-bounded capture.
+
+    With [?monitor], the harness feeds the streaming monitor at the
+    health cadence (kernel utility + the Eq. 3/4 feasibility halves),
+    refreshes the kernel gauges ({!Lla_scale.Kernel.publish_metrics})
+    and hands it every {!Lla_baseline} checkpoint as the drift
+    reference; alert transitions are emitted into the [?obs] trace. The
+    rolling-health oracles themselves are built on the same
+    {!Lla_obs.Monitor} primitives ([Streak] for the sustained Eq. 3/4
+    budgets, [Probe] for reconvergence settling), so judged behaviour
+    is identical with or without a monitor attached — feeding it only
+    reads kernel state.
 
     With [?engine], the tick loop runs as scheduled events on the
     engine's shard-0 core (1 tick = 1 ms of engine time) instead of a

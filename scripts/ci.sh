@@ -86,3 +86,18 @@ echo "ci: $total tests run (floor $floor)"
 # stop-the-world GC rendezvous off the critical path; OCaml 5 only
 # reads it at startup, hence the env var.
 OCAMLRUNPARAM='s=8M' ./_build/default/bench/main.exe --json _build parallel-smoke
+
+# Streaming-monitor smoke: live-monitoring cost on the 10k scale
+# scenario. Per-tick kernel cost and per-feed monitor cost are measured
+# separately where each is stable (an A/B wall diff of two ~100 ms runs
+# cannot resolve microseconds on a shared box); the gate is the ratio:
+# monitor time per 47-tick health cadence window must stay under 5% of
+# kernel time for the same window.
+./_build/default/bench/main.exe --json _build monitor-smoke
+
+# Perf-regression gate over the committed BENCH history: every fresh
+# smoke snapshot written above is diffed against its committed
+# counterpart at the repo root. Structural keys must match exactly;
+# throughput keys get a tolerance band and are only judged when the
+# "cores" stamp matches the recording host.
+scripts/bench_compare _build

@@ -159,6 +159,57 @@ let test_domains_matches_sim () =
         (Float.abs (dom.utility -. sim.utility) <= 1e-6))
     [ 1; 2; 4 ]
 
+(* The sharded metrics registries: a >= 2-domain deployment keeps one
+   private registry per shard and merges on read. On a deterministic
+   workload over the zero-fault constant-delay transport, the merged
+   view must agree with a single-registry sim run — counters exactly,
+   the latency histogram in count and (to float-sum rounding) in sum. *)
+let test_merged_registry_matches_single () =
+  let module Metrics = Lla_obs.Metrics in
+  let duration = 8_000. in
+  let tconfig = { Transport.default_config with Transport.seed = 5 } in
+  let run engine_h =
+    let obs = Lla_obs.create ~spans:true () in
+    let dist = Distributed.create_on ~obs ~transport_config:tconfig engine_h workload in
+    Distributed.run dist ~duration;
+    Distributed.stop dist;
+    Reng.drain engine_h;
+    (Distributed.merged_metrics dist, Distributed.shard_count dist)
+  in
+  let single, n_single = run (Reng.sim ()) in
+  let eng = Reng.domains ~domains:2 () in
+  let multi, n_multi = run eng in
+  Reng.shutdown eng;
+  Alcotest.(check int) "sim path is one shard" 1 n_single;
+  Alcotest.(check bool) "domains path is >= 2 shards" true (n_multi >= 2);
+  List.iter
+    (fun name ->
+      match (Metrics.find_counter single name, Metrics.find_counter multi name) with
+      | Some a, Some b ->
+        Alcotest.(check int) (name ^ ": merged == single") (Metrics.value a) (Metrics.value b)
+      | None, None -> ()
+      | Some _, None -> Alcotest.fail (name ^ " missing from the merged registry")
+      | None, Some _ -> Alcotest.fail (name ^ " missing from the single registry"))
+    [
+      "lla_runtime_messages_total";
+      "lla_runtime_price_rounds_total";
+      "lla_runtime_allocation_rounds_total";
+      "lla_runtime_guard_events_total";
+      "lla_runtime_warm_restores_total";
+      "lla_runtime_cold_restarts_total";
+    ];
+  match
+    (Metrics.find_histogram single "lla_control_latency_ms",
+     Metrics.find_histogram multi "lla_control_latency_ms")
+  with
+  | Some a, Some b ->
+    Alcotest.(check bool) "latency histogram has samples" true (Metrics.histogram_count a > 0);
+    Alcotest.(check int) "latency histogram count: merged == single" (Metrics.histogram_count a)
+      (Metrics.histogram_count b);
+    Alcotest.(check (float 1e-6)) "latency histogram sum: merged == single"
+      (Metrics.histogram_sum a) (Metrics.histogram_sum b)
+  | _ -> Alcotest.fail "lla_control_latency_ms missing from a registry"
+
 let fault_window ~seed dist =
   let drop = 0.05 +. (0.05 *. float_of_int (seed mod 4)) in
   let faults = { Transport.no_faults with Transport.drop; reorder = 0.2; reorder_spread = 4. } in
@@ -356,6 +407,8 @@ let () =
           Alcotest.test_case "settled allocation matches sim (1/2/4)" `Slow
             test_domains_matches_sim;
           QCheck_alcotest.to_alcotest battery;
+          Alcotest.test_case "merged metrics registry matches single-shard" `Slow
+            test_merged_registry_matches_single;
           Alcotest.test_case "span oracle order-sensitivity repro" `Slow
             test_span_oracle_order_sensitivity;
         ] );

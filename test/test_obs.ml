@@ -172,6 +172,41 @@ let test_expose_format () =
   Alcotest.(check bool) "TYPE line" true (contains "# TYPE events_total counter");
   Alcotest.(check bool) "sample line" true (contains "events_total{kind=\"a\"} 7")
 
+(* A scraper must never see a raw newline, quote or backslash escape its
+   context: label values escape all three, HELP text escapes backslash
+   and newline (quotes are legal there). Hostile inputs on both. *)
+let test_expose_hostile_labels () =
+  let m = Metrics.create () in
+  let c =
+    Metrics.counter m
+      ~help:"first line\nsecond \\ line"
+      ~labels:[ ("path", "a\\b"); ("msg", "say \"hi\"\nbye") ]
+      "hostile_total"
+  in
+  Metrics.incr c;
+  let text = Metrics.expose m in
+  let contains needle =
+    let n = String.length needle in
+    let rec go i = i + n <= String.length text && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "HELP escapes newline and backslash" true
+    (contains "# HELP hostile_total first line\\nsecond \\\\ line");
+  (* Labels are normalized to key order, so msg sorts before path. *)
+  Alcotest.(check bool) "label values escape quote, newline, backslash" true
+    (contains "hostile_total{msg=\"say \\\"hi\\\"\\nbye\",path=\"a\\\\b\"} 1");
+  (* No physical line of the exposition may contain an unescaped quote
+     run-off: every line must parse as comment or name{labels} value. *)
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         if line <> "" && line.[0] <> '#' then
+           Alcotest.(check bool)
+             (Printf.sprintf "sample line has even quote count: %s" line)
+             true
+             (let q = ref 0 in
+              String.iteri (fun i ch -> if ch = '"' && (i = 0 || line.[i - 1] <> '\\') then incr q) line;
+              !q mod 2 = 0))
+
 (* ------------------------------------------------------------------ *)
 (* Trace ring                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -555,6 +590,8 @@ let () =
           Alcotest.test_case "histogram summary" `Quick test_histogram_summary;
           Alcotest.test_case "degenerate histograms" `Quick test_quantile_degenerate_histograms;
           Alcotest.test_case "prometheus exposition" `Quick test_expose_format;
+          Alcotest.test_case "exposition survives hostile labels and help" `Quick
+            test_expose_hostile_labels;
         ] );
       ( "trace",
         [

@@ -181,6 +181,8 @@ let gen_event =
       (fun st -> Trace.Health_transition { endpoint = s st; alive = b st });
       (fun st -> Trace.Span { span = i st; parent = i st; trace = i st; kind = s st; actor = s st });
       (fun st -> Trace.Note { name = s st; value = f st });
+      (fun st -> Trace.Alert_raised { alert = s st; severity = s st; value = f st });
+      (fun st -> Trace.Alert_cleared { alert = s st; value = f st });
     ]
 
 let gen_record =
