@@ -698,6 +698,198 @@ let run_soak_smoke () =
   soak_bench ~name:"soak_smoke" ~config ~gate:true ()
 
 (* ------------------------------------------------------------------ *)
+(* Crash-recovery smoke (BENCH_recovery_smoke.json)                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Warm-vs-cold recovery on the scale kernel with a real file-backed
+   journal: converge, journal the iterate, crash, and compare
+   ticks-to-feasible restarting from scratch (cold) against restarting
+   from the replayed journal record (warm). The gate requires warm to
+   beat cold strictly, plus a forced torn-write drill that corrupts the
+   first journal record on disk — recovery must degrade to a cold
+   restart (valid-prefix replay finds nothing), never raise. Journal
+   throughput and replay latency are snapshot alongside. The segment cap
+   is raised so the whole journal stays in one segment — the torn drill
+   corrupts byte 0, and rotated segments would (correctly!) survive
+   that and hand recovery an older good record. *)
+let run_recovery_smoke () =
+  let module K = Lla_scale.Kernel in
+  let module J = Lla_durable.Journal in
+  let module R = Lla_durable.Recovery in
+  let module Jsonl = Lla_obs.Jsonl in
+  let subtasks = 2_000 and seed = 42 in
+  print_string
+    (Lla_experiments.Report.header
+       (Printf.sprintf "Crash recovery smoke (%d subtasks, seed %d, file journal)" subtasks seed));
+  let workload =
+    Lla_scale.Generator.generate ~params:(Lla_scale.Generator.sized ~subtasks ()) ~seed ()
+  in
+  let kernel =
+    match K.create ~config:K.scale_config workload with Ok k -> k | Error e -> failwith e
+  in
+  let budget = 200_000 in
+  let solve_ticks () =
+    let t0 = K.iteration kernel in
+    match K.solve kernel ~max_iterations:(t0 + budget) with
+    | Some final -> final - t0
+    | None -> failwith "recovery smoke: kernel did not converge within the tick budget"
+  in
+  (* ticks until Eq. 3/4 holds again — the recovery metric; [solve]'s
+     convergence window would floor both restarts at [window] ticks and
+     mask the warm advantage *)
+  let ticks_to_feasible () =
+    let rec go n =
+      if n > 10_000 then failwith "recovery smoke: not feasible within 10k ticks"
+      else begin
+        K.step kernel;
+        if K.feasible kernel then n else go (n + 1)
+      end
+    in
+    go 1
+  in
+  let initial_ticks = solve_ticks () in
+  (* journal the converged iterate with the soak harness's codec *)
+  let floats a = Jsonl.Arr (List.map (fun x -> Jsonl.Num x) (Array.to_list a)) in
+  let kernel_line () =
+    Jsonl.to_string
+      (Jsonl.Obj
+         [
+           ("kind", Jsonl.Str "kernel");
+           ("at", Jsonl.Num (float_of_int (K.iteration kernel)));
+           ("iteration", Jsonl.Num (float_of_int (K.iteration kernel)));
+           ("lat", floats (K.lat_array kernel));
+           ("mu", floats (K.mu_array kernel));
+           ("lambda", floats (K.lambda_array kernel));
+         ])
+  in
+  let float_array_field name json =
+    match Option.bind (Jsonl.member name json) Jsonl.arr with
+    | None -> None
+    | Some items ->
+      let rec collect acc = function
+        | [] -> Some (Array.of_list (List.rev acc))
+        | item :: rest -> (
+          match Jsonl.num item with Some v -> collect (v :: acc) rest | None -> None)
+      in
+      collect [] items
+  in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "lla_bench_recovery" in
+  (if Sys.file_exists dir then
+     Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir));
+  let journal =
+    J.create
+      ~config:{ J.default_config with J.max_segment_bytes = 64 * 1024 * 1024 }
+      (J.Store.file ~dir)
+  in
+  let line = kernel_line () in
+  let record_bytes = String.length line in
+  let appends = 64 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to appends do
+    J.append journal line
+  done;
+  J.sync journal;
+  let append_s = Unix.gettimeofday () -. t0 in
+  let journal_bytes = J.bytes_written journal in
+  let mb_per_s =
+    if append_s > 0. then float_of_int journal_bytes /. 1e6 /. append_s else 0.
+  in
+  (* cold: RAM gone, nothing to replay *)
+  K.crash_reset kernel;
+  let cold_ticks = ticks_to_feasible () in
+  (* warm: RAM gone, replay the journal and restore the last good record *)
+  K.crash_reset kernel;
+  let latest = ref None in
+  let apply line =
+    match Jsonl.parse line with
+    | Error _ -> false
+    | Ok json -> (
+      match
+        ( float_array_field "lat" json,
+          float_array_field "mu" json,
+          float_array_field "lambda" json )
+      with
+      | Some lat, Some mu, Some lambda ->
+        latest := Some (lat, mu, lambda);
+        true
+      | _ -> false)
+  in
+  let t0 = Unix.gettimeofday () in
+  let report = R.replay journal ~apply in
+  let replay_ms = 1000. *. (Unix.gettimeofday () -. t0) in
+  let restored =
+    match !latest with
+    | None -> false
+    | Some (lat, mu, lambda) -> (
+      match K.restore_iterate kernel ~lat ~mu ~lambda with Ok () -> true | Error _ -> false)
+  in
+  let warm_ticks = ticks_to_feasible () in
+  Printf.printf
+    "  converge %d ticks; crash: cold %d ticks, warm %d ticks (%d records replayed, %.2f ms)\n"
+    initial_ticks cold_ticks warm_ticks report.R.applied replay_ms;
+  Printf.printf "  journal: %d appends, %d bytes (%.1f kB/record), %.1f MB/s\n" appends
+    journal_bytes
+    (float_of_int record_bytes /. 1024.)
+    mb_per_s;
+  (* forced torn-write drill: corrupt the first record on disk; replay
+     must find no valid prefix record and degrade to a cold restart *)
+  let store = J.store journal in
+  let active = J.active_path journal in
+  let torn_applied, torn_warm =
+    match J.Store.read store active with
+    | None -> failwith "recovery smoke: active segment vanished"
+    | Some contents ->
+      J.Store.write store active (String.sub contents 0 (Stdlib.min 5 (String.length contents)));
+      K.crash_reset kernel;
+      latest := None;
+      let r = R.replay journal ~apply in
+      let warm =
+        match !latest with
+        | None -> false
+        | Some (lat, mu, lambda) -> (
+          match K.restore_iterate kernel ~lat ~mu ~lambda with Ok () -> true | Error _ -> false)
+      in
+      ignore (ticks_to_feasible ());
+      (r.R.applied, warm)
+  in
+  Printf.printf "  torn drill: %d records replayed, %s restart\n" torn_applied
+    (if torn_warm then "warm" else "cold");
+  let failed = ref false in
+  let fail msg =
+    Printf.printf "  FAIL: %s\n" msg;
+    failed := true
+  in
+  if not restored then fail "warm restore refused the journaled record";
+  if report.R.applied < appends then
+    fail (Printf.sprintf "replay applied %d of %d records" report.R.applied appends);
+  if warm_ticks >= cold_ticks then
+    fail
+      (Printf.sprintf "warm recovery (%d ticks) not faster than cold (%d ticks)" warm_ticks
+         cold_ticks);
+  if torn_warm then fail "torn journal still restored warm (corruption not detected)";
+  if torn_applied <> 0 then
+    fail (Printf.sprintf "torn drill replayed %d records from a corrupt-at-0 segment" torn_applied);
+  if J.wedged journal then fail "journal wedged on a healthy file store";
+  write_json ~name:"recovery_smoke"
+    [
+      ("name", "\"recovery_smoke\"");
+      ("ocaml", Printf.sprintf "%S" Sys.ocaml_version);
+      ("seed", string_of_int seed);
+      ("subtasks", string_of_int subtasks);
+      ("initial_ticks", string_of_int initial_ticks);
+      ("cold_ticks", string_of_int cold_ticks);
+      ("warm_ticks", string_of_int warm_ticks);
+      ("records", string_of_int report.R.applied);
+      ("journal_bytes", string_of_int journal_bytes);
+      ("journal_mb_per_s", Printf.sprintf "%.1f" mb_per_s);
+      ("replay_ms", Printf.sprintf "%.2f" replay_ms);
+      ("torn_drill", Printf.sprintf "%S" (if torn_warm then "warm" else "cold"));
+      ("cores", string_of_int (Domain.recommended_domain_count ()));
+    ];
+  if !failed then exit 1;
+  print_string "  PASS\n"
+
+(* ------------------------------------------------------------------ *)
 (* Streaming-monitor overhead (BENCH_monitor_smoke.json)               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1001,6 +1193,7 @@ let experiments =
     ("scale-smoke", run_scale_smoke);
     ("soak", run_soak);
     ("soak-smoke", run_soak_smoke);
+    ("recovery-smoke", run_recovery_smoke);
     ("monitor-smoke", run_monitor_smoke);
     ("parallel", run_parallel);
     ("parallel-smoke", run_parallel_smoke);

@@ -932,8 +932,37 @@ let soak_cmd =
       value & opt int 3
       & info [ "retain" ] ~docv:"N" ~doc:"Rotated trace segments to keep (with $(b,--trace-out)).")
   in
+  let crash_every =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crash-every" ] ~docv:"TICKS"
+          ~doc:
+            "Ticks between whole-node crash drills ($(b,0) disables): the kernel iterate is \
+             wiped and the node restarts warm from the journal's last good record (cold \
+             without $(b,--journal)). Recovery must climb back to feasibility within the \
+             sustain budget.")
+  in
+  let journal_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"DIR"
+          ~doc:
+            "Write-ahead journal the live iterate is appended to (segments \
+             $(i,DIR)/journal.wal*, inspectable with $(b,lla journal)); crash drills replay \
+             it for warm recovery.")
+  in
+  let journal_every =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "journal-every" ] ~docv:"TICKS"
+          ~doc:
+            "Ticks between journal appends (default 250 with $(b,--journal), else 0).")
+  in
   let run verbose smoke subtasks resources seed horizon churn chaos_every ceilings trace_out retain
-      engine domains =
+      crash_every journal_dir journal_every engine domains =
     setup_logs verbose;
     let base = if smoke then Soak.smoke_config else Soak.default_config in
     let ceilings =
@@ -964,7 +993,17 @@ let soak_cmd =
           | None -> base.Soak.chaos
           | Some every -> { base.Soak.chaos with Lla_soak.Rota.every });
         ceilings;
+        crash_every = Option.value crash_every ~default:base.Soak.crash_every;
+        journal_every =
+          Option.value journal_every
+            ~default:(if journal_dir <> None then 250 else base.Soak.journal_every);
       }
+    in
+    let journal =
+      Option.map
+        (fun dir ->
+          Lla_durable.Journal.create (Lla_durable.Journal.Store.file ~dir))
+        journal_dir
     in
     let obs, rotator =
       match trace_out with
@@ -988,7 +1027,7 @@ let soak_cmd =
       | `Sim -> None
       | `Domains -> Some (Lla_runtime.Engine.domains ~domains ())
     in
-    let result = Soak.run ?obs ?engine:eng ~on_progress config in
+    let result = Soak.run ?obs ?engine:eng ?journal ~on_progress config in
     Option.iter Lla_runtime.Engine.shutdown eng;
     (match result with
     | Error e -> or_exit (Error (`Msg e))
@@ -1013,7 +1052,57 @@ let soak_cmd =
           violations).")
     Term.(
       const run $ verbose_arg $ smoke $ subtasks $ resources_arg $ seed_arg ~doc:"Soak seed."
-      $ horizon $ churn $ chaos_every $ ceilings $ trace_out $ retain $ engine_arg $ domains_arg)
+      $ horizon $ churn $ chaos_every $ ceilings $ trace_out $ retain $ crash_every $ journal_dir
+      $ journal_every $ engine_arg $ domains_arg)
+
+(* --- journal inspection ----------------------------------------------- *)
+
+let journal_cmd =
+  let module J = Lla_durable.Journal in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"Journal segment ($(i,*.wal), $(i,*.wal.N)) or snapshot ($(i,*.snap)) to inspect.")
+  in
+  let dump_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "records" ] ~docv:"N" ~doc:"Record headers to list (default 16; $(b,0) = none).")
+  in
+  let run verbose file dump =
+    setup_logs verbose;
+    let contents =
+      try In_channel.with_open_bin file In_channel.input_all
+      with Sys_error e -> or_exit (Error (`Msg e))
+    in
+    let _payloads, scan = J.decode contents in
+    let n = List.length scan.J.entries in
+    Printf.printf "%s: %d bytes, %d valid records\n" file scan.J.total_bytes n;
+    if dump > 0 && n > 0 then begin
+      Printf.printf "%10s %10s %10s\n" "offset" "length" "crc32";
+      List.iteri
+        (fun i (e : J.entry) ->
+          if i < dump then Printf.printf "%10d %10d   0x%08x\n" e.J.offset e.J.length e.J.crc)
+        scan.J.entries;
+      if n > dump then Printf.printf "  (+%d more)\n" (n - dump)
+    end;
+    Printf.printf "recoverable prefix: %d/%d bytes\n" scan.J.good_bytes scan.J.total_bytes;
+    match scan.J.corrupt_at with
+    | None -> print_endline "no corruption"
+    | Some off ->
+      Printf.printf "CORRUPT at offset %d: %s\n" off
+        (Option.value scan.J.corrupt_reason ~default:"unknown");
+      Stdlib.exit 1
+  in
+  Cmd.v
+    (Cmd.info "journal"
+       ~doc:
+         "Inspect a write-ahead journal file: list record headers, verify every CRC, and \
+          report the recoverable prefix. Exit 1 when a corrupt suffix is found (recovery \
+          would truncate it), mirroring $(b,chaos-replay)'s convention.")
+    Term.(const run $ verbose_arg $ file_arg $ dump_arg)
 
 (* --- streaming telemetry commands ------------------------------------ *)
 
@@ -1374,6 +1463,7 @@ let () =
             generate_cmd;
             solve_scale_cmd;
             soak_cmd;
+            journal_cmd;
             top_cmd;
             serve_metrics_cmd;
           ]))

@@ -3,6 +3,7 @@ module Reng = Lla_runtime.Engine
 module Transport = Lla_transport.Transport
 module Distributed = Lla_runtime.Distributed
 module Rng = Lla_stdx.Rng
+module Journal = Lla_durable.Journal
 
 type engine = [ `Sim | `Domains of int ]
 
@@ -64,6 +65,21 @@ let step_policy_of_setup (s : Schedule.setup) =
 
 let ( let* ) = Result.bind
 
+(* A schedule exercising the durability axis gets a write-ahead journal
+   on a seeded faulty store (the storage-fault windows need a store to
+   inject into, and a node crash needs something to recover from).
+   Journal-free schedules get no journal at all, so every pre-durability
+   schedule replays byte-identically. *)
+let uses_durability (sched : Schedule.t) =
+  List.exists
+    (function Schedule.Node_crash _ | Schedule.Storage_faults _ -> true | _ -> false)
+    sched.Schedule.events
+
+let journal_of_schedule ~obs (sched : Schedule.t) =
+  if uses_durability sched && sched.Schedule.setup.Schedule.checkpoints then
+    Some (Journal.create ~obs (Journal.Store.faulty ~seed:sched.Schedule.setup.Schedule.transport_seed ()))
+  else None
+
 let validate_indices (problem : Lla.Problem.t) (sched : Schedule.t) =
   let n_res = Lla.Problem.n_resources problem in
   let n_tasks = Lla.Problem.n_tasks problem in
@@ -90,7 +106,9 @@ let validate_indices (problem : Lla.Problem.t) (sched : Schedule.t) =
           | Schedule.Outage { target = Schedule.Controller i; _ } -> check "controller" i n_tasks
           | Schedule.Price_poison { resource; _ } -> check "resource" resource n_res
           | Schedule.Error_spike { subtask; _ } -> check "subtask" subtask n_sub
-          | Schedule.Faults _ | Schedule.Jitter _ -> Ok ()
+          | Schedule.Faults _ | Schedule.Jitter _ | Schedule.Node_crash _
+          | Schedule.Storage_faults _ ->
+              Ok ()
         in
         go rest
   in
@@ -173,6 +191,7 @@ let finish ~oracle ~merged ~sched ~workload ~problem ~dist ~records ~outages ~en
         (relative_excess l problem.Lla.Problem.paths.(p).Lla.Problem.critical_time)
   done;
   let setup = sched.Schedule.setup in
+  let cs = Distributed.crash_stats dist in
   let outcome =
     {
       Oracle.records;
@@ -185,9 +204,22 @@ let finish ~oracle ~merged ~sched ~workload ~problem ~dist ~records ~outages ~en
       warm_restores = Distributed.warm_restores dist;
       cold_restarts = Distributed.cold_restarts dist;
       outages;
+      crash_restores = cs.Distributed.warm + cs.Distributed.cold;
       checkpoints_enabled = setup.Schedule.checkpoints;
       max_share_violation = !max_share_violation;
       max_path_violation = !max_path_violation;
+      recovery =
+        Some
+          {
+            Oracle.crashes = cs.Distributed.crashes;
+            replayed = cs.Distributed.replayed;
+            refused = cs.Distributed.refused;
+            crash_warm = cs.Distributed.warm;
+            crash_cold = cs.Distributed.cold;
+            resurrected = cs.Distributed.resurrected;
+            idempotent = cs.Distributed.idempotent;
+            journal_enabled = Distributed.journal_enabled dist;
+          };
     }
   in
   Ok { schedule = sched; outcome; verdicts = Oracle.evaluate ~config:oracle ~merged outcome }
@@ -209,10 +241,12 @@ let run_schedule_domains ~oracle ~domains (sched : Schedule.t) =
   let config =
     { Distributed.default_config with Distributed.step_policy = step_policy_of_setup setup }
   in
+  let journal = journal_of_schedule ~obs sched in
   let dist =
     match resilience_of_setup setup with
     | Some resilience ->
-        Distributed.create_on ~obs ~config ~resilience ~transport_config:tconfig engine_h workload
+        Distributed.create_on ~obs ~config ~resilience ?journal ~transport_config:tconfig engine_h
+          workload
     | None -> Distributed.create_on ~obs ~config ~transport_config:tconfig engine_h workload
   in
   let result =
@@ -246,7 +280,19 @@ let run_schedule_domains ~oracle ~domains (sched : Schedule.t) =
             Distributed.schedule_injection dist ~at (fun () ->
                 Distributed.set_error_offset dist sid magnitude);
             Distributed.schedule_injection dist ~at:(at +. duration) (fun () ->
-                Distributed.set_error_offset dist sid 0.))
+                Distributed.set_error_offset dist sid 0.)
+        | Schedule.Node_crash { at } ->
+            (* barrier op: every shard is at rest when the node dies *)
+            Distributed.schedule_injection dist ~at (fun () -> Distributed.crash_restart dist)
+        | Schedule.Storage_faults { at; duration; storage } -> (
+            match journal with
+            | None -> ()
+            | Some j ->
+                let store = Journal.store j in
+                Distributed.schedule_injection dist ~at (fun () ->
+                    Journal.Store.set_faults store storage);
+                Distributed.schedule_injection dist ~at:(at +. duration) (fun () ->
+                    Journal.Store.set_faults store Journal.Store.no_faults)))
       sched.Schedule.events;
     Distributed.run dist ~duration:(Schedule.duration sched);
     Distributed.stop dist;
@@ -283,9 +329,11 @@ let run_schedule ?(oracle = Oracle.default_config) ?(engine = (`Sim : engine))
   let config =
     { Distributed.default_config with Distributed.step_policy = step_policy_of_setup setup }
   in
+  let journal = journal_of_schedule ~obs sched in
   let dist =
     match resilience_of_setup setup with
-    | Some resilience -> Distributed.create ~obs ~config ~resilience ~transport engine workload
+    | Some resilience ->
+        Distributed.create ~obs ~config ~resilience ?journal ~transport engine workload
     | None -> Distributed.create ~obs ~config ~transport engine workload
   in
   let agent_ep i = Distributed.agent_endpoint dist problem.Lla.Problem.resource_ids.(i) in
@@ -316,7 +364,18 @@ let run_schedule ?(oracle = Oracle.default_config) ?(engine = (`Sim : engine))
           ignore (Engine.schedule engine ~at (fun _ -> Distributed.set_error_offset dist sid magnitude));
           ignore
             (Engine.schedule engine ~at:(at +. duration) (fun _ ->
-                 Distributed.set_error_offset dist sid 0.)))
+                 Distributed.set_error_offset dist sid 0.))
+      | Schedule.Node_crash { at } ->
+          ignore (Engine.schedule engine ~at (fun _ -> Distributed.crash_restart dist))
+      | Schedule.Storage_faults { at; duration; storage } -> (
+          match journal with
+          | None -> ()
+          | Some j ->
+              let store = Journal.store j in
+              ignore (Engine.schedule engine ~at (fun _ -> Journal.Store.set_faults store storage));
+              ignore
+                (Engine.schedule engine ~at:(at +. duration) (fun _ ->
+                     Journal.Store.set_faults store Journal.Store.no_faults))))
     sched.Schedule.events;
   Distributed.run dist ~duration:(Schedule.duration sched);
   Distributed.stop dist;
@@ -368,7 +427,7 @@ let generate ?(fragile = false) ~seed () =
   let n_events = 1 + Rng.int rng ~bound:4 in
   let events =
     List.init n_events (fun _ ->
-        match Rng.int rng ~bound:6 with
+        match Rng.int rng ~bound:8 with
         | 0 ->
             let at, duration = window rng in
             Schedule.Faults
@@ -403,7 +462,7 @@ let generate ?(fragile = false) ~seed () =
             let at, _ = window rng in
             Schedule.Price_poison
               { at; resource = Rng.int rng ~bound:n_res; value = Rng.pick rng poison_values }
-        | _ ->
+        | 5 ->
             let at, _ = window rng in
             let duration = Rng.uniform rng ~lo:400. ~hi:3_000. in
             Schedule.Error_spike
@@ -412,6 +471,28 @@ let generate ?(fragile = false) ~seed () =
                 duration;
                 subtask = Rng.int rng ~bound:n_sub;
                 magnitude = Rng.uniform rng ~lo:0.5 ~hi:6.;
+              }
+        | 6 ->
+            let at, _ = window rng in
+            Schedule.Node_crash { at }
+        | _ ->
+            (* short_read stays off here: a short read during recovery
+               can legitimately truncate past durable bytes, which makes
+               double-replay comparison meaningless; the unit battery
+               exercises it instead *)
+            let at, duration = window rng in
+            Schedule.Storage_faults
+              {
+                at;
+                duration;
+                storage =
+                  {
+                    Journal.Store.torn_write = Rng.uniform rng ~lo:0. ~hi:1.;
+                    bit_flip = Rng.uniform rng ~lo:0. ~hi:0.08;
+                    drop_sync = Rng.uniform rng ~lo:0. ~hi:0.4;
+                    short_read = 0.;
+                    fail_write = Rng.uniform rng ~lo:0. ~hi:0.05;
+                  };
               })
   in
   let setup =
@@ -480,6 +561,27 @@ let simplify_event (e : Schedule.event) =
            else []);
           (if duration > 400. then
              [ Schedule.Error_spike { at; duration = halved duration; subtask; magnitude } ]
+           else []);
+        ]
+  | Schedule.Node_crash _ -> []
+  | Schedule.Storage_faults { at; duration; storage } ->
+      let with_s s = Schedule.Storage_faults { at; duration; storage = s } in
+      List.concat
+        [
+          (if duration > 500. then
+             [ Schedule.Storage_faults { at; duration = halved duration; storage } ]
+           else []);
+          (if storage.Journal.Store.bit_flip > 0. then
+             [ with_s { storage with Journal.Store.bit_flip = 0. } ]
+           else []);
+          (if storage.Journal.Store.fail_write > 0. then
+             [ with_s { storage with Journal.Store.fail_write = 0. } ]
+           else []);
+          (if storage.Journal.Store.drop_sync > 0.02 then
+             [ with_s { storage with Journal.Store.drop_sync = halved storage.Journal.Store.drop_sync } ]
+           else []);
+          (if storage.Journal.Store.torn_write > 0.02 then
+             [ with_s { storage with Journal.Store.torn_write = halved storage.Journal.Store.torn_write } ]
            else []);
         ]
 

@@ -19,6 +19,17 @@ let default_config =
     final_tolerance = 0.30;
   }
 
+type recovery_outcome = {
+  crashes : int;
+  replayed : int;
+  refused : int;
+  crash_warm : int;
+  crash_cold : int;
+  resurrected : int;
+  idempotent : bool;
+  journal_enabled : bool;
+}
+
 type outcome = {
   records : Lla_obs.Trace.record list;
   last_fault_end : float;
@@ -30,9 +41,11 @@ type outcome = {
   warm_restores : int;
   cold_restarts : int;
   outages : int;
+  crash_restores : int;
   checkpoints_enabled : bool;
   max_share_violation : float;
   max_path_violation : float;
+  recovery : recovery_outcome option;
 }
 
 type verdict = { oracle : string; violations : string list }
@@ -139,14 +152,39 @@ let no_lockout cfg o =
 let warm_restore_consistency o =
   let restores = o.warm_restores + o.cold_restarts in
   let vs = ref [] in
-  if restores <> o.outages then
+  (* node crashes restart every actor without an endpoint outage, so
+     their restores are accounted separately *)
+  if restores <> o.outages + o.crash_restores then
     vs :=
-      Printf.sprintf "restores (%d warm + %d cold) != endpoint outages (%d)" o.warm_restores
-        o.cold_restarts o.outages
+      Printf.sprintf "restores (%d warm + %d cold) != endpoint outages (%d) + crash restores (%d)"
+        o.warm_restores o.cold_restarts o.outages o.crash_restores
       :: !vs;
   if (not o.checkpoints_enabled) && o.warm_restores > 0 then
     vs := Printf.sprintf "%d warm restores with checkpointing disabled" o.warm_restores :: !vs;
   match !vs with [] -> pass "warm-restore-consistency" | vs -> fail "warm-restore-consistency" vs
+
+let recovery o =
+  match o.recovery with
+  | None -> pass "recovery"
+  | Some r ->
+      let vs = ref [] in
+      if r.resurrected > 0 then
+        vs :=
+          Printf.sprintf "%d actors resurrected non-finite state after a crash recovery"
+            r.resurrected
+          :: !vs;
+      if not r.idempotent then
+        vs := "journal double-replay restored different accepted/refused counts" :: !vs;
+      if (not r.journal_enabled) && r.crash_warm > 0 then
+        vs :=
+          Printf.sprintf "%d warm crash recoveries without a journal (refused state resurrected?)"
+            r.crash_warm
+          :: !vs;
+      if r.crash_warm > 0 && r.replayed = 0 then
+        vs :=
+          Printf.sprintf "%d warm crash recoveries but 0 journal records replayed" r.crash_warm
+          :: !vs;
+      match List.rev !vs with [] -> pass "recovery" | vs -> fail "recovery" vs
 
 let final_feasibility cfg o =
   let vs = ref [] in
@@ -171,6 +209,7 @@ let evaluate ?(config = default_config) ?(merged = false) o =
     reconvergence config o;
     no_lockout config o;
     warm_restore_consistency o;
+    recovery o;
     final_feasibility config o;
   ]
 

@@ -37,8 +37,15 @@
       after dwelling there for the last [lockout_window] ms — that is
       permanent degradation.
     - [warm-restore-consistency]: every actor restart produced exactly one
-      restore, warm or cold ([warm + cold = outages]); with checkpointing
-      disabled every restore is cold.
+      restore, warm or cold ([warm + cold = outages + crash_restores] —
+      a node crash restarts every actor without an endpoint outage);
+      with checkpointing disabled every restore is cold.
+    - [recovery]: crash-recovery hygiene, judged when the runner filled
+      {!outcome.recovery} (runs exercising {!Schedule.Node_crash}): no
+      actor resurrects non-finite state after a recovery, journal
+      double-replay restores identical accepted/refused counts
+      (idempotence), warm crash recoveries require a journal and at
+      least one replayed record. Vacuously passes otherwise.
     - [final-feasibility]: the enacted latency assignment at the end of
       the run satisfies Eq. 3/4 within [final_tolerance] — whatever mode
       the system landed in, the {e plant} must be left near-feasible.
@@ -65,6 +72,17 @@ type config = {
 
 val default_config : config
 
+type recovery_outcome = {
+  crashes : int;  (** whole-node crash drills executed. *)
+  replayed : int;  (** journal records accepted across recoveries. *)
+  refused : int;  (** journal records refused (non-finite, malformed). *)
+  crash_warm : int;  (** actors warm-restored after node crashes. *)
+  crash_cold : int;  (** actors cold-reset after node crashes. *)
+  resurrected : int;  (** actors left with non-finite state post-recovery. *)
+  idempotent : bool;  (** double-replay stability (see {!Lla_runtime.Distributed.crash_stats}). *)
+  journal_enabled : bool;
+}
+
 type outcome = {
   records : Lla_obs.Trace.record list;  (** complete trace (memory sink). *)
   last_fault_end : float;
@@ -76,10 +94,17 @@ type outcome = {
   warm_restores : int;
   cold_restarts : int;
   outages : int;  (** endpoint crashes over the whole run. *)
+  crash_restores : int;
+      (** actor restores attributable to whole-node crash drills
+          (crash_warm + crash_cold); 0 when the schedule has none. *)
   checkpoints_enabled : bool;
   max_share_violation : float;
       (** worst relative Eq. 3 excess of the final assignment (0 = feasible). *)
   max_path_violation : float;  (** worst relative Eq. 4 excess, same convention. *)
+  recovery : recovery_outcome option;
+      (** crash-drill accounting; [None] when the runner does not
+          exercise node crashes (the [recovery] oracle then passes
+          vacuously). *)
 }
 
 type verdict = { oracle : string; violations : string list }

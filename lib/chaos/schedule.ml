@@ -9,6 +9,8 @@ type event =
   | Outage of { at : float; duration : float; target : target }
   | Price_poison of { at : float; resource : int; value : float }
   | Error_spike of { at : float; duration : float; subtask : int; magnitude : float }
+  | Node_crash of { at : float }
+  | Storage_faults of { at : float; duration : float; storage : Lla_durable.Journal.Store.faults }
 
 type step =
   | Adaptive
@@ -49,7 +51,9 @@ let event_start = function
   | Partition { at; _ }
   | Outage { at; _ }
   | Price_poison { at; _ }
-  | Error_spike { at; _ } ->
+  | Error_spike { at; _ }
+  | Node_crash { at }
+  | Storage_faults { at; _ } ->
       at
 
 let event_end = function
@@ -57,9 +61,10 @@ let event_end = function
   | Jitter { at; duration; _ }
   | Partition { at; duration; _ }
   | Outage { at; duration; _ }
-  | Error_spike { at; duration; _ } ->
+  | Error_spike { at; duration; _ }
+  | Storage_faults { at; duration; _ } ->
       at +. duration
-  | Price_poison { at; _ } -> at
+  | Price_poison { at; _ } | Node_crash { at } -> at
 
 let last_fault_end t = List.fold_left (fun acc e -> Float.max acc (event_end e)) 0. t.events
 
@@ -102,7 +107,15 @@ let validate_event ~horizon e =
   | Error_spike { duration; subtask; magnitude; _ } ->
       check_nonneg "duration" duration;
       check_nonneg "spike magnitude" magnitude;
-      if subtask < 0 then invalid "Schedule.make: negative index %d" subtask);
+      if subtask < 0 then invalid "Schedule.make: negative index %d" subtask
+  | Node_crash _ -> ()
+  | Storage_faults { duration; storage = { torn_write; bit_flip; drop_sync; short_read; fail_write }; _ } ->
+      check_nonneg "duration" duration;
+      check_probability "torn_write" torn_write;
+      check_probability "bit_flip" bit_flip;
+      check_probability "drop_sync" drop_sync;
+      check_probability "short_read" short_read;
+      check_probability "fail_write" fail_write);
   ()
 
 (* Mirrors Lla.Step_size.split: one Split of two leaf policies, never
@@ -177,6 +190,19 @@ let json_of_event e =
           ("duration", Num duration);
           ("subtask", Num (float_of_int subtask));
           ("magnitude", Num magnitude);
+        ]
+  | Node_crash { at } -> Obj [ ("type", Str "node_crash"); ("at", Num at) ]
+  | Storage_faults { at; duration; storage = { torn_write; bit_flip; drop_sync; short_read; fail_write } } ->
+      Obj
+        [
+          ("type", Str "storage_faults");
+          ("at", Num at);
+          ("duration", Num duration);
+          ("torn_write", Num torn_write);
+          ("bit_flip", Num bit_flip);
+          ("drop_sync", Num drop_sync);
+          ("short_read", Num short_read);
+          ("fail_write", Num fail_write);
         ]
 
 let rec json_of_step =
@@ -323,6 +349,26 @@ let event_of_json j =
         let* subtask = int_field what "subtask" j in
         let* magnitude = num_field what "magnitude" j in
         Ok (Error_spike { at; duration; subtask; magnitude })
+    | "node_crash" ->
+        let* () = known_fields what [ "type"; "at" ] fields in
+        let* at = num_field what "at" j in
+        Ok (Node_crash { at })
+    | "storage_faults" ->
+        let* () =
+          known_fields what
+            [ "type"; "at"; "duration"; "torn_write"; "bit_flip"; "drop_sync"; "short_read"; "fail_write" ]
+            fields
+        in
+        let* at = num_field what "at" j in
+        let* duration = num_field what "duration" j in
+        let* torn_write = num_field what "torn_write" j in
+        let* bit_flip = num_field what "bit_flip" j in
+        let* drop_sync = num_field what "drop_sync" j in
+        let* short_read = num_field what "short_read" j in
+        let* fail_write = num_field what "fail_write" j in
+        Ok
+          (Storage_faults
+             { at; duration; storage = { torn_write; bit_flip; drop_sync; short_read; fail_write } })
     | other -> Error (Printf.sprintf "event: unknown type %S" other))
   | _ -> Error "event: not an object"
 
@@ -451,6 +497,10 @@ let pp_event ppf e =
   | Error_spike { at; duration; subtask; magnitude } ->
       Format.fprintf ppf "@[err-spike[%g, %g): offset[%d] <- %gms@]" at (at +. duration) subtask
         magnitude
+  | Node_crash { at } -> Format.fprintf ppf "@[crash     %g: whole node down, recover from journal@]" at
+  | Storage_faults { at; duration; storage = { torn_write; bit_flip; drop_sync; short_read; fail_write } } ->
+      Format.fprintf ppf "@[storage  [%g, %g): torn=%g flip=%g dropsync=%g shortread=%g enospc=%g@]" at
+        (at +. duration) torn_write bit_flip drop_sync short_read fail_write
 
 let pp ppf t =
   let rec step_string = function

@@ -1,0 +1,193 @@
+(** Append-only write-ahead journal with per-record CRCs.
+
+    The durability tier's write path: callers append opaque payload
+    records (one checkpoint slot per record, in practice the
+    {!Lla_runtime.Checkpoint} JSONL codec's lines), and the journal
+    frames each one as [length | crc32 | payload] on an append-only
+    segment. Segments rotate at a size cap with the {!Lla_obs.Rotate}
+    shifting idiom ([name.wal] active, [name.wal.1] the most recent
+    rotated, up to [retain]); {!snapshot} compacts the whole journal to
+    an atomically-replaced snapshot file plus an empty active segment.
+
+    Two storage backends share the {!Store} interface: a real
+    file-per-path backend ({!Store.file}) for actual durability, and an
+    in-memory {!Store.faulty} backend that models the page cache /
+    durable-media split and injects seeded, schedulable storage faults
+    in {!Lla_transport.Transport}'s style — torn writes at arbitrary
+    byte offsets, bit flips, dropped syncs, short reads and
+    ENOSPC-style write failures. With every fault probability at zero
+    the faulty store draws no randomness, so a zero-fault run is
+    bit-for-bit a faultless one.
+
+    Failure discipline: a write failure (ENOSPC) {e wedges} the journal
+    — further appends become no-ops and the system degrades to
+    cold-restart recovery — rather than raising into the control plane.
+    Never a crash.
+
+    With [?obs], journal activity lands in the [lla_journal_*] metrics
+    family (appends, bytes, syncs, rotations, snapshots, wedges);
+    without it the journal touches nothing observable (the standing
+    golden-trace guarantee). *)
+
+(** {1 CRC-32}
+
+    IEEE 802.3 reflected CRC-32 (the zlib/PNG polynomial), table-driven.
+    Exposed for the inspection CLI and the test suite. *)
+module Crc : sig
+  val string : ?off:int -> ?len:int -> string -> int
+  (** CRC-32 of a substring (default: the whole string), as a
+      non-negative int in [\[0, 2^32)]. *)
+end
+
+(** {1 Record framing} *)
+
+val encode_record : string -> string
+(** [length(u32 LE) | crc32(u32 LE) | payload]. *)
+
+val max_record_bytes : int
+(** Upper bound on an encoded payload length accepted by {!scan}
+    (16 MiB); a length field beyond it reads as corruption, so a torn
+    length prefix cannot make recovery attempt a gigabyte read. *)
+
+type entry = { offset : int; length : int; crc : int }
+(** One valid record located by {!scan}: byte offset of its header,
+    payload length, stored CRC. *)
+
+type scan = {
+  entries : entry list;  (** valid records, in file order. *)
+  good_bytes : int;  (** recoverable prefix length in bytes. *)
+  total_bytes : int;
+  corrupt_at : int option;  (** first corrupt byte offset, if any. *)
+  corrupt_reason : string option;  (** ["short header"], ["bad crc"], ... *)
+}
+
+val scan : string -> scan
+(** Walk a segment's raw contents record by record, stopping at the
+    first corruption (short header, absurd length, truncated payload or
+    CRC mismatch). Total function: never raises, any byte string yields
+    a valid prefix. *)
+
+val decode : string -> string list * scan
+(** {!scan} plus the decoded payloads of the valid prefix. *)
+
+(** {1 Storage backends} *)
+module Store : sig
+  type faults = {
+    torn_write : float;
+        (** probability that, at {!crash} time, a prefix of the unsynced
+            tail survives cut at a uniformly random byte offset (instead
+            of the tail vanishing cleanly). *)
+    bit_flip : float;  (** probability an append lands with one bit flipped. *)
+    drop_sync : float;  (** probability a sync barrier is silently dropped. *)
+    short_read : float;  (** probability a read returns only a prefix. *)
+    fail_write : float;  (** probability an append fails ENOSPC-style. *)
+  }
+
+  val no_faults : faults
+
+  type t
+
+  val file : dir:string -> t
+  (** Real files under [dir] (created if missing). Appends go through
+      buffered channels; {!sync} flushes and [fsync]s. Atomic whole-file
+      writes use the [tmp]+[rename] idiom. {!crash} is a no-op (real
+      durability is the point). *)
+
+  val faulty : ?seed:int -> ?faults:faults -> unit -> t
+  (** In-memory model of a crash-prone disk: each path holds a durable
+      prefix plus an unsynced tail; {!sync} advances the durable
+      frontier (unless dropped), {!crash} discards the unsynced tail —
+      torn at a random byte offset with probability [torn_write] —
+      without touching durable bytes. Faults draw from a private seeded
+      stream (default seed 0); zero probabilities draw nothing. *)
+
+  val set_faults : t -> faults -> unit
+  (** Swap the live fault probabilities (schedulable storage-fault
+      windows). No-op on a file store.
+      @raise Invalid_argument on a probability outside [\[0,1]]. *)
+
+  val active_faults : t -> faults
+  (** Current probabilities ({!no_faults} on a file store). *)
+
+  val crash : t -> unit
+  (** Model a whole-process crash: unsynced bytes are lost (modulo a
+      torn surviving prefix). No-op on a file store. *)
+
+  val faults_injected : t -> int
+  (** Faults actually fired so far (0 on a file store). *)
+
+  (** {2 Path operations (used by {!Journal} and {!Recovery})} *)
+
+  val append : t -> string -> string -> (unit, string) result
+  (** [append t path data]: [Error] on an injected write failure. *)
+
+  val sync : t -> string -> unit
+
+  val read : t -> string -> string option
+  (** Whole-file contents; [None] when the path does not exist. *)
+
+  val write : t -> string -> string -> unit
+  (** Atomic whole-file replace. *)
+
+  val rename : t -> string -> string -> unit
+  (** No-op when the source does not exist. *)
+
+  val remove : t -> string -> unit
+
+  val exists : t -> string -> bool
+end
+
+(** {1 The journal} *)
+
+type config = {
+  max_segment_bytes : int;  (** rotation threshold (default 1 MiB). *)
+  retain : int;  (** rotated segments kept (default 3). *)
+  sync_every : int;  (** appends between implicit sync barriers (default 1). *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?obs:Lla_obs.t -> ?config:config -> ?name:string -> Store.t -> t
+(** A journal writing segments [name.wal\[.k\]] and snapshot
+    [name.snap] (default name ["journal"]; under {!Store.file} the name
+    is relative to the store's directory). @raise Invalid_argument on a
+    non-positive size cap, retain or sync cadence. *)
+
+val append : t -> string -> unit
+(** Frame and append one payload record to the active segment, rotating
+    at the size cap and syncing every [sync_every] appends. On a wedged
+    journal (a previous write failure) this is a no-op. *)
+
+val sync : t -> unit
+(** Explicit sync barrier on the active segment. *)
+
+val snapshot : t -> string list -> unit
+(** Compaction: atomically replace [name.snap] with the given payload
+    records, then drop every rotated segment and truncate the active
+    one. Recovery afterwards replays the snapshot plus any subsequent
+    appends. Un-wedges the journal when the store accepts writes
+    again. *)
+
+val wedged : t -> bool
+
+val appends : t -> int
+(** Records accepted (excludes appends dropped while wedged). *)
+
+val bytes_written : t -> int
+(** Encoded bytes appended to segments (framing included). *)
+
+val snapshots : t -> int
+
+val rotations : t -> int
+
+val store : t -> Store.t
+
+val name : t -> string
+
+val segment_paths : t -> string list
+(** Replay order: snapshot, oldest rotated segment, ..., active
+    segment. Only paths that currently exist. *)
+
+val active_path : t -> string

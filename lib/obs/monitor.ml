@@ -191,6 +191,7 @@ type t = {
   a_osc : alert;
   a_drift : alert;
   a_div : alert;
+  a_recovery : alert;
 }
 
 let mk_alert config ~name ~severity ~enter =
@@ -234,6 +235,8 @@ let create ?(config = default_config) ?target ?baseline ?tasks () =
     a_drift =
       mk_alert config ~name:"utility_drift" ~severity:Warning ~enter:config.sustain_budget;
     a_div = mk_alert config ~name:"diverged" ~severity:Critical ~enter:0.;
+    a_recovery =
+      mk_alert config ~name:"recovery_stuck" ~severity:Critical ~enter:config.sustain_budget;
   }
 
 let on_alert t f = t.emit <- Some f
@@ -377,6 +380,8 @@ let observe_feasible t ~at ~resources_ok ~paths_ok =
   observe_alert t t.a_eq3 ~at ~ok:resources_ok ~value:(if resources_ok then 0. else 1.);
   observe_alert t t.a_eq4 ~at ~ok:paths_ok ~value:(if paths_ok then 0. else 1.)
 
+let observe_recovery t ~at ~ok ~value = observe_alert t t.a_recovery ~at ~ok ~value
+
 let set_baseline t ~at v =
   t.baseline <- Some v;
   emit_transition t ~at (Trace.Note { name = "monitor.baseline"; value = v })
@@ -457,7 +462,7 @@ type alert_view = {
   cleared : int;
 }
 
-let all_alerts t = [ t.a_eq3; t.a_eq4; t.a_osc; t.a_drift; t.a_div ]
+let all_alerts t = [ t.a_eq3; t.a_eq4; t.a_osc; t.a_drift; t.a_div; t.a_recovery ]
 
 let view (a : alert) =
   {

@@ -184,6 +184,13 @@ val observe_feasible : t -> at:float -> resources_ok:bool -> paths_ok:bool -> un
 (** Aggregate feasibility feed for hosts that already know the verdict
     (the scale kernel's O(1) dirty-set checks). *)
 
+val observe_recovery : t -> at:float -> ok:bool -> value:float -> unit
+(** Crash-recovery progress feed: [ok = false] while a whole-node
+    recovery is still infeasible past its grace window, [value] the
+    ticks spent recovering. Drives the [recovery_stuck] alert with the
+    [sustain_budget] enter hysteresis — a recovery that converges never
+    raises it; a node that cannot climb back to feasibility does. *)
+
 val set_baseline : t -> at:float -> float -> unit
 (** Install/refresh the drift alert's reference checkpoint. *)
 
@@ -218,7 +225,7 @@ type alert_view = {
 
 val alerts : t -> alert_view list
 (** All alerts, fixed order: [eq3_sustained], [eq4_sustained],
-    [oscillation], [utility_drift], [diverged]. *)
+    [oscillation], [utility_drift], [diverged], [recovery_stuck]. *)
 
 val active_alerts : t -> alert_view list
 

@@ -18,26 +18,30 @@ type 'a slot = { state : 'a; at : float }
 type t = {
   max_age : float;
   obs : Lla_obs.t option;
+  journal : Lla_durable.Journal.t option;
   agents : agent_state slot option array;
   controllers : controller_state slot option array;
   mutable saves : int;
   mutable restores : int;
   mutable rejected_saves : int;
   mutable stale_restores : int;
+  mutable replaying : bool;
 }
 
-let create ?obs ?(max_age = infinity) ~n_agents ~n_controllers () =
+let create ?obs ?journal ?(max_age = infinity) ~n_agents ~n_controllers () =
   if max_age <= 0. then invalid_arg "Checkpoint.create: non-positive max_age";
   if n_agents < 0 || n_controllers < 0 then invalid_arg "Checkpoint.create: negative size";
   {
     max_age;
     obs;
+    journal;
     agents = Array.make n_agents None;
     controllers = Array.make n_controllers None;
     saves = 0;
     restores = 0;
     rejected_saves = 0;
     stale_restores = 0;
+    replaying = false;
   }
 
 let all_finite a = Array.for_all Float.is_finite a
@@ -60,25 +64,69 @@ let controller_finite (s : controller_state) =
 
 let actor_name prefix i = Printf.sprintf "%s:%d" prefix i
 
-let save slots copy finite prefix t i ~now state =
+(* JSONL encoders live up here so the save path can journal its line. *)
+
+let floats a = Jsonl.Arr (List.map (fun x -> Jsonl.Num x) (Array.to_list a))
+
+let bools a = Jsonl.Arr (List.map (fun b -> Jsonl.Bool b) (Array.to_list a))
+
+let agent_line i { state; at } =
+  Jsonl.to_string
+    (Jsonl.Obj
+       [
+         ("kind", Jsonl.Str "agent");
+         ("index", Jsonl.Num (float_of_int i));
+         ("at", Jsonl.Num at);
+         ("price", Jsonl.Num state.price);
+         ("gamma", Jsonl.Num state.gamma);
+         ("lat_view", floats state.lat_view);
+       ])
+
+let controller_line i { state; at } =
+  Jsonl.to_string
+    (Jsonl.Obj
+       [
+         ("kind", Jsonl.Str "controller");
+         ("index", Jsonl.Num (float_of_int i));
+         ("at", Jsonl.Num at);
+         ("mu_view", floats state.mu_view);
+         ("congested_view", bools state.congested_view);
+         ("lambda", floats state.lambda);
+         ("gamma_p", floats state.gamma_p);
+       ])
+
+let save slots copy finite line prefix t i ~now state =
   if finite state then begin
-    slots.(i) <- Some { state = copy state; at = now };
+    let slot = { state = copy state; at = now } in
+    slots.(i) <- Some slot;
     t.saves <- t.saves + 1;
-    Lla_obs.emit_opt t.obs ~at:now
-      (Lla_obs.Trace.Checkpoint_saved { actor = actor_name prefix i });
+    (* write-ahead: an accepted save reaches the journal before the
+       caller learns it was accepted; replays re-enter through this
+       same path with appends suppressed *)
+    (match t.journal with
+    | Some j when not t.replaying -> Lla_durable.Journal.append j (line i slot)
+    | _ -> ());
+    (* replayed saves carry their original (past) timestamps; re-emitting
+       them would break trace time-monotonicity, and recovery reports its
+       own Note events instead *)
+    if not t.replaying then
+      Lla_obs.emit_opt t.obs ~at:now
+        (Lla_obs.Trace.Checkpoint_saved { actor = actor_name prefix i });
     true
   end
   else begin
     t.rejected_saves <- t.rejected_saves + 1;
-    Lla_obs.emit_opt t.obs ~at:now
-      (Lla_obs.Trace.Checkpoint_rejected { actor = actor_name prefix i });
+    if not t.replaying then
+      Lla_obs.emit_opt t.obs ~at:now
+        (Lla_obs.Trace.Checkpoint_rejected { actor = actor_name prefix i });
     false
   end
 
-let save_agent t i ~now state = save t.agents copy_agent agent_finite "agent" t i ~now state
+let save_agent t i ~now state =
+  save t.agents copy_agent agent_finite agent_line "agent" t i ~now state
 
 let save_controller t i ~now state =
-  save t.controllers copy_controller controller_finite "controller" t i ~now state
+  save t.controllers copy_controller controller_finite controller_line "controller" t i ~now state
 
 let restore slots copy t i ~now =
   match slots.(i) with
@@ -112,35 +160,6 @@ let rejected_saves t = t.rejected_saves
 let stale_restores t = t.stale_restores
 
 (* --- JSONL codec ------------------------------------------------------ *)
-
-let floats a = Jsonl.Arr (List.map (fun x -> Jsonl.Num x) (Array.to_list a))
-
-let bools a = Jsonl.Arr (List.map (fun b -> Jsonl.Bool b) (Array.to_list a))
-
-let agent_line i { state; at } =
-  Jsonl.to_string
-    (Jsonl.Obj
-       [
-         ("kind", Jsonl.Str "agent");
-         ("index", Jsonl.Num (float_of_int i));
-         ("at", Jsonl.Num at);
-         ("price", Jsonl.Num state.price);
-         ("gamma", Jsonl.Num state.gamma);
-         ("lat_view", floats state.lat_view);
-       ])
-
-let controller_line i { state; at } =
-  Jsonl.to_string
-    (Jsonl.Obj
-       [
-         ("kind", Jsonl.Str "controller");
-         ("index", Jsonl.Num (float_of_int i));
-         ("at", Jsonl.Num at);
-         ("mu_view", floats state.mu_view);
-         ("congested_view", bools state.congested_view);
-         ("lambda", floats state.lambda);
-         ("gamma_p", floats state.gamma_p);
-       ])
 
 let to_jsonl_raw t =
   let lines = ref [] in
@@ -225,3 +244,35 @@ let load_jsonl t lines =
         | Ok accepted_one -> go (n + 1) (if accepted_one then accepted + 1 else accepted) rest))
   in
   go 1 0 lines
+
+(* --- Durability ------------------------------------------------------- *)
+
+let journal t = t.journal
+
+let clear t =
+  Array.fill t.agents 0 (Array.length t.agents) None;
+  Array.fill t.controllers 0 (Array.length t.controllers) None
+
+let recover t ~now =
+  match t.journal with
+  | None -> None
+  | Some j ->
+    t.replaying <- true;
+    let apply line =
+      (* a malformed journal line is refused, never raised on — crash
+         recovery must be total in the stored bytes *)
+      match Jsonl.parse line with
+      | Error _ -> false
+      | Ok json -> ( match load_line t json with Ok accepted -> accepted | Error _ -> false)
+    in
+    let report =
+      Fun.protect
+        ~finally:(fun () -> t.replaying <- false)
+        (fun () -> Lla_durable.Recovery.replay ?obs:t.obs ~at:now j ~apply)
+    in
+    Some report
+
+let compact t =
+  match t.journal with
+  | None -> ()
+  | Some j -> Lla_durable.Journal.snapshot j (to_jsonl t)

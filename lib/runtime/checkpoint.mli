@@ -19,9 +19,15 @@
       and discarded (counted in {!stale_restores}); the actor then falls
       back to the cold-restart path.
 
-    The store is an in-memory simulation stand-in for a write-ahead
-    snapshot file; arrays are defensively copied both ways. The
-    {!to_jsonl} / {!load_jsonl} codec is that file's format: one JSON
+    The in-memory store can be backed by a real write-ahead journal
+    ({!Lla_durable.Journal}): with [?journal], every accepted save also
+    appends its JSONL line to the journal, and {!recover} replays the
+    journal back through the normal save path after a process crash —
+    so the non-finite refusal and staleness discard apply to disk state
+    exactly as to live state. Without [?journal] nothing touches
+    storage and behaviour is bit-for-bit the PR-2 in-memory store.
+    Arrays are defensively copied both ways. The {!to_jsonl} /
+    {!load_jsonl} codec is the journal's payload format: one JSON
     object per saved slot, loaded back through the normal save path so
     the non-finite refusal applies to deserialized snapshots too. *)
 
@@ -40,13 +46,22 @@ type controller_state = {
 
 type t
 
-val create : ?obs:Lla_obs.t -> ?max_age:float -> n_agents:int -> n_controllers:int -> unit -> t
+val create :
+  ?obs:Lla_obs.t ->
+  ?journal:Lla_durable.Journal.t ->
+  ?max_age:float ->
+  n_agents:int ->
+  n_controllers:int ->
+  unit ->
+  t
 (** [max_age] (ms, default [infinity]): snapshots older than this at
     restore time are stale. [obs] makes every save emit a
     {!Lla_obs.Trace.Checkpoint_saved} or [Checkpoint_rejected] record
     (actor ["agent:<i>"] / ["controller:<i>"], stamped with the save
-    time). @raise Invalid_argument on a non-positive [max_age] or
-    negative sizes. *)
+    time). [journal] persists every accepted save as a write-ahead
+    record (see {!recover}); omitted, the store never touches storage.
+    @raise Invalid_argument on a non-positive [max_age] or negative
+    sizes. *)
 
 val save_agent : t -> int -> now:float -> agent_state -> bool
 (** Snapshot agent [r]'s state at time [now]. [false] when the state
@@ -77,6 +92,34 @@ val rejected_saves : t -> int
 
 val stale_restores : t -> int
 (** Restore attempts that found only a stale snapshot. *)
+
+(** {1 Durability}
+
+    The crash-recovery loop: normal operation journals every accepted
+    save; after a whole-process crash, a fresh (or {!clear}ed) store
+    calls {!recover} to replay the journal's surviving records through
+    the save path, then actors warm-restart from the restored slots as
+    if the process had never died. {!compact} bounds journal growth by
+    snapshotting the live slots and truncating the log. *)
+
+val journal : t -> Lla_durable.Journal.t option
+
+val clear : t -> unit
+(** Drop every in-memory slot (a whole-node crash losing RAM state);
+    counters and the journal are untouched. *)
+
+val recover : t -> now:float -> Lla_durable.Recovery.report option
+(** Replay the attached journal into this store through the normal
+    save path: non-finite records are refused, malformed lines are
+    refused (never raised on), and a torn tail on the active segment is
+    truncated in place. Journal appends are suppressed during the
+    replay itself, so recovery is idempotent — replaying twice restores
+    the same slots. [None] when the store has no journal. Trace/metric
+    emission follows the store's [?obs]. *)
+
+val compact : t -> unit
+(** Snapshot every live slot into the journal ({!to_jsonl} payloads)
+    and truncate the log segments. No-op without a journal. *)
 
 (** {1 JSONL codec}
 

@@ -105,6 +105,7 @@ val create :
   ?monitor:Lla_obs.Monitor.t ->
   ?config:config ->
   ?resilience:resilience ->
+  ?journal:Lla_durable.Journal.t ->
   ?transport:Lla_transport.Transport.t ->
   Lla_sim.Engine.t ->
   Workload.t ->
@@ -113,6 +114,12 @@ val create :
     [config.message_delay] is created on [engine] — the legacy behaviour.
     A supplied transport must run on the same engine
     (@raise Invalid_argument otherwise). [resilience] defaults to off.
+
+    [journal] backs the checkpoint store with a write-ahead journal
+    (only meaningful when [resilience.checkpoint_period] is set): every
+    accepted snapshot is journaled and {!crash_restart} can recover a
+    whole-node crash warm. Omitted (the default), nothing touches
+    storage and trajectories are bit-for-bit the journal-free ones.
 
     [obs] opts the whole deployment into the observability layer: the
     runtime counters land in the handle's registry ([lla_runtime_*]),
@@ -135,6 +142,7 @@ val create_on :
   ?monitor:Lla_obs.Monitor.t ->
   ?config:config ->
   ?resilience:resilience ->
+  ?journal:Lla_durable.Journal.t ->
   ?transport_config:Lla_transport.Transport.config ->
   Engine.t ->
   Lla_model.Workload.t ->
@@ -294,6 +302,39 @@ val cold_restarts : t -> int
 val guard_events : t -> int
 (** Non-finite values neutralized in the distributed iteration (agent
     share sums, path multipliers, and {!Lla.Allocation} guards). *)
+
+(** {2 Whole-node crash drill}
+
+    {!crash_restart} models the process dying and restarting in place:
+    the journal store's unsynced tail is lost (torn per its fault
+    config), every shard's in-memory checkpoint slots are dropped, the
+    journal (when present) is replayed through the checkpoint save path
+    — twice, to assert replay idempotence — and every actor restarts,
+    warm from recovered snapshots or cold from [mu0]. Transport
+    endpoints stay up, unlike an {!Outage}: links survive, memory does
+    not. Call it with the shards at rest (from {!schedule_injection} on
+    a domains engine). *)
+
+val crash_restart : t -> unit
+
+type crash_stats = {
+  crashes : int;  (** {!crash_restart} calls so far. *)
+  replayed : int;  (** journal records accepted across all recoveries. *)
+  refused : int;  (** journal records refused (non-finite, malformed). *)
+  truncated_bytes : int;  (** torn-tail bytes cut from active segments. *)
+  warm : int;  (** actors warm-restored after crashes. *)
+  cold : int;  (** actors cold-reset after crashes. *)
+  resurrected : int;
+      (** actors carrying non-finite state right after a recovery — the
+          refusal chain failed if this is ever non-zero. *)
+  idempotent : bool;
+      (** every double-replay restored identical accepted/refused
+          counts ([true] when no crash happened yet). *)
+}
+
+val crash_stats : t -> crash_stats
+
+val journal_enabled : t -> bool
 
 (** {2 Chaos injection}
 

@@ -21,7 +21,12 @@ let default_config =
     oscillation_threshold = 0.2;
     min_reversals = 8;
     warmup_rounds = 500;
-    reentry_grace_rounds = 50;
+    (* = warmup_rounds: entry resets prices and controller dual state to
+       the cold point, so the post-exit transient is a full cold
+       transient. A 50-round grace left the infeasibility detector arming
+       mid-transient and re-tripping at exit+600 ms forever (campaign
+       repro: price poison, base workload). *)
+    reentry_grace_rounds = 500;
     settle_threshold = 0.02;
     settle_rounds = 10;
     min_safe_time = 1_000.;

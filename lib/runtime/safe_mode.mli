@@ -28,11 +28,15 @@
     [warmup_rounds] observations after {!create}: a cold start on a
     workload whose resources sit at congestion is legitimately infeasible
     for seconds while prices find the constraint surface, and the initial
-    utility climb is not oscillation. After a safe-mode exit only the
-    shorter [reentry_grace_rounds] silence applies — the system resumes
-    from a feasible point with settled prices, so renewed divergence
-    deserves a fast re-clamp. The non-finite / price-cap trip is armed
-    from the first observation.
+    utility climb is not oscillation. After a safe-mode exit the
+    [reentry_grace_rounds] silence applies, and it must cover a {e full}
+    cold transient: safe-mode entry heals prices to [mu0] and restarts the
+    controllers' dual state, so the re-entered optimization repeats the
+    cold-start excursion through infeasibility. A shorter re-entry grace
+    turns safe mode into a steady-state oscillator — a chaos campaign
+    found a price poison whose post-heal restarts tripped at exit+600 ms
+    forever under a 50-round grace. The non-finite / price-cap trip is
+    armed from the first observation.
 
     {2 Exit condition (hysteresis)}
 

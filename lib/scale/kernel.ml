@@ -891,6 +891,70 @@ let enter_fallback t ?heal_above ~lat:fallback () =
   requeue_all t
 
 (* ------------------------------------------------------------------ *)
+(* Crash recovery support                                              *)
+(* ------------------------------------------------------------------ *)
+
+let all_finite a = Array.for_all Float.is_finite a
+
+(* The process image is gone: every live iterate component reverts to
+   its construction-time initial value. Churn membership is control-plane
+   state (the admission controller knows which blocks it admitted), so it
+   survives the crash — retired blocks keep their identity placeholders
+   rather than resurrecting. *)
+let crash_reset t =
+  Array.iteri
+    (fun k (task : P.task) ->
+      if t.active.(k) then begin
+        Array.iter (fun i -> t.lat.(i) <- t.lat0.(i)) task.P.subtask_indices;
+        Array.iter (fun p -> t.lambda.(p) <- t.config.lambda0) task.P.path_indices
+      end)
+    t.problem.P.tasks;
+  Array.fill t.mu 0 t.n_res t.config.mu0;
+  Array.fill t.gamma_r 0 t.n_res t.g_init_r;
+  Array.fill t.gamma_p 0 t.n_path t.g_init_p;
+  t.frozen <- false;
+  requeue_all t
+
+(* Warm restore from a journaled snapshot of the iterate. Total in its
+   inputs: a length mismatch or any non-finite component is refused (the
+   caller falls back to the cold [crash_reset] state), finite components
+   are projected onto the live bounds / non-negativity like every other
+   exogenous write. Step sizes stay at their reset values — the restored
+   prices are near-converged, so rediscovering the step magnitude costs
+   logarithmically-few ticks and avoids trusting a stale gamma. *)
+let restore_iterate t ~lat ~mu ~lambda =
+  if
+    Array.length lat <> t.n_sub
+    || Array.length mu <> t.n_res
+    || Array.length lambda <> t.n_path
+  then Error "Kernel.restore_iterate: array length mismatch"
+  else if
+    not
+      (all_finite lat && all_finite mu && all_finite lambda)
+  then Error "Kernel.restore_iterate: non-finite component refused"
+  else begin
+    Array.iteri
+      (fun k (task : P.task) ->
+        if t.active.(k) then begin
+          Array.iter
+            (fun i ->
+              let lo = t.lo_b.(i) and hi = t.hi_b.(i) in
+              let v = lat.(i) in
+              t.lat.(i) <- (if v < lo then lo else if v > hi then hi else v))
+            task.P.subtask_indices;
+          Array.iter
+            (fun p -> t.lambda.(p) <- Float.max 0. lambda.(p))
+            task.P.path_indices
+        end)
+      t.problem.P.tasks;
+    for r = 0 to t.n_res - 1 do
+      t.mu.(r) <- Float.max 0. mu.(r)
+    done;
+    requeue_all t;
+    Ok ()
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Read-out                                                            *)
 (* ------------------------------------------------------------------ *)
 

@@ -238,3 +238,29 @@ val frozen : t -> bool
 val requeue_all : t -> unit
 (** Push every subtask, resource and path onto the next tick's queues
     with all caches marked stale — a full-problem tick. *)
+
+(** {1 Crash recovery}
+
+    The soak harness's whole-node crash drill: {!crash_reset} models the
+    process image vanishing, {!restore_iterate} is the warm path fed
+    from a replayed {!Lla_durable.Journal} record. *)
+
+val crash_reset : t -> unit
+(** Revert every live iterate component to its construction-time initial
+    value — active latencies to [lat_hi], resource prices to [mu0] with
+    step sizes at initial, path prices to [lambda0] — unfreeze, and
+    {!requeue_all}. Churn membership survives (it is control-plane
+    state): retired blocks keep their identity placeholders rather than
+    resurrecting. The cold half of a crash drill; convergence restarts
+    from scratch. *)
+
+val restore_iterate :
+  t -> lat:float array -> mu:float array -> lambda:float array -> (unit, string) result
+(** Warm-restore the iterate from a journaled snapshot, typically right
+    after {!crash_reset}. Total in its inputs: [Error] on a length
+    mismatch or {e any} non-finite component (the caller stays on the
+    cold reset state — a torn or poisoned record must never enact),
+    otherwise latencies are clamped to the live bounds, prices to
+    non-negative, retired blocks are left untouched, and the whole
+    problem is requeued. Step sizes stay at their reset values rather
+    than trusting a stale snapshot's gamma. *)

@@ -140,7 +140,8 @@ let open_window t ~now =
       | Schedule.Faults { at; duration; faults } ->
           t.stall_until <- now + int_of_float at + int_of_float duration;
           t.stall_p <- faults.Lla_transport.Transport.drop
-      | Schedule.Jitter _ | Schedule.Partition _ | Schedule.Outage _ -> ())
+      | Schedule.Jitter _ | Schedule.Partition _ | Schedule.Outage _
+      | Schedule.Node_crash _ | Schedule.Storage_faults _ -> ())
     t.events;
   if t.n_resources > 0 && Lla_stdx.Rng.float t.rng < p.dip_probability then begin
     let resource = Lla_stdx.Rng.int t.rng ~bound:t.n_resources in

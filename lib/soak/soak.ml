@@ -3,6 +3,9 @@ module Generator = Lla_scale.Generator
 module Safe_mode = Lla_runtime.Safe_mode
 module Trace = Lla_obs.Trace
 module Monitor = Lla_obs.Monitor
+module Jsonl = Lla_obs.Jsonl
+module Journal = Lla_durable.Journal
+module Recovery = Lla_durable.Recovery
 module P = Lla.Problem
 
 type ceilings = {
@@ -31,6 +34,8 @@ type config = {
   shed_fraction : float;
   recover_after : int;
   warmstart_iterations : int;
+  crash_every : int;
+  journal_every : int;
 }
 
 (* The soak watchdog observes every [watchdog_every] ticks rather than
@@ -72,6 +77,8 @@ let default_config =
     shed_fraction = 0.2;
     recover_after = 50;
     warmstart_iterations = 5_000;
+    crash_every = 0;
+    journal_every = 0;
   }
 
 let smoke_config =
@@ -123,6 +130,12 @@ type report = {
   final_active_tasks : int;
   alerts_raised : int;
   alerts_cleared : int;
+  crashes : int;
+  warm_recoveries : int;
+  cold_recoveries : int;
+  journal_replayed : int;
+  journal_refused : int;
+  worst_recovery_ticks : int;
 }
 
 (* A field of /proc/self/status in kB; 0 when absent (non-Linux). *)
@@ -145,7 +158,7 @@ let status_kb key =
       close_in ic;
       !v
 
-let run ?obs ?monitor ?engine ?on_progress config =
+let run ?obs ?monitor ?engine ?journal ?on_progress config =
   if config.horizon <= 0 then Error "Soak.run: non-positive horizon"
   else if config.watchdog_every <= 0 || config.health_every <= 0 then
     Error "Soak.run: non-positive watchdog/health cadence"
@@ -220,6 +233,13 @@ let run ?obs ?monitor ?engine ?on_progress config =
         let seen_windows = ref 0 in
         let was_flash = ref false in
 
+        (* Whole-node crash drill state. [recovering] holds the crash
+           tick while the restarted node climbs back to feasibility. *)
+        let crashes = ref 0 and warm_n = ref 0 and cold_n = ref 0 in
+        let j_replayed = ref 0 and j_refused = ref 0 in
+        let worst_recovery = ref 0 in
+        let recovering = ref None in
+
         let abandon_probe () = probe := None in
         let start_probe now =
           if !frozen_by = `None && now + config.reconverge_budget < config.horizon then
@@ -242,6 +262,99 @@ let run ?obs ?monitor ?engine ?on_progress config =
           emit now Trace.Safe_mode_exited;
           incr safe_exits;
           frozen_by := `None;
+          extend_grace (now + config.reconverge_budget);
+          start_probe now
+        in
+
+        (* Journal codec for the kernel iterate: one JSONL record per
+           cadence point, replayed last-write-wins at recovery. The
+           encode allocates freely, so journal windows are marked
+           [heavy] like baseline recomputes. *)
+        let floats a = Jsonl.Arr (List.map (fun x -> Jsonl.Num x) (Array.to_list a)) in
+        let kernel_line now =
+          Jsonl.to_string
+            (Jsonl.Obj
+               [
+                 ("kind", Jsonl.Str "kernel");
+                 ("at", Jsonl.Num (float_of_int now));
+                 ("iteration", Jsonl.Num (float_of_int (Kernel.iteration kernel)));
+                 ("lat", floats (Kernel.lat_array kernel));
+                 ("mu", floats (Kernel.mu_array kernel));
+                 ("lambda", floats (Kernel.lambda_array kernel));
+               ])
+        in
+        let float_array_field name json =
+          match Option.bind (Jsonl.member name json) Jsonl.arr with
+          | None -> None
+          | Some items ->
+              let rec collect acc = function
+                | [] -> Some (Array.of_list (List.rev acc))
+                | item :: rest -> (
+                    match Jsonl.num item with
+                    | Some v -> collect (v :: acc) rest
+                    | None -> None)
+              in
+              collect [] items
+        in
+        let parse_kernel_line line =
+          match Jsonl.parse line with
+          | Error _ -> None
+          | Ok json -> (
+              match Option.bind (Jsonl.member "kind" json) Jsonl.str with
+              | Some "kernel" -> (
+                  match
+                    ( float_array_field "lat" json,
+                      float_array_field "mu" json,
+                      float_array_field "lambda" json )
+                  with
+                  | Some lat, Some mu, Some lambda -> Some (lat, mu, lambda)
+                  | _ -> None)
+              | _ -> None)
+        in
+        (* The drill: the store loses its unsynced tail (torn per its
+           fault config), RAM is gone ([Kernel.crash_reset]), then the
+           node restarts warm from the last good journaled iterate — or
+           cold when there is no journal, no good record survived, or
+           the record is refused ([restore_iterate] rejects non-finite
+           components). Recovery progress is judged at the health
+           cadence; skipped while frozen (the fallback dwell owns the
+           kernel). *)
+        let crash_drill now =
+          incr crashes;
+          emit now (Trace.Note { name = "node.crash"; value = float_of_int !crashes });
+          (match journal with
+          | Some j -> Journal.Store.crash (Journal.store j)
+          | None -> ());
+          Kernel.crash_reset kernel;
+          let warm =
+            match journal with
+            | None -> false
+            | Some j -> (
+                let latest = ref None in
+                let apply line =
+                  match parse_kernel_line line with
+                  | Some state ->
+                      latest := Some state;
+                      true
+                  | None -> false
+                in
+                let r = Recovery.replay ?obs ~at:(float_of_int now) j ~apply in
+                j_replayed := !j_replayed + r.Recovery.applied;
+                j_refused := !j_refused + r.Recovery.refused;
+                match !latest with
+                | None -> false
+                | Some (lat, mu, lambda) -> (
+                    match Kernel.restore_iterate kernel ~lat ~mu ~lambda with
+                    | Ok () -> true
+                    | Error _ -> false))
+          in
+          if warm then incr warm_n else incr cold_n;
+          emit now
+            (Trace.Note { name = "node.recovered"; value = (if warm then 1. else 0.) });
+          recovering := Some now;
+          abandon_probe ();
+          Monitor.Streak.reset res_streak;
+          Monitor.Streak.reset path_streak;
           extend_grace (now + config.reconverge_budget);
           start_probe now
         in
@@ -444,6 +557,33 @@ let run ?obs ?monitor ?engine ?on_progress config =
               Monitor.observe_feasible m ~at ~resources_ok:res_ok ~paths_ok:path_ok;
               Kernel.publish_metrics kernel ~at
           | None -> ());
+          (* crash-recovery progress: feasibility back within the
+             sustain budget ends the episode; staying infeasible past
+             it is the violation the [recovery_stuck] alert mirrors *)
+          (match !recovering with
+          | Some start ->
+              let spent = now - start in
+              let feasible_again = res_ok && path_ok in
+              (match monitor with
+              | Some m ->
+                  Monitor.observe_recovery m ~at:(float_of_int now)
+                    ~ok:(feasible_again || spent <= config.sustain_budget)
+                    ~value:(float_of_int spent)
+              | None -> ());
+              if feasible_again then begin
+                if spent > !worst_recovery then worst_recovery := spent;
+                emit now (Trace.Note { name = "node.recovery_ticks"; value = float_of_int spent });
+                recovering := None
+              end
+              else if spent > config.sustain_budget + config.reconverge_budget then begin
+                violate now
+                  (Printf.sprintf
+                     "crash recovery stuck: still infeasible %d ticks after the crash at tick %d"
+                     spent start);
+                if spent > !worst_recovery then worst_recovery := spent;
+                recovering := None
+              end
+          | None -> ());
           if now >= !grace_until && !frozen_by = `None then begin
             (match Monitor.Streak.observe res_streak ~ok:res_ok ~step:config.health_every with
             | Some streak ->
@@ -508,8 +648,26 @@ let run ?obs ?monitor ?engine ?on_progress config =
           end;
           if Rota.last_window_end rota = now then (
             match !probe with None -> start_probe now | Some _ -> ());
+          (* whole-node crash drill, before the tick: the restarted node
+             re-optimizes from whatever the recovery restored *)
+          if
+            config.crash_every > 0 && now > 0
+            && now mod config.crash_every = 0
+            && !frozen_by = `None
+          then crash_drill now;
           (* the tick itself (a stall is a lost control tick) *)
           if not !stalled then Kernel.step kernel;
+          (* journal cadence: append the post-tick iterate (the encode
+             allocates, so the window is marked heavy like a baseline
+             recompute) *)
+          (match journal with
+          | Some j
+            when config.journal_every > 0 && now > 0
+                 && now mod config.journal_every = 0
+                 && !frozen_by = `None && !recovering = None ->
+              heavy := true;
+              Journal.append j (kernel_line now)
+          | _ -> ());
           if config.baseline_every > 0 && now = !next_base then begin
             next_base := now + config.baseline_every;
             heavy := true;
@@ -570,6 +728,12 @@ let run ?obs ?monitor ?engine ?on_progress config =
             final_active_tasks = Kernel.n_active_tasks kernel;
             alerts_raised = (match monitor with Some m -> Monitor.alerts_raised m | None -> 0);
             alerts_cleared = (match monitor with Some m -> Monitor.alerts_cleared m | None -> 0);
+            crashes = !crashes;
+            warm_recoveries = !warm_n;
+            cold_recoveries = !cold_n;
+            journal_replayed = !j_replayed;
+            journal_refused = !j_refused;
+            worst_recovery_ticks = !worst_recovery;
           }
 
 let render r =
@@ -589,6 +753,12 @@ let render r =
     r.reconverge_episodes r.worst_settle_ticks r.baseline_checks r.worst_drift;
   if r.alerts_raised > 0 || r.alerts_cleared > 0 then
     Printf.bprintf b "  alerts: %d raised, %d cleared\n" r.alerts_raised r.alerts_cleared;
+  if r.crashes > 0 then
+    Printf.bprintf b
+      "  crashes: %d (%d warm, %d cold); journal: %d replayed, %d refused; worst recovery %d \
+       ticks\n"
+      r.crashes r.warm_recoveries r.cold_recoveries r.journal_replayed r.journal_refused
+      r.worst_recovery_ticks;
   Printf.bprintf b "  final: utility %.3f, feasible %b, %d active tasks\n" r.final_utility
     r.final_feasible r.final_active_tasks;
   if r.violation_count = 0 then Buffer.add_string b "  violations: none"

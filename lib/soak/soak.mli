@@ -62,6 +62,18 @@ type config = {
   shed_fraction : float;  (** roster fraction shed per rung *)
   recover_after : int;  (** healthy watchdog samples per rung re-ascent *)
   warmstart_iterations : int;  (** converge before the horizon clock starts *)
+  crash_every : int;
+      (** ticks between whole-node crash drills ([0] = never): the
+          journal store loses its unsynced tail, the kernel iterate
+          reverts to construction state ({!Lla_scale.Kernel.crash_reset})
+          and the node restarts warm from the last good journaled
+          iterate — or cold without one. Drills are skipped while the
+          kernel is frozen (the fallback dwell owns it). *)
+  journal_every : int;
+      (** ticks between journal appends of the live kernel iterate
+          ([0] = never; a no-op without [?journal]). Journal windows are
+          exempt from the words-per-tick ceiling like baseline
+          recomputes — the JSONL encode allocates by design. *)
 }
 
 val default_config : config
@@ -102,12 +114,19 @@ type report = {
   final_active_tasks : int;
   alerts_raised : int;  (** streaming-monitor raise transitions; 0 without [?monitor] *)
   alerts_cleared : int;
+  crashes : int;  (** whole-node crash drills executed *)
+  warm_recoveries : int;  (** drills restored from a replayed journal record *)
+  cold_recoveries : int;  (** drills that restarted from construction state *)
+  journal_replayed : int;  (** journal records accepted across all recoveries *)
+  journal_refused : int;  (** journal records refused (torn, malformed, non-finite) *)
+  worst_recovery_ticks : int;  (** slowest climb back to Eq. 3/4 feasibility *)
 }
 
 val run :
   ?obs:Lla_obs.t ->
   ?monitor:Lla_obs.Monitor.t ->
   ?engine:Lla_runtime.Engine.t ->
+  ?journal:Lla_durable.Journal.t ->
   ?on_progress:(tick:int -> unit) ->
   config ->
   (report, string) result
@@ -127,6 +146,17 @@ val run :
     budgets, [Probe] for reconvergence settling), so judged behaviour
     is identical with or without a monitor attached — feeding it only
     reads kernel state.
+
+    With [?journal], the iterate is journaled at the [journal_every]
+    cadence and each [crash_every] drill replays it through
+    {!Lla_durable.Recovery} — warm when the last good record restores
+    ({!Lla_scale.Kernel.restore_iterate} refuses non-finite components),
+    cold otherwise. Recovery progress feeds
+    {!Lla_obs.Monitor.observe_recovery} (the [recovery_stuck] alert)
+    when a monitor is attached; a recovery still infeasible past
+    [sustain_budget + reconverge_budget] ticks is an oracle violation.
+    Omitting [?journal] (and both cadences) keeps the run byte-identical
+    to earlier releases.
 
     With [?engine], the tick loop runs as scheduled events on the
     engine's shard-0 core (1 tick = 1 ms of engine time) instead of a

@@ -12,7 +12,7 @@ type faults = {
 
 let no_faults = { drop = 0.; duplicate = 0.; reorder = 0.; reorder_spread = 0. }
 
-type retry = { timeout : float; backoff : float; max_attempts : int }
+type retry = { timeout : float; backoff : float; max_attempts : int; jitter : float }
 
 type policy = {
   retry : retry option;
@@ -121,6 +121,10 @@ type t = {
 }
 
 let create ?obs ?(config = default_config) engine =
+  (match config.policy.retry with
+  | Some r when not (Float.is_finite r.jitter && r.jitter >= 0. && r.jitter < 1.) ->
+    invalid_arg "Transport.create: retry jitter outside [0, 1)"
+  | _ -> ());
   let registry =
     match obs with Some o -> o.Lla_obs.metrics | None -> Metrics.create ()
   in
@@ -355,6 +359,13 @@ let rec attempt t ch ?key ~seq ~span ~n payload =
     | Some r when n + 1 < r.max_attempts && ch.src.up ->
       Metrics.incr ch.cm.c_retried;
       let wait = r.timeout *. (r.backoff ** float_of_int n) in
+      (* jitter de-phases synchronized retransmit bursts; at the default
+         0 no randomness is drawn and retries stay bit-for-bit *)
+      let wait =
+        if r.jitter > 0. then
+          wait *. (1. +. Rng.uniform t.rng ~lo:(-.r.jitter) ~hi:r.jitter)
+        else wait
+      in
       ignore
         (Engine.schedule_after t.engine ~delay:wait (fun _ ->
              attempt t ch ?key ~seq ~span ~n:(n + 1) payload))

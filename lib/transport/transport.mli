@@ -51,6 +51,15 @@ type retry = {
   timeout : float;  (** ms before the first retransmission. *)
   backoff : float;  (** multiplier on the timeout per attempt (>= 1). *)
   max_attempts : int;  (** total attempts, including the first. *)
+  jitter : float;
+      (** relative jitter on each retransmit wait:
+          [wait = timeout * backoff^n * (1 ± jitter)], uniform in the
+          band, drawn from the transport RNG. De-phases synchronized
+          retransmit bursts after a shared loss (a partition heal, a
+          congested window) so retries can't phase-lock. Must lie in
+          [\[0, 1)] (checked at {!create}); at the default [0] no
+          randomness is drawn and retry schedules are bit-for-bit the
+          pre-jitter ones. *)
 }
 
 type policy = {

@@ -87,6 +87,14 @@ echo "ci: $total tests run (floor $floor)"
 # reads it at startup, hence the env var.
 OCAMLRUNPARAM='s=8M' ./_build/default/bench/main.exe --json _build parallel-smoke
 
+# Crash-recovery smoke: converge a seeded 2k-subtask kernel against a
+# real file-backed journal, crash it, and gate warm recovery (replayed
+# journal + restore_iterate) strictly faster back to Eq. 3/4 feasibility
+# than a cold restart. Includes one forced torn-write drill: the active
+# segment is corrupted at byte 0 and recovery must degrade to a cold
+# restart — zero records replayed, never a raise.
+./_build/default/bench/main.exe --json _build recovery-smoke
+
 # Streaming-monitor smoke: live-monitoring cost on the 10k scale
 # scenario. Per-tick kernel cost and per-feed monitor cost are measured
 # separately where each is stable (an A/B wall diff of two ~100 ms runs

@@ -30,6 +30,20 @@ let full_schedule ?(poison = nan) () =
       Schedule.Outage { at = 5_000.; duration = 800.; target = Schedule.Agent 1 };
       Schedule.Price_poison { at = 6_000.; resource = 1; value = poison };
       Schedule.Error_spike { at = 7_000.; duration = 900.; subtask = 4; magnitude = 3.5 };
+      Schedule.Node_crash { at = 8_000. };
+      Schedule.Storage_faults
+        {
+          at = 9_000.;
+          duration = 1_000.;
+          storage =
+            {
+              Lla_durable.Journal.Store.torn_write = 0.75;
+              bit_flip = 0.125;
+              drop_sync = 1.;
+              short_read = 0.;
+              fail_write = 0.0625;
+            };
+        };
     ]
 
 let test_codec_roundtrip () =
@@ -152,7 +166,7 @@ let test_make_validation () =
 
 let test_event_windows () =
   let s = full_schedule () in
-  Alcotest.(check (float 1e-9)) "last fault end" 7_900. (Schedule.last_fault_end s);
+  Alcotest.(check (float 1e-9)) "last fault end" 10_000. (Schedule.last_fault_end s);
   Alcotest.(check (float 1e-9)) "duration" 36_000. (Schedule.duration s);
   let poison = Schedule.Price_poison { at = 6_000.; resource = 1; value = 1. } in
   Alcotest.(check (float 1e-9)) "instantaneous event ends at its start" 6_000.
@@ -210,9 +224,11 @@ let base_outcome =
     warm_restores = 0;
     cold_restarts = 0;
     outages = 0;
+    crash_restores = 0;
     checkpoints_enabled = true;
     max_share_violation = 0.;
     max_path_violation = 0.;
+    recovery = None;
   }
 
 let failed name verdicts =
@@ -223,7 +239,7 @@ let failed name verdicts =
 let test_oracles_pass_clean_outcome () =
   let verdicts = Oracle.evaluate base_outcome in
   Alcotest.(check bool) "all pass" true (Oracle.ok verdicts);
-  Alcotest.(check int) "seven oracles" 7 (List.length verdicts)
+  Alcotest.(check int) "eight oracles" 8 (List.length verdicts)
 
 let test_oracle_lockout () =
   let records =
@@ -262,6 +278,35 @@ let test_oracle_regret_and_feasibility () =
   let o = { base_outcome with Oracle.max_path_violation = infinity } in
   Alcotest.(check bool) "non-finite path excess flagged" true
     (failed "final-feasibility" (Oracle.evaluate o))
+
+let clean_recovery =
+  {
+    Oracle.crashes = 1;
+    replayed = 4;
+    refused = 0;
+    crash_warm = 5;
+    crash_cold = 0;
+    resurrected = 0;
+    idempotent = true;
+    journal_enabled = true;
+  }
+
+let test_oracle_recovery () =
+  (* vacuous without crash drills, judged with them *)
+  Alcotest.(check bool) "no drill passes vacuously" false
+    (failed "recovery" (Oracle.evaluate base_outcome));
+  let with_recovery r = { base_outcome with Oracle.recovery = Some r } in
+  Alcotest.(check bool) "clean recovery passes" false
+    (failed "recovery" (Oracle.evaluate (with_recovery clean_recovery)));
+  Alcotest.(check bool) "resurrected non-finite state flagged" true
+    (failed "recovery" (Oracle.evaluate (with_recovery { clean_recovery with Oracle.resurrected = 1 })));
+  Alcotest.(check bool) "non-idempotent replay flagged" true
+    (failed "recovery" (Oracle.evaluate (with_recovery { clean_recovery with Oracle.idempotent = false })));
+  Alcotest.(check bool) "warm crash recovery without a journal flagged" true
+    (failed "recovery"
+       (Oracle.evaluate (with_recovery { clean_recovery with Oracle.journal_enabled = false })));
+  Alcotest.(check bool) "warm crash recovery with zero replayed records flagged" true
+    (failed "recovery" (Oracle.evaluate (with_recovery { clean_recovery with Oracle.replayed = 0 })))
 
 let test_oracle_warm_restore () =
   let o = { base_outcome with Oracle.outages = 2; cold_restarts = 1 } in
@@ -324,6 +369,43 @@ let test_fragile_violation_shrinks_and_replays () =
       Alcotest.(check bool) "replay reproduces one of the original oracles" true
         (List.exists (fun o -> List.mem o replay_failures) f.Campaign.oracles))
 
+(* A node crash plus a storage-fault window against the fully-armed
+   deployment: the run must survive every oracle, the drill must be
+   accounted (recovery outcome filled, restores balanced against the
+   crash), and replay must be judged idempotent. *)
+let test_crash_schedule_end_to_end () =
+  let s =
+    Schedule.make ~workload:"base" ~horizon:24_000. ~settle:20_000.
+      [
+        Schedule.Storage_faults
+          {
+            at = 4_000.;
+            duration = 3_000.;
+            storage =
+              { Lla_durable.Journal.Store.no_faults with Lla_durable.Journal.Store.torn_write = 1. };
+          };
+        Schedule.Node_crash { at = 8_000. };
+      ]
+  in
+  match Campaign.run_schedule s with
+  | Error e -> Alcotest.fail ("run_schedule: " ^ e)
+  | Ok exec ->
+    let failures = Oracle.failures exec.Campaign.verdicts in
+    Alcotest.(check int)
+      (String.concat "; "
+         (List.concat_map (fun v -> List.map (fun m -> v.Oracle.oracle ^ ": " ^ m) v.Oracle.violations) failures))
+      0 (List.length failures);
+    let o = exec.Campaign.outcome in
+    (match o.Oracle.recovery with
+    | None -> Alcotest.fail "crash schedule left no recovery outcome"
+    | Some r ->
+      Alcotest.(check int) "one crash drill" 1 r.Oracle.crashes;
+      Alcotest.(check bool) "double replay idempotent" true r.Oracle.idempotent;
+      Alcotest.(check bool) "journal armed by default setup" true r.Oracle.journal_enabled;
+      Alcotest.(check int) "every actor restored exactly once" o.Oracle.crash_restores
+        (r.Oracle.crash_warm + r.Oracle.crash_cold));
+    Alcotest.(check bool) "run ends out of safe mode" false o.Oracle.in_safe_mode
+
 let test_run_schedule_rejects_bad_indices () =
   let s =
     Schedule.make ~workload:"base" ~horizon:1_000. ~settle:0.
@@ -365,6 +447,7 @@ let () =
           Alcotest.test_case "regret and final feasibility" `Quick
             test_oracle_regret_and_feasibility;
           Alcotest.test_case "warm-restore ledger" `Quick test_oracle_warm_restore;
+          Alcotest.test_case "crash-recovery hygiene" `Quick test_oracle_recovery;
         ] );
       ( "campaign",
         [
@@ -374,5 +457,7 @@ let () =
             test_fragile_violation_shrinks_and_replays;
           Alcotest.test_case "bad schedules rejected before running" `Quick
             test_run_schedule_rejects_bad_indices;
+          Alcotest.test_case "node crash + storage faults end to end" `Slow
+            test_crash_schedule_end_to_end;
         ] );
     ]

@@ -216,6 +216,42 @@ let test_alert_replay_deterministic () =
       Alcotest.(check bool) (n1 ^ ": episode timestamps") true (feq since1 since2 && feq v1 v2))
     (view live) (view replayed)
 
+(* The recovery_stuck alert: a recovery that converges inside the enter
+   hysteresis never raises it; one stuck past [sustain_budget] does, at
+   Critical; [clear_after] of post-recovery health clears it. *)
+let test_recovery_stuck_hysteresis () =
+  let config = { Monitor.default_config with Monitor.sustain_budget = 100.; clear_after = 200. } in
+  let find m =
+    match List.find_opt (fun (a : Monitor.alert_view) -> a.Monitor.name = "recovery_stuck") (Monitor.alerts m) with
+    | Some a -> a
+    | None -> Alcotest.fail "no recovery_stuck alert on the bus"
+  in
+  (* fast recovery: stuck for less than the budget, then healthy *)
+  let m = Monitor.create ~config () in
+  for i = 1 to 9 do
+    Monitor.observe_recovery m ~at:(float_of_int (i * 10)) ~ok:false ~value:(float_of_int i)
+  done;
+  Monitor.observe_recovery m ~at:100. ~ok:true ~value:10.;
+  Alcotest.(check bool) "fast recovery never raises" false (find m).Monitor.active;
+  Alcotest.(check int) "no raise transition" 0 (find m).Monitor.raised;
+  (* stuck recovery: infeasible past the budget *)
+  let m = Monitor.create ~config () in
+  for i = 1 to 15 do
+    Monitor.observe_recovery m ~at:(float_of_int (i * 10)) ~ok:false ~value:(float_of_int i)
+  done;
+  let a = find m in
+  Alcotest.(check bool) "stuck recovery raises" true a.Monitor.active;
+  Alcotest.(check bool) "critical severity" true (a.Monitor.severity = Monitor.Critical);
+  (* health must hold for clear_after before the alert clears *)
+  Monitor.observe_recovery m ~at:200. ~ok:true ~value:0.;
+  Monitor.observe_recovery m ~at:300. ~ok:true ~value:0.;
+  Alcotest.(check bool) "still active inside clear_after" true (find m).Monitor.active;
+  Monitor.observe_recovery m ~at:450. ~ok:true ~value:0.;
+  let a = find m in
+  Alcotest.(check bool) "cleared after sustained health" false a.Monitor.active;
+  Alcotest.(check int) "one full episode" 1 a.Monitor.raised;
+  Alcotest.(check int) "one clear" 1 a.Monitor.cleared
+
 (* ------------------------------------------------------------------ *)
 (* End-to-end: a generated scale scenario on the flat-array kernel      *)
 (* ------------------------------------------------------------------ *)
@@ -261,6 +297,7 @@ let () =
         [
           Alcotest.test_case "streak budget semantics" `Quick test_streak_semantics;
           Alcotest.test_case "drift normalization" `Quick test_drift_normalization;
+          Alcotest.test_case "recovery_stuck hysteresis" `Quick test_recovery_stuck_hysteresis;
         ] );
       ( "agreement",
         List.map (QCheck_alcotest.to_alcotest ~rand)

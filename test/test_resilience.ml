@@ -377,6 +377,51 @@ let test_warm_beats_cold_recovery () =
   Alcotest.(check int) "no cold restarts with checkpoints" 0 warm_colds
 
 (* ------------------------------------------------------------------ *)
+(* Integration: whole-node crash drill                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Whole-node crash with a journal: every actor restores warm from the
+   replayed records, the double replay is idempotent, nobody resurrects
+   non-finite state, and the deployment reconverges. Without a journal
+   the same drill restarts everyone cold. *)
+let test_whole_node_crash_restart () =
+  let module Journal = Lla_durable.Journal in
+  let run ~journal () =
+    let workload = Lla_workloads.Paper_sim.base () in
+    let engine = Lla_sim.Engine.create () in
+    let transport = Transport.create engine in
+    let resilience =
+      {
+        Distributed.default_resilience with
+        Distributed.health = None;
+        safe_mode = None;
+        checkpoint_period = Some 100.;
+      }
+    in
+    let j = if journal then Some (Journal.create (Journal.Store.faulty ())) else None in
+    let d = Distributed.create ?journal:j ~resilience ~transport engine workload in
+    Distributed.run d ~duration:20_000.;
+    let reference = Distributed.utility d in
+    Distributed.crash_restart d;
+    Distributed.run d ~duration:20_000.;
+    let gap = Float.abs (Distributed.utility d -. reference) /. Float.abs reference in
+    (Distributed.crash_stats d, Distributed.journal_enabled d, gap)
+  in
+  let s, enabled, gap = run ~journal:true () in
+  Alcotest.(check bool) "journal enabled" true enabled;
+  Alcotest.(check int) "one crash" 1 s.Distributed.crashes;
+  Alcotest.(check bool) "records replayed" true (s.Distributed.replayed > 0);
+  Alcotest.(check bool) "every actor warm" true (s.Distributed.warm > 0 && s.Distributed.cold = 0);
+  Alcotest.(check int) "nobody resurrected non-finite state" 0 s.Distributed.resurrected;
+  Alcotest.(check bool) "double replay idempotent" true s.Distributed.idempotent;
+  Alcotest.(check bool) "reconverged after the crash" true (gap < 0.01);
+  let s, enabled, gap = run ~journal:false () in
+  Alcotest.(check bool) "no journal" false enabled;
+  Alcotest.(check int) "nothing replayed" 0 s.Distributed.replayed;
+  Alcotest.(check bool) "every actor cold" true (s.Distributed.cold > 0 && s.Distributed.warm = 0);
+  Alcotest.(check bool) "cold restart still reconverges" true (gap < 0.01)
+
+(* ------------------------------------------------------------------ *)
 (* Integration: safe-mode containment of a forced divergence           *)
 (* ------------------------------------------------------------------ *)
 
@@ -580,7 +625,7 @@ let test_stop_mid_partition_drains () =
       Transport.default_config with
       Transport.policy =
         {
-          Transport.retry = Some { Transport.timeout = 40.; backoff = 2.; max_attempts = 6 };
+          Transport.retry = Some { Transport.timeout = 40.; backoff = 2.; max_attempts = 6; jitter = 0. };
           last_write_wins = true;
         };
     }
@@ -646,6 +691,7 @@ let () =
       ( "integration",
         [
           Alcotest.test_case "warm restart beats cold restart" `Slow test_warm_beats_cold_recovery;
+          Alcotest.test_case "whole-node crash drill" `Slow test_whole_node_crash_restart;
           Alcotest.test_case "safe mode contains forced divergence" `Slow
             test_safe_mode_contains_divergence;
           Alcotest.test_case "watchdog quiet on a healthy run" `Slow

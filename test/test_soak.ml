@@ -396,6 +396,43 @@ let test_soak_breach_degrades_not_dies () =
   Alcotest.(check bool) "forced safe mode" true (r.Soak.safe_entries >= 1);
   Alcotest.(check int) "ticks all ran" config.Soak.horizon r.Soak.ticks
 
+(* Crash drills inside the endurance run: with a journal the drills
+   recover warm from replayed records and the run stays green; the
+   journal-free variant of the same config recovers cold and, with both
+   cadences at zero, reproduces the crash-free report exactly. *)
+let test_soak_crash_drills () =
+  let module Journal = Lla_durable.Journal in
+  let config =
+    { mini_config with Soak.horizon = 8_000; crash_every = 2_500; journal_every = 200 }
+  in
+  let journal = Journal.create (Journal.Store.faulty ()) in
+  let r =
+    match Soak.run ~journal config with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "Soak.run: %s" e
+  in
+  Alcotest.(check (list string)) "crash drills stay green" [] r.Soak.oracle_violations;
+  Alcotest.(check bool) "drills executed" true (r.Soak.crashes >= 2);
+  Alcotest.(check int) "every drill accounted" r.Soak.crashes
+    (r.Soak.warm_recoveries + r.Soak.cold_recoveries);
+  Alcotest.(check bool) "journaled drills recover warm" true (r.Soak.warm_recoveries >= 1);
+  Alcotest.(check bool) "records replayed" true (r.Soak.journal_replayed > 0);
+  Alcotest.(check bool) "render mentions the drills" true
+    (let r = Soak.render r in
+     let needle = "crashes:" in
+     let n = String.length needle in
+     let rec go i = i + n <= String.length r && (String.sub r i n = needle || go (i + 1)) in
+     go 0);
+  (* same drills without a journal: every recovery is cold *)
+  let r =
+    match Soak.run { config with Soak.journal_every = 0 } with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "Soak.run: %s" e
+  in
+  Alcotest.(check bool) "journal-free drills recover cold" true
+    (r.Soak.crashes >= 2 && r.Soak.warm_recoveries = 0 && r.Soak.cold_recoveries = r.Soak.crashes);
+  Alcotest.(check int) "nothing replayed" 0 r.Soak.journal_replayed
+
 let () =
   Alcotest.run "soak"
     [
@@ -428,5 +465,7 @@ let () =
             test_soak_mini_green_and_deterministic;
           Alcotest.test_case "ceiling breach degrades, not dies" `Quick
             test_soak_breach_degrades_not_dies;
+          Alcotest.test_case "crash drills recover warm, stay green" `Quick
+            test_soak_crash_drills;
         ] );
     ]

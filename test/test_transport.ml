@@ -123,7 +123,7 @@ let test_retry_recovers_losses () =
       faults = { Transport.no_faults with drop = 0.5 };
       policy =
         {
-          Transport.retry = Some { Transport.timeout = 5.; backoff = 2.; max_attempts = 5 };
+          Transport.retry = Some { Transport.timeout = 5.; backoff = 2.; max_attempts = 5; jitter = 0. };
           last_write_wins = false;
         };
       seed = 3;
@@ -165,7 +165,7 @@ let test_retry_rides_out_partition () =
       Transport.default_config with
       policy =
         {
-          Transport.retry = Some { Transport.timeout = 6.; backoff = 1.; max_attempts = 4 };
+          Transport.retry = Some { Transport.timeout = 6.; backoff = 1.; max_attempts = 4; jitter = 0. };
           last_write_wins = false;
         };
     }
@@ -181,6 +181,64 @@ let test_retry_rides_out_partition () =
   Alcotest.(check int) "delivered after the heal" 1 !received;
   Alcotest.(check bool) "first attempt was cut, then retried" true
     (c.Transport.cut >= 1 && c.Transport.retried >= 1)
+
+(* Retry jitter: at jitter = 0 the retransmit schedule is exactly the
+   analytic one (no randomness drawn); at jitter > 0 every wait stays in
+   the [timeout * backoff^n * (1 ± jitter)] band and the schedule is
+   seed-reproducible. *)
+let jittered_delivery ~jitter ~seed =
+  let config =
+    {
+      Transport.default_config with
+      policy =
+        {
+          Transport.retry = Some { Transport.timeout = 10.; backoff = 1.; max_attempts = 10; jitter };
+          last_write_wins = false;
+        };
+      seed;
+    }
+  in
+  let engine, transport, a, b = two_endpoints ~config () in
+  Transport.partition transport ~at:0. ~duration:40. ~group_a:[ a ] ~group_b:[ b ];
+  let delivered_at = ref nan in
+  Transport.send transport ~src:a ~dst:b (fun () -> delivered_at := Engine.now engine);
+  Engine.run engine ();
+  !delivered_at
+
+let test_retry_jitter () =
+  (* jitter = 0: attempts at 0/10/20/30 are cut, the one at 40 lands at
+     41 (1 ms link) — bit-for-bit the pre-jitter schedule *)
+  check_close "jitter 0 is the analytic schedule" 41. (jittered_delivery ~jitter:0. ~seed:5);
+  (* jitter = 0.4: waits are uniform in [6, 14], so the healing
+     retransmit fires in [40, 40 + 14) and delivers within 1 ms *)
+  List.iter
+    (fun seed ->
+      let at = jittered_delivery ~jitter:0.4 ~seed in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d delivery %g inside the jitter band" seed at)
+        true
+        (at >= 41. && at < 55.);
+      check_close "seed-reproducible" at (jittered_delivery ~jitter:0.4 ~seed))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_retry_jitter_validation () =
+  List.iter
+    (fun jitter ->
+      let config =
+        {
+          Transport.default_config with
+          policy =
+            {
+              Transport.retry = Some { Transport.timeout = 5.; backoff = 2.; max_attempts = 3; jitter };
+              last_write_wins = false;
+            };
+        }
+      in
+      try
+        ignore (Transport.create ~config (Engine.create ()));
+        Alcotest.failf "jitter %g accepted" jitter
+      with Invalid_argument _ -> ())
+    [ -0.1; 1.0; 1.5; nan ]
 
 let test_outage_and_restart_hook () =
   let engine, transport, a, b = two_endpoints () in
@@ -419,6 +477,8 @@ let () =
           Alcotest.test_case "retry recovers losses" `Quick test_retry_recovers_losses;
           Alcotest.test_case "partition cuts and heals" `Quick test_partition_cuts_and_heals;
           Alcotest.test_case "retry rides out a partition" `Quick test_retry_rides_out_partition;
+          Alcotest.test_case "retry jitter band and zero-jitter schedule" `Quick test_retry_jitter;
+          Alcotest.test_case "retry jitter validation" `Quick test_retry_jitter_validation;
           Alcotest.test_case "outage and restart hook" `Quick test_outage_and_restart_hook;
           Alcotest.test_case "per-link delay override" `Quick test_per_link_delay_override;
           Alcotest.test_case "seeded determinism" `Quick test_seeded_determinism;
